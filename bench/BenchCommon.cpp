@@ -1,0 +1,81 @@
+//===- bench/BenchCommon.cpp - Shared harness for figure benches -----------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace selspec;
+using namespace selspec::bench;
+
+const std::vector<BenchProgram> &selspec::bench::table2Suite() {
+  static const std::vector<BenchProgram> Suite = {
+      {"richards", "Operating system task queue simulation",
+       {"richards.mica"}, 300, 420},
+      {"instsched", "A MIPS assembly code instruction scheduler",
+       {"instsched.mica"}, 12, 16},
+      {"typechecker", "Typechecker for the minilang language",
+       {"minilang.mica", "typechecker.mica"}, 300, 380},
+      {"compiler", "Optimizing compiler + VM for the minilang language",
+       {"minilang.mica", "compiler.mica"}, 220, 280},
+  };
+  return Suite;
+}
+
+SuiteResult selspec::bench::runSuiteProgram(const BenchProgram &Program,
+                                            const std::vector<Config> &Configs,
+                                            const SelectiveOptions &Sel) {
+  std::string Err;
+  std::unique_ptr<Workbench> W = Workbench::fromFiles(Program.Files, Err);
+  if (!W) {
+    std::cerr << "error: cannot load " << Program.Name << ": " << Err
+              << '\n';
+    std::exit(1);
+  }
+  if (!W->collectProfile(Program.TrainInput, Err)) {
+    std::cerr << "error: profiling " << Program.Name << ": " << Err << '\n';
+    std::exit(1);
+  }
+
+  SuiteResult R;
+  R.Program = Program;
+  R.SourceLines = W->sourceLines();
+  std::string BaseOutput;
+  for (Config C : Configs) {
+    std::optional<ConfigResult> CR =
+        W->runConfig(C, Program.TestInput, Err, Sel);
+    if (!CR) {
+      std::cerr << "error: running " << Program.Name << " under "
+                << configName(C) << ": " << Err << '\n';
+      std::exit(1);
+    }
+    // Cross-check: every configuration must compute the same answer.
+    if (BaseOutput.empty())
+      BaseOutput = CR->Output;
+    else if (CR->Output != BaseOutput) {
+      std::cerr << "error: " << Program.Name << " under " << configName(C)
+                << " produced different output\n";
+      std::exit(1);
+    }
+    R.ByConfig.push_back(std::move(*CR));
+  }
+  return R;
+}
+
+SuiteResult selspec::bench::runSuiteProgram(const BenchProgram &Program,
+                                            const SelectiveOptions &Sel) {
+  return runSuiteProgram(
+      Program,
+      std::vector<Config>(AllConfigs.begin(), AllConfigs.end()), Sel);
+}
+
+void selspec::bench::printHeader(const std::string &Title,
+                                 const std::string &PaperRef) {
+  std::cout << "== " << Title << " ==\n"
+            << "Reproduces: " << PaperRef
+            << " (Dean, Chambers & Grove, PLDI 1995)\n\n";
+}

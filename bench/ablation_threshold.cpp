@@ -1,0 +1,102 @@
+//===- bench/ablation_threshold.cpp - Section 3.4 trade-off ----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.4: the SpecializationThreshold trades code space against
+/// dispatch elimination.  This bench sweeps the threshold over several
+/// decades for every program (paper default: 1,000), and also exercises
+/// the alternative fixed-space-budget heuristic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace selspec;
+using namespace selspec::bench;
+
+int main() {
+  printHeader("SpecializationThreshold sweep", "Section 3.4");
+
+  const uint64_t Thresholds[] = {1, 10, 100, 1000, 10000, 100000};
+
+  for (const BenchProgram &P : table2Suite()) {
+    std::string Err;
+    std::unique_ptr<Workbench> W = Workbench::fromFiles(P.Files, Err);
+    if (!W) {
+      std::cerr << "error: " << Err << '\n';
+      return 1;
+    }
+    if (!W->collectProfile(P.TrainInput, Err)) {
+      std::cerr << "error: " << Err << '\n';
+      return 1;
+    }
+    std::optional<ConfigResult> Base =
+        W->runConfig(Config::Base, P.TestInput, Err);
+    if (!Base) {
+      std::cerr << "error: " << Err << '\n';
+      return 1;
+    }
+    double BaseDispatch =
+        static_cast<double>(Base->Run.totalDispatches());
+    double BaseCycles = static_cast<double>(Base->Run.Cycles);
+
+    TextTable T({"Threshold", "Routines", "Dispatches vs Base",
+                 "Speedup vs Base"});
+    for (uint64_t Th : Thresholds) {
+      SelectiveOptions Sel;
+      Sel.SpecializationThreshold = Th;
+      std::optional<ConfigResult> R =
+          W->runConfig(Config::Selective, P.TestInput, Err, Sel);
+      if (!R) {
+        std::cerr << "error: " << Err << '\n';
+        return 1;
+      }
+      T.addRow({TextTable::count(Th), TextTable::count(R->CompiledRoutines),
+                TextTable::ratio(R->Run.totalDispatches() / BaseDispatch),
+                TextTable::ratio(BaseCycles /
+                                 static_cast<double>(R->Run.Cycles))});
+    }
+    std::cout << P.Name << " (Base: "
+              << TextTable::count(Base->Run.totalDispatches())
+              << " dispatches, " << TextTable::count(Base->CompiledRoutines)
+              << " routines)\n";
+    T.print(std::cout);
+
+    // Section 3.4's alternative: a fixed space budget consumed in
+    // decreasing arc-weight order.
+    TextTable B({"Budget (versions)", "Routines (by weight)",
+                 "Dispatches (by weight)", "Routines (benefit/cost)",
+                 "Dispatches (benefit/cost)"});
+    for (unsigned Budget : {1u, 4u, 16u, 64u}) {
+      SelectiveOptions ByWeight;
+      ByWeight.SpaceBudgetVersions = Budget;
+      SelectiveOptions ByBenefit = ByWeight;
+      ByBenefit.UseBenefitCostOrder = true;
+      std::optional<ConfigResult> RW =
+          W->runConfig(Config::Selective, P.TestInput, Err, ByWeight);
+      std::optional<ConfigResult> RB =
+          W->runConfig(Config::Selective, P.TestInput, Err, ByBenefit);
+      if (!RW || !RB) {
+        std::cerr << "error: " << Err << '\n';
+        return 1;
+      }
+      B.addRow({TextTable::count(Budget),
+                TextTable::count(RW->CompiledRoutines),
+                TextTable::ratio(RW->Run.totalDispatches() / BaseDispatch),
+                TextTable::count(RB->CompiledRoutines),
+                TextTable::ratio(RB->Run.totalDispatches() / BaseDispatch)});
+    }
+    std::cout << "space-budget heuristics (Section 3.4 alternatives):\n";
+    B.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Paper: the simple threshold heuristic (1,000) was 'more "
+               "than adequate';\nlower thresholds buy little extra speed "
+               "for noticeably more code.\n";
+  return 0;
+}

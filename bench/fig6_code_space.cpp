@@ -1,0 +1,74 @@
+//===- bench/fig6_code_space.cpp - Figure 6 reproduction -------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 6: compiled-routine counts per configuration, both for a
+/// statically-compiled system (every generated version counts) and for a
+/// dynamic-compilation system (only versions actually invoked at run time
+/// count, as in Self), plus estimated code-size units.  Normalized to the
+/// number of source methods, as in the paper's bars.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace selspec;
+using namespace selspec::bench;
+
+int main() {
+  printHeader("Figure 6: number of compiled routines", "Figure 6");
+
+  std::vector<SuiteResult> Results;
+  for (const BenchProgram &P : table2Suite())
+    Results.push_back(runSuiteProgram(P));
+
+  TextTable Static({"Program", "Source methods", "Base", "Cust", "Cust-MM",
+                    "Selective", "Selective/Base"});
+  TextTable Dynamic({"Program", "Base", "Cust", "Cust-MM", "Selective"});
+  TextTable Size({"Program", "Base", "Cust", "Cust-MM", "CHA",
+                  "Selective"});
+
+  for (const SuiteResult &R : Results) {
+    const ConfigResult &Base = R.ByConfig[0];
+    const ConfigResult &Cust = R.ByConfig[1];
+    const ConfigResult &CustMM = R.ByConfig[2];
+    const ConfigResult &CHA = R.ByConfig[3];
+    const ConfigResult &Sel = R.ByConfig[4];
+
+    Static.addRow(
+        {R.Program.Name, TextTable::count(Base.CompiledRoutines),
+         TextTable::count(Base.CompiledRoutines),
+         TextTable::count(Cust.CompiledRoutines),
+         TextTable::count(CustMM.CompiledRoutines),
+         TextTable::count(Sel.CompiledRoutines),
+         TextTable::ratio(static_cast<double>(Sel.CompiledRoutines) /
+                          static_cast<double>(Base.CompiledRoutines))});
+    Dynamic.addRow({R.Program.Name, TextTable::count(Base.InvokedRoutines),
+                    TextTable::count(Cust.InvokedRoutines),
+                    TextTable::count(CustMM.InvokedRoutines),
+                    TextTable::count(Sel.InvokedRoutines)});
+    Size.addRow({R.Program.Name, TextTable::count(Base.CodeSize),
+                 TextTable::count(Cust.CodeSize),
+                 TextTable::count(CustMM.CodeSize),
+                 TextTable::count(CHA.CodeSize),
+                 TextTable::count(Sel.CodeSize)});
+  }
+
+  std::cout << "Routines compiled, statically-compiled system (all "
+               "generated versions)\n";
+  Static.print(std::cout);
+  std::cout << "\nRoutines compiled, dynamic-compilation system (invoked "
+               "versions only)\n";
+  Dynamic.print(std::cout);
+  std::cout << "\nEstimated compiled code size (instruction units)\n";
+  Size.print(std::cout);
+  std::cout << "\nPaper's shape: receiver customization multiplies "
+               "compiled routines by 3-4x;\nselective specialization adds "
+               "only 4-10% over Base while winning on speed.\n";
+  return 0;
+}

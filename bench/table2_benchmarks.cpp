@@ -1,0 +1,46 @@
+//===- bench/table2_benchmarks.cpp - Table 2 reproduction ------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 2: the benchmark suite — name, size, description, plus the
+/// train/test inputs this reproduction uses and basic workload counts
+/// from a Base run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace selspec;
+using namespace selspec::bench;
+
+int main() {
+  printHeader("Table 2: benchmark programs", "Table 2");
+
+  TextTable T({"Program", "Lines", "Methods", "Call sites", "Train", "Test",
+               "Description"});
+  for (const BenchProgram &P : table2Suite()) {
+    std::string Err;
+    std::unique_ptr<Workbench> W = Workbench::fromFiles(P.Files, Err);
+    if (!W) {
+      std::cerr << "error: " << Err << '\n';
+      return 1;
+    }
+    T.addRow({P.Name, TextTable::count(W->sourceLines()),
+              TextTable::count(W->program().numUserMethods()),
+              TextTable::count(W->program().numCallSites()),
+              TextTable::count(static_cast<uint64_t>(P.TrainInput)),
+              TextTable::count(static_cast<uint64_t>(P.TestInput)),
+              P.Description});
+  }
+  T.print(std::cout);
+  std::cout << "\nLine counts include the shared Mica standard library "
+               "(as the paper's counts\ninclude Cecil's 8,500-line "
+               "library); typechecker and compiler share the\nminilang "
+               "front end, mirroring the paper's ~12,000 shared lines.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- examples/incremental.cpp - Selective recompilation (§3.7.1) ---------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program analysis embeds hierarchy assumptions into compiled code;
+/// Section 3.7.1 reconciles that with incremental compilation through a
+/// fine-grained dependency graph.  This example compiles a program, builds
+/// the implied dependency graph, simulates two program edits, and shows
+/// the exact recompilation work list each edit produces.
+///
+/// Run: build/examples/incremental
+///
+//===----------------------------------------------------------------------===//
+
+#include "depgraph/DependencyGraph.h"
+#include "driver/Pipeline.h"
+
+#include <iostream>
+
+using namespace selspec;
+
+static const char *Source = R"(
+  class Shape;
+  class Circle isa Shape;
+  class Square isa Shape;
+
+  method area(s@Circle) { 10; }
+  method area(s@Square) { 20; }
+  method perimeter(s@Circle) { 11; }
+  method perimeter(s@Square) { 21; }
+
+  method describe(s@Shape) { area(s) + perimeter(s); }
+  method onlyArea(s@Circle) { area(s); }
+  method unrelated(n@Int) { n * 2 + 1; }
+
+  method main(n@Int) {
+    print(describe(new Circle) + describe(new Square) + unrelated(n));
+  }
+)";
+
+int main() {
+  std::cout << "Selective recompilation via the dependency graph "
+               "(Section 3.7.1)\n\n";
+
+  std::string Err;
+  std::unique_ptr<Workbench> W =
+      Workbench::fromSources({Source}, Err, /*WithStdlib=*/false);
+  if (!W) {
+    std::cerr << Err;
+    return 1;
+  }
+  Program &P = W->program();
+  std::unique_ptr<CompiledProgram> CP = W->compileOnly(Config::CHA);
+
+  DependencyGraph G;
+  DependencyGraph::ProgramNodes PN = G.buildFromCompiledProgram(*CP);
+  std::cout << "dependency graph: " << G.numNodes() << " nodes, "
+            << G.numEdges() << " edges\n\n";
+
+  auto ShowInvalidated = [&](const char *EditDescription,
+                             DependencyGraph::NodeId Changed) {
+    std::cout << "edit: " << EditDescription << '\n';
+    std::vector<DependencyGraph::NodeId> Invalid = G.invalidate(Changed);
+    std::cout << "  invalidates " << Invalid.size() << " node(s):\n";
+    for (DependencyGraph::NodeId N : Invalid)
+      if (G.kind(N) == DependencyGraph::NodeKind::CompiledCode)
+        std::cout << "    recompile " << G.label(N) << '\n';
+    // A real system recompiles and revalidates; simulate that.
+    for (DependencyGraph::NodeId N : Invalid)
+      G.revalidate(N);
+    std::cout << '\n';
+  };
+
+  // Edit 1: a method is added to generic `area` — everything that bound
+  // area statically must be recompiled; `unrelated` must not.
+  GenericId Area = P.lookupGeneric(P.Syms.find("area"), 1);
+  ShowInvalidated("add a method to generic area/1",
+                  PN.GenericFactNodes[Area.value()]);
+
+  // Edit 2: class Square is modified — dispatch facts of every generic
+  // with Square in a specializer cone are invalidated, and their bound
+  // clients with them.
+  ClassId Square = P.Classes.lookup(P.Syms.find("Square"));
+  ShowInvalidated("modify class Square", PN.ClassNodes[Square.value()]);
+
+  // Edit 3: an Int-only helper's own method body changes — only its own
+  // compiled versions are invalidated.
+  MethodId Unrelated;
+  for (unsigned MI = 0; MI != P.numMethods(); ++MI)
+    if (P.methodLabel(MethodId(MI)) == "unrelated(Int)")
+      Unrelated = MethodId(MI);
+  ShowInvalidated("edit the body of unrelated(Int)",
+                  PN.MethodNodes[Unrelated.value()]);
+
+  std::cout << "note how the Int-only helper never appears in the first "
+               "two work lists, and\nhow editing it touches nothing "
+               "else — the paper's fine-grained invalidation.\n";
+  return 0;
+}

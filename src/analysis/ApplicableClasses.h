@@ -1,0 +1,70 @@
+//===- analysis/ApplicableClasses.h - CHA ApplicableClasses ----*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the paper's ApplicableClasses function:
+///
+///   ApplicableClasses[meth m(f1,...,fn)] = the n-tuple of class sets, one
+///   per formal, for which m might be invoked (excluding classes that bind
+///   to overriding methods).
+///
+/// For singly-dispatched generics this is the classic "cone minus
+/// overriding cones" computation.  For multi-methods, per-position sets
+/// are the projections of the exact invocation relation; we compute them
+/// exactly by enumerating dispatched-argument tuples when that space is
+/// small (the paper defers these "subtleties" to [Dean et al. 95]) and
+/// fall back to a conservative pointwise approximation otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_ANALYSIS_APPLICABLECLASSES_H
+#define SELSPEC_ANALYSIS_APPLICABLECLASSES_H
+
+#include "hierarchy/Program.h"
+#include "support/ClassSet.h"
+
+#include <vector>
+
+namespace selspec {
+
+class ApplicableClassesAnalysis {
+public:
+  /// Computes ApplicableClasses for every method in \p P.
+  /// \p ExactTupleLimit bounds the dispatched-tuple enumeration per
+  /// generic; above it the pointwise approximation is used.
+  explicit ApplicableClassesAnalysis(const Program &P,
+                                     uint64_t ExactTupleLimit = 1 << 16);
+
+  /// The ApplicableClasses tuple of \p M (size = arity).  Empty sets mean
+  /// the method can never be invoked (dead method).
+  const std::vector<ClassSet> &of(MethodId M) const {
+    return PerMethod[M.value()];
+  }
+
+  /// Argument positions of \p G on which any method actually dispatches
+  /// (has a non-root specializer).
+  const std::vector<unsigned> &dispatchedPositions(GenericId G) const {
+    return DispatchedPos[G.value()];
+  }
+
+  /// True if generic \p G needed the pointwise fallback (for tests).
+  bool usedFallback(GenericId G) const { return Fallback[G.value()]; }
+
+  const Program &program() const { return P; }
+
+private:
+  void computeExact(const GenericInfo &G);
+  void computePointwise(const GenericInfo &G);
+
+  const Program &P;
+  std::vector<std::vector<ClassSet>> PerMethod;
+  std::vector<std::vector<unsigned>> DispatchedPos;
+  std::vector<bool> Fallback;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_ANALYSIS_APPLICABLECLASSES_H

@@ -1,0 +1,133 @@
+//===- analysis/PassThroughArgs.cpp - Pass-through call sites --------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PassThroughArgs.h"
+
+using namespace selspec;
+
+namespace {
+
+/// Walks a method body collecting names that are assigned or rebound.
+void collectUnstableNames(const Expr *E, std::vector<Symbol> &Unstable) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::StrLit:
+  case Expr::Kind::NilLit:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::AssignVar: {
+    const auto *A = cast<AssignVarExpr>(E);
+    Unstable.push_back(A->Name);
+    collectUnstableNames(A->Value.get(), Unstable);
+    return;
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    Unstable.push_back(L->Name); // shadows any formal of the same name
+    collectUnstableNames(L->Init.get(), Unstable);
+    return;
+  }
+  case Expr::Kind::Seq:
+    for (const ExprPtr &Elem : cast<SeqExpr>(E)->Elems)
+      collectUnstableNames(Elem.get(), Unstable);
+    return;
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    collectUnstableNames(I->Cond.get(), Unstable);
+    collectUnstableNames(I->Then.get(), Unstable);
+    if (I->Else)
+      collectUnstableNames(I->Else.get(), Unstable);
+    return;
+  }
+  case Expr::Kind::While: {
+    const auto *W = cast<WhileExpr>(E);
+    collectUnstableNames(W->Cond.get(), Unstable);
+    collectUnstableNames(W->Body.get(), Unstable);
+    return;
+  }
+  case Expr::Kind::Send:
+    for (const ExprPtr &A : cast<SendExpr>(E)->Args)
+      collectUnstableNames(A.get(), Unstable);
+    return;
+  case Expr::Kind::ClosureCall: {
+    const auto *C = cast<ClosureCallExpr>(E);
+    collectUnstableNames(C->Callee.get(), Unstable);
+    for (const ExprPtr &A : C->Args)
+      collectUnstableNames(A.get(), Unstable);
+    return;
+  }
+  case Expr::Kind::ClosureLit: {
+    const auto *C = cast<ClosureLitExpr>(E);
+    for (Symbol S : C->Params)
+      Unstable.push_back(S); // closure params shadow formals
+    collectUnstableNames(C->Body.get(), Unstable);
+    return;
+  }
+  case Expr::Kind::New:
+    for (const auto &[SlotName, Init] : cast<NewExpr>(E)->Inits)
+      collectUnstableNames(Init.get(), Unstable);
+    return;
+  case Expr::Kind::SlotGet:
+    collectUnstableNames(cast<SlotGetExpr>(E)->Object.get(), Unstable);
+    return;
+  case Expr::Kind::SlotSet: {
+    const auto *S = cast<SlotSetExpr>(E);
+    collectUnstableNames(S->Object.get(), Unstable);
+    collectUnstableNames(S->Value.get(), Unstable);
+    return;
+  }
+  case Expr::Kind::Return:
+    if (const ExprPtr &V = cast<ReturnExpr>(E)->Value)
+      collectUnstableNames(V.get(), Unstable);
+    return;
+  case Expr::Kind::Inlined:
+    assert(false && "source bodies contain no InlinedExpr");
+    return;
+  }
+}
+
+} // namespace
+
+PassThroughAnalysis::PassThroughAnalysis(const Program &P) {
+  assert(P.isResolved() && "program must be resolved");
+
+  // Per-method stable-formal mask.
+  StableFormals.resize(P.numMethods());
+  for (unsigned MI = 0; MI != P.numMethods(); ++MI) {
+    const MethodInfo &M = P.method(MethodId(MI));
+    std::vector<bool> &Mask = StableFormals[MI];
+    Mask.assign(M.arity(), true);
+    if (M.isBuiltin())
+      continue;
+    std::vector<Symbol> Unstable;
+    collectUnstableNames(M.Body.get(), Unstable);
+    for (unsigned F = 0; F != M.arity(); ++F)
+      for (Symbol S : Unstable)
+        if (S == M.ParamNames[F])
+          Mask[F] = false;
+  }
+
+  // Per-site pass-through pairs.
+  PerSite.resize(P.numCallSites());
+  for (unsigned SI = 0; SI != P.numCallSites(); ++SI) {
+    const CallSiteInfo &Site = P.callSite(CallSiteId(SI));
+    const MethodInfo &Owner = P.method(Site.Owner);
+    std::vector<PassThroughPair> &Pairs = PerSite[SI];
+    for (unsigned A = 0; A != Site.Send->Args.size(); ++A) {
+      const auto *V = dyn_cast<VarRefExpr>(Site.Send->Args[A].get());
+      if (!V)
+        continue;
+      for (unsigned F = 0; F != Owner.arity(); ++F) {
+        if (Owner.ParamNames[F] == V->Name &&
+            StableFormals[Site.Owner.value()][F]) {
+          Pairs.emplace_back(F, A);
+          break;
+        }
+      }
+    }
+  }
+}

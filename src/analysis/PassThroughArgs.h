@@ -1,0 +1,57 @@
+//===- analysis/PassThroughArgs.h - Pass-through call sites ----*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the paper's PassThroughArgs function: for each message-send
+/// site, the set of pairs <f → a> meaning "the enclosing method's formal f
+/// is passed directly as actual a of the send".  These are the sites whose
+/// binding can improve when the enclosing method is specialized on f
+/// (akin to the jump functions of Grove & Torczon).
+///
+/// A formal only counts as pass-through if its binding is stable: it is
+/// never assigned and never shadowed anywhere in the method (conservative
+/// but simple).  Sites inside nested closures participate too — that is
+/// exactly the Figure 1 situation, where `set2.includes(elem)` inside the
+/// closure is a pass-through use of `overlaps`' formal `set2`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_ANALYSIS_PASSTHROUGHARGS_H
+#define SELSPEC_ANALYSIS_PASSTHROUGHARGS_H
+
+#include "hierarchy/Program.h"
+
+#include <utility>
+#include <vector>
+
+namespace selspec {
+
+/// <CallerFormal, CalleeActual> index pair (both 0-based).
+using PassThroughPair = std::pair<unsigned, unsigned>;
+
+class PassThroughAnalysis {
+public:
+  explicit PassThroughAnalysis(const Program &P);
+
+  /// Pass-through pairs of call site \p S, ordered by callee actual.
+  const std::vector<PassThroughPair> &at(CallSiteId S) const {
+    return PerSite[S.value()];
+  }
+
+  /// True if formal \p FormalIdx of \p M is stable (never assigned or
+  /// shadowed) — only stable formals generate pass-through pairs.
+  bool isStableFormal(MethodId M, unsigned FormalIdx) const {
+    return StableFormals[M.value()][FormalIdx];
+  }
+
+private:
+  std::vector<std::vector<PassThroughPair>> PerSite;
+  std::vector<std::vector<bool>> StableFormals;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_ANALYSIS_PASSTHROUGHARGS_H

@@ -1,0 +1,213 @@
+//===- analysis/ReturnClasses.cpp - Interprocedural return classes ---------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReturnClasses.h"
+
+#include "analysis/StaticBinding.h"
+#include "hierarchy/Builtins.h"
+
+using namespace selspec;
+
+ReturnClassAnalysis::ReturnClassAnalysis(const Program &P,
+                                         const ApplicableClassesAnalysis &AC)
+    : P(P), AC(AC) {
+  unsigned U = P.Classes.size();
+  Sets.assign(P.numMethods(), ClassSet::empty(U));
+
+  // Builtins are fixed from the start.
+  for (unsigned MI = 0; MI != P.numMethods(); ++MI) {
+    const MethodInfo &M = P.method(MethodId(MI));
+    if (M.isBuiltin())
+      Sets[MI] = primResultSet(M.Prim, U);
+  }
+
+  // Kleene iteration over user methods.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Iterations;
+    for (unsigned MI = 0; MI != P.numMethods(); ++MI) {
+      const MethodInfo &M = P.method(MethodId(MI));
+      if (M.isBuiltin())
+        continue;
+      ClassSet New = evalBody(M);
+      if (New != Sets[MI]) {
+        assert(Sets[MI].isSubsetOf(New) && "non-monotone transfer");
+        Sets[MI] = std::move(New);
+        Changed = true;
+      }
+    }
+    assert(Iterations <= P.numMethods() * U + 2 &&
+           "return-class fixpoint failed to converge");
+  }
+}
+
+ClassSet ReturnClassAnalysis::resultOfSend(
+    GenericId G, const std::vector<ClassSet> &ArgSets) const {
+  ClassSet Out = ClassSet::empty(P.Classes.size());
+  for (MethodId M : possibleTargets(AC, G, ArgSets))
+    Out |= Sets[M.value()];
+  return Out;
+}
+
+ClassSet ReturnClassAnalysis::evalBody(const MethodInfo &M) {
+  ClassEnv Env;
+  Env.pushScope();
+  for (unsigned I = 0; I != M.arity(); ++I)
+    Env.define(M.ParamNames[I], AC.of(M.Id)[I]);
+
+  std::unordered_set<uint32_t> Assigned = collectAssignedNames(M.Body.get());
+  std::unordered_set<uint32_t> ClosureAssigned =
+      collectClosureAssignedNames(M.Body.get());
+
+  ClassSet Returned = ClassSet::empty(P.Classes.size());
+  ClassSet Fall = evalExpr(M.Body.get(), Env, Returned, Assigned,
+                           ClosureAssigned, /*ClosureDepth=*/0);
+  return Fall | Returned;
+}
+
+ClassSet ReturnClassAnalysis::evalExpr(
+    const Expr *E, ClassEnv &Env, ClassSet &Returned,
+    const std::unordered_set<uint32_t> &Assigned,
+    const std::unordered_set<uint32_t> &ClosureAssigned,
+    unsigned ClosureDepth) {
+  unsigned U = P.Classes.size();
+  auto Universe = [&] { return ClassSet::all(U); };
+  auto Recurse = [&](const Expr *Child) {
+    return evalExpr(Child, Env, Returned, Assigned, ClosureAssigned,
+                    ClosureDepth);
+  };
+
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return ClassSet::single(U, builtin::Int);
+  case Expr::Kind::BoolLit:
+    return ClassSet::single(U, builtin::Bool);
+  case Expr::Kind::StrLit:
+    return ClassSet::single(U, builtin::String);
+  case Expr::Kind::NilLit:
+    return ClassSet::single(U, builtin::Nil);
+
+  case Expr::Kind::VarRef: {
+    Symbol Name = cast<VarRefExpr>(E)->Name;
+    if (ClosureDepth > 0 && Assigned.count(Name.value()))
+      return Universe();
+    if (ClosureAssigned.count(Name.value()))
+      return Universe();
+    if (ClassSet *S = Env.lookup(Name))
+      return *S;
+    return Universe();
+  }
+
+  case Expr::Kind::AssignVar: {
+    const auto *A = cast<AssignVarExpr>(E);
+    ClassSet V = Recurse(A->Value.get());
+    if (ClassSet *Slot = Env.lookup(A->Name))
+      *Slot |= V;
+    return V;
+  }
+
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    ClassSet V = Recurse(L->Init.get());
+    Env.define(L->Name, std::move(V));
+    return ClassSet::single(U, builtin::Nil);
+  }
+
+  case Expr::Kind::Seq: {
+    Env.pushScope();
+    ClassSet Last = ClassSet::single(U, builtin::Nil);
+    for (const ExprPtr &Elem : cast<SeqExpr>(E)->Elems)
+      Last = Recurse(Elem.get());
+    Env.popScope();
+    return Last;
+  }
+
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    Recurse(I->Cond.get());
+    ClassSet R = Recurse(I->Then.get());
+    if (I->Else)
+      R |= Recurse(I->Else.get());
+    else
+      R |= ClassSet::single(U, builtin::Nil);
+    return R;
+  }
+
+  case Expr::Kind::While: {
+    const auto *W = cast<WhileExpr>(E);
+    std::unordered_set<uint32_t> LoopAssigned =
+        collectAssignedNames(W->Body.get());
+    for (uint32_t N : collectAssignedNames(W->Cond.get()))
+      LoopAssigned.insert(N);
+    Env.widen(LoopAssigned, Universe());
+    Recurse(W->Cond.get());
+    Recurse(W->Body.get());
+    return ClassSet::single(U, builtin::Nil);
+  }
+
+  case Expr::Kind::Send: {
+    const auto *S = cast<SendExpr>(E);
+    std::vector<ClassSet> ArgSets;
+    ArgSets.reserve(S->Args.size());
+    for (const ExprPtr &A : S->Args)
+      ArgSets.push_back(Recurse(A.get()));
+    return resultOfSend(S->Generic, ArgSets);
+  }
+
+  case Expr::Kind::ClosureCall: {
+    const auto *C = cast<ClosureCallExpr>(E);
+    Recurse(C->Callee.get());
+    for (const ExprPtr &A : C->Args)
+      Recurse(A.get());
+    return Universe();
+  }
+
+  case Expr::Kind::ClosureLit: {
+    const auto *C = cast<ClosureLitExpr>(E);
+    Env.pushScope();
+    for (Symbol SP : C->Params)
+      Env.define(SP, Universe());
+    // Returns inside the body unwind to the enclosing method; the body
+    // value itself is never the method result.
+    evalExpr(C->Body.get(), Env, Returned, Assigned, ClosureAssigned,
+             ClosureDepth + 1);
+    Env.popScope();
+    return ClassSet::single(U, builtin::Closure);
+  }
+
+  case Expr::Kind::New: {
+    const auto *N = cast<NewExpr>(E);
+    for (const auto &[Slot, Init] : N->Inits)
+      Recurse(Init.get());
+    return ClassSet::single(U, N->Class);
+  }
+
+  case Expr::Kind::SlotGet:
+    Recurse(cast<SlotGetExpr>(E)->Object.get());
+    return Universe();
+
+  case Expr::Kind::SlotSet: {
+    const auto *S = cast<SlotSetExpr>(E);
+    Recurse(S->Object.get());
+    return Recurse(S->Value.get());
+  }
+
+  case Expr::Kind::Return: {
+    const auto *R = cast<ReturnExpr>(E);
+    if (R->Value)
+      Returned |= Recurse(R->Value.get());
+    else
+      Returned.insert(builtin::Nil);
+    return Universe(); // unreachable afterwards
+  }
+
+  case Expr::Kind::Inlined:
+    assert(false && "source bodies contain no InlinedExpr");
+    return Universe();
+  }
+  return Universe();
+}

@@ -1,0 +1,66 @@
+//===- analysis/ReturnClasses.h - Interprocedural return classes -*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6 lists "specializing callers for the return values of the
+/// called methods, so that knowledge of the class of the return value can
+/// be propagated to the caller" as ongoing work.  This analysis implements
+/// the enabling half: a whole-program fixpoint computing, for every
+/// method, the set of classes its result may have.  The optimizer (flag
+/// OptimizerOptions::UseReturnClasses) consumes it to sharpen the class
+/// sets of send results, which lets chained sends statically bind.
+///
+/// The per-body transfer function mirrors the optimizer's intraprocedural
+/// class analysis (same widening rules around loops and closures) but
+/// performs no rewriting; send results are the union of the return sets
+/// of the possible targets (by ApplicableClasses).  The fixpoint starts
+/// at bottom (empty sets) and is monotone, so it terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_ANALYSIS_RETURNCLASSES_H
+#define SELSPEC_ANALYSIS_RETURNCLASSES_H
+
+#include "analysis/ApplicableClasses.h"
+#include "opt/ClassAnalysis.h"
+
+#include <vector>
+
+namespace selspec {
+
+class ReturnClassAnalysis {
+public:
+  /// Runs the fixpoint over every method of \p P.
+  ReturnClassAnalysis(const Program &P, const ApplicableClassesAnalysis &AC);
+
+  /// Classes method \p M may return.  For builtins this is the primitive
+  /// result set; an empty set means the method can only diverge or fail.
+  const ClassSet &of(MethodId M) const { return Sets[M.value()]; }
+
+  /// Union of return sets over the possible targets of generic \p G given
+  /// per-argument class sets (universe when a target's set is unknown).
+  ClassSet resultOfSend(GenericId G,
+                        const std::vector<ClassSet> &ArgSets) const;
+
+  /// Number of fixpoint passes taken (statistics / tests).
+  unsigned iterations() const { return Iterations; }
+
+private:
+  ClassSet evalBody(const MethodInfo &M);
+  ClassSet evalExpr(const Expr *E, ClassEnv &Env, ClassSet &Returned,
+                    const std::unordered_set<uint32_t> &Assigned,
+                    const std::unordered_set<uint32_t> &ClosureAssigned,
+                    unsigned ClosureDepth);
+
+  const Program &P;
+  const ApplicableClassesAnalysis &AC;
+  std::vector<ClassSet> Sets;
+  unsigned Iterations = 0;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_ANALYSIS_RETURNCLASSES_H

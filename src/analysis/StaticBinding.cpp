@@ -1,0 +1,35 @@
+//===- analysis/StaticBinding.cpp - Static binding queries -----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticBinding.h"
+
+using namespace selspec;
+
+std::vector<MethodId>
+selspec::possibleTargets(const ApplicableClassesAnalysis &AC, GenericId G,
+                         const std::vector<ClassSet> &ArgSets) {
+  const Program &P = AC.program();
+  const GenericInfo &Info = P.generic(G);
+  assert(ArgSets.size() == Info.Arity && "arity mismatch");
+
+  std::vector<MethodId> Out;
+  for (MethodId M : Info.Methods) {
+    const std::vector<ClassSet> &Tuple = AC.of(M);
+    bool Possible = true;
+    for (unsigned I = 0; I != Info.Arity && Possible; ++I)
+      Possible = ArgSets[I].intersects(Tuple[I]);
+    if (Possible)
+      Out.push_back(M);
+  }
+  return Out;
+}
+
+MethodId selspec::uniqueTarget(const ApplicableClassesAnalysis &AC,
+                               GenericId G,
+                               const std::vector<ClassSet> &ArgSets) {
+  std::vector<MethodId> Targets = possibleTargets(AC, G, ArgSets);
+  return Targets.size() == 1 ? Targets.front() : MethodId();
+}

@@ -1,0 +1,39 @@
+//===- analysis/StaticBinding.h - Static binding queries -------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Given per-argument static class sets at a call site, which methods could
+/// be invoked?  When exactly one, the send can be statically bound (and
+/// then possibly inlined) — the core payoff of class analysis, CHA and
+/// specialization alike.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_ANALYSIS_STATICBINDING_H
+#define SELSPEC_ANALYSIS_STATICBINDING_H
+
+#include "analysis/ApplicableClasses.h"
+
+#include <vector>
+
+namespace selspec {
+
+/// Methods of \p G that might be invoked for arguments drawn from
+/// \p ArgSets: method m is possible iff every position's set intersects
+/// m's ApplicableClasses set.  (Pointwise — conservative for
+/// multi-methods, exact for single dispatch.)
+std::vector<MethodId> possibleTargets(const ApplicableClassesAnalysis &AC,
+                                      GenericId G,
+                                      const std::vector<ClassSet> &ArgSets);
+
+/// If \p ArgSets statically binds \p G to a unique method, returns it;
+/// otherwise an invalid id.
+MethodId uniqueTarget(const ApplicableClassesAnalysis &AC, GenericId G,
+                      const std::vector<ClassSet> &ArgSets);
+
+} // namespace selspec
+
+#endif // SELSPEC_ANALYSIS_STATICBINDING_H

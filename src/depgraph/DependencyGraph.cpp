@@ -1,0 +1,128 @@
+//===- depgraph/DependencyGraph.cpp - Selective recompilation --------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "depgraph/DependencyGraph.h"
+
+#include <deque>
+
+using namespace selspec;
+
+DependencyGraph::NodeId DependencyGraph::addNode(NodeKind Kind,
+                                                 std::string Label) {
+  NodeId Id = static_cast<NodeId>(Nodes.size());
+  Nodes.push_back({Kind, std::move(Label), true, {}});
+  return Id;
+}
+
+void DependencyGraph::addEdge(NodeId Source, NodeId Client) {
+  assert(Source < Nodes.size() && Client < Nodes.size() && "unknown node");
+  // Avoid duplicate edges (common when one body binds a generic often).
+  for (NodeId Existing : Nodes[Source].Clients)
+    if (Existing == Client)
+      return;
+  Nodes[Source].Clients.push_back(Client);
+}
+
+size_t DependencyGraph::numEdges() const {
+  size_t N = 0;
+  for (const Node &Nd : Nodes)
+    N += Nd.Clients.size();
+  return N;
+}
+
+std::vector<DependencyGraph::NodeId>
+DependencyGraph::invalidate(NodeId Changed) {
+  std::vector<NodeId> Out;
+  std::deque<NodeId> Work;
+  if (Nodes[Changed].Valid) {
+    Nodes[Changed].Valid = false;
+    Out.push_back(Changed);
+    Work.push_back(Changed);
+  }
+  while (!Work.empty()) {
+    NodeId N = Work.front();
+    Work.pop_front();
+    for (NodeId Client : Nodes[N].Clients) {
+      if (!Nodes[Client].Valid)
+        continue;
+      Nodes[Client].Valid = false;
+      Out.push_back(Client);
+      Work.push_back(Client);
+    }
+  }
+  return Out;
+}
+
+std::vector<DependencyGraph::NodeId>
+DependencyGraph::invalidNodes(NodeKind Kind) const {
+  std::vector<NodeId> Out;
+  for (NodeId N = 0; N != Nodes.size(); ++N)
+    if (!Nodes[N].Valid && Nodes[N].Kind == Kind)
+      Out.push_back(N);
+  return Out;
+}
+
+namespace {
+
+/// Generics statically bound (Static/StaticSelect/InlinePrim/Predicted)
+/// anywhere in \p E — the compiled code embeds assumptions about them.
+void collectBoundGenerics(const Expr *E, std::vector<GenericId> &Out) {
+  if (const auto *S = dyn_cast<SendExpr>(E))
+    if (S->Binding.Kind != SendBindKind::Dynamic)
+      Out.push_back(S->Generic);
+  forEachChild(E, [&](const Expr *Child) {
+    collectBoundGenerics(Child, Out);
+  });
+}
+
+} // namespace
+
+DependencyGraph::ProgramNodes
+DependencyGraph::buildFromCompiledProgram(const CompiledProgram &CP) {
+  const Program &P = CP.program();
+  ProgramNodes PN;
+
+  for (unsigned CI = 0; CI != P.Classes.size(); ++CI)
+    PN.ClassNodes.push_back(
+        addNode(NodeKind::SourceClass,
+                P.Syms.name(P.Classes.info(ClassId(CI)).Name)));
+
+  for (unsigned MI = 0; MI != P.numMethods(); ++MI)
+    PN.MethodNodes.push_back(
+        addNode(NodeKind::SourceMethod, P.methodLabel(MethodId(MI))));
+
+  // Dispatch facts of generic g depend on every class in the cones of its
+  // methods' specializers and on every method of g.
+  for (unsigned GI = 0; GI != P.numGenerics(); ++GI) {
+    GenericId G(GI);
+    NodeId Facts =
+        addNode(NodeKind::DispatchFacts, P.genericLabel(G) + " dispatch");
+    PN.GenericFactNodes.push_back(Facts);
+    for (MethodId M : P.generic(G).Methods) {
+      addEdge(PN.MethodNodes[M.value()], Facts);
+      for (ClassId Spec : P.method(M).Specializers)
+        for (ClassId C : P.Classes.cone(Spec).members())
+          addEdge(PN.ClassNodes[C.value()], Facts);
+    }
+  }
+
+  // Compiled versions depend on their source method and on the dispatch
+  // facts of every generic they bound statically.
+  for (const CompiledMethod &CM : CP.versions()) {
+    NodeId V = addNode(NodeKind::CompiledCode,
+                       P.methodLabel(CM.Source) + "#" +
+                           std::to_string(CM.Index));
+    PN.VersionNodes.push_back(V);
+    addEdge(PN.MethodNodes[CM.Source.value()], V);
+    if (!CM.Body)
+      continue;
+    std::vector<GenericId> Bound;
+    collectBoundGenerics(CM.Body.get(), Bound);
+    for (GenericId G : Bound)
+      addEdge(PN.GenericFactNodes[G.value()], V);
+  }
+  return PN;
+}

@@ -1,0 +1,93 @@
+//===- depgraph/DependencyGraph.h - Selective recompilation ----*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.7.1 substrate: whole-program analysis (ApplicableClasses,
+/// static binding) embeds assumptions about the class hierarchy into
+/// compiled code; to reconcile that with incremental compilation, the
+/// compiler maintains "fine-grained dependency information to selectively
+/// recompile those pieces of the program that are invalidated."
+///
+/// This is that structure: a DAG whose nodes are pieces of information
+/// (source classes, source methods, per-generic dispatch facts, compiled
+/// method versions) and whose edges record "client depends on source".
+/// Invalidation propagates downstream; clients re-validate after
+/// recompilation.  buildFromCompiledProgram() constructs the graph the
+/// optimizer implies: every compiled version depends on its source method,
+/// and on the dispatch facts of each generic it statically bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_DEPGRAPH_DEPENDENCYGRAPH_H
+#define SELSPEC_DEPGRAPH_DEPENDENCYGRAPH_H
+
+#include "opt/CompiledProgram.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace selspec {
+
+class DependencyGraph {
+public:
+  enum class NodeKind : uint8_t {
+    SourceClass,   ///< a class declaration
+    SourceMethod,  ///< a method declaration
+    DispatchFacts, ///< per-generic dispatch/ApplicableClasses information
+    CompiledCode,  ///< a compiled method version
+  };
+
+  using NodeId = uint32_t;
+
+  NodeId addNode(NodeKind Kind, std::string Label);
+  /// Declares that \p Client depends on \p Source.
+  void addEdge(NodeId Source, NodeId Client);
+
+  NodeKind kind(NodeId N) const { return Nodes[N].Kind; }
+  const std::string &label(NodeId N) const { return Nodes[N].Label; }
+  bool isValid(NodeId N) const { return Nodes[N].Valid; }
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numEdges() const;
+
+  /// Marks \p Changed invalid and propagates downstream.  Returns every
+  /// newly-invalidated node (excluding ones already invalid), in
+  /// breadth-first order starting with \p Changed.
+  std::vector<NodeId> invalidate(NodeId Changed);
+
+  /// Marks a node valid again (after recompilation / re-analysis).
+  void revalidate(NodeId N) { Nodes[N].Valid = true; }
+
+  /// All invalid nodes of a kind (the recompilation work list).
+  std::vector<NodeId> invalidNodes(NodeKind Kind) const;
+
+  //===--------------------------------------------------------------------===
+  // Construction from a compiled program
+  //===--------------------------------------------------------------------===
+
+  /// Nodes/edges implied by \p CP's binding decisions.  Returned handles
+  /// let callers simulate edits ("add a method to generic g").
+  struct ProgramNodes {
+    std::vector<NodeId> ClassNodes;         ///< by ClassId
+    std::vector<NodeId> MethodNodes;        ///< by MethodId
+    std::vector<NodeId> GenericFactNodes;   ///< by GenericId
+    std::vector<NodeId> VersionNodes;       ///< by version index
+  };
+  ProgramNodes buildFromCompiledProgram(const CompiledProgram &CP);
+
+private:
+  struct Node {
+    NodeKind Kind;
+    std::string Label;
+    bool Valid = true;
+    std::vector<NodeId> Clients;
+  };
+  std::vector<Node> Nodes;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_DEPGRAPH_DEPENDENCYGRAPH_H

@@ -1,0 +1,148 @@
+//===- driver/Pipeline.cpp - End-to-end experiment pipeline ----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace selspec;
+
+#ifndef SELSPEC_MICA_DIR
+#define SELSPEC_MICA_DIR "mica"
+#endif
+
+std::optional<std::string>
+Workbench::readMicaFile(const std::string &Name) {
+  std::string Path = Name;
+  if (!Path.empty() && Path[0] != '/')
+    Path = std::string(SELSPEC_MICA_DIR) + "/" + Path;
+  std::ifstream IS(Path);
+  if (!IS)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  return Buf.str();
+}
+
+bool Workbench::init(const std::vector<std::string> &Sources,
+                     std::string &ErrorOut) {
+  P = std::make_unique<Program>();
+  P->addBuiltins();
+  Diagnostics Diags;
+  for (const std::string &Src : Sources) {
+    SourceLines += static_cast<unsigned>(
+        std::count(Src.begin(), Src.end(), '\n'));
+    if (!P->addSource(Src, Diags)) {
+      ErrorOut = Diags.toString();
+      return false;
+    }
+  }
+  if (!P->resolve(Diags)) {
+    ErrorOut = Diags.toString();
+    return false;
+  }
+  AC = std::make_unique<ApplicableClassesAnalysis>(*P);
+  PT = std::make_unique<PassThroughAnalysis>(*P);
+  return true;
+}
+
+std::unique_ptr<Workbench>
+Workbench::fromSources(const std::vector<std::string> &Sources,
+                       std::string &ErrorOut, bool WithStdlib) {
+  std::vector<std::string> All;
+  if (WithStdlib) {
+    std::optional<std::string> Stdlib = readMicaFile("stdlib.mica");
+    if (!Stdlib) {
+      ErrorOut = "cannot read stdlib.mica from " SELSPEC_MICA_DIR;
+      return nullptr;
+    }
+    All.push_back(std::move(*Stdlib));
+  }
+  for (const std::string &S : Sources)
+    All.push_back(S);
+
+  auto W = std::unique_ptr<Workbench>(new Workbench());
+  if (!W->init(All, ErrorOut))
+    return nullptr;
+  return W;
+}
+
+std::unique_ptr<Workbench>
+Workbench::fromFiles(const std::vector<std::string> &Files,
+                     std::string &ErrorOut, bool WithStdlib) {
+  std::vector<std::string> Sources;
+  for (const std::string &F : Files) {
+    std::optional<std::string> Src = readMicaFile(F);
+    if (!Src) {
+      ErrorOut = "cannot read Mica file '" + F + "'";
+      return nullptr;
+    }
+    Sources.push_back(std::move(*Src));
+  }
+  return fromSources(Sources, ErrorOut, WithStdlib);
+}
+
+bool Workbench::collectProfile(int64_t Input, std::string &ErrorOut) {
+  // Profiles are gathered from the Base-compiled ("instrumented")
+  // executable, with arcs recorded at statically-bound sites too.
+  std::unique_ptr<CompiledProgram> CP = compileOnly(Config::Base);
+  RunOptions Opts;
+  Opts.Profile = &Profile;
+  Interpreter I(*CP, Opts);
+  if (!I.callMain(Input)) {
+    ErrorOut = "profile run failed: " + I.errorMessage();
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<CompiledProgram>
+Workbench::compileOnly(Config C, const SelectiveOptions &Sel,
+                       const OptimizerOptions &OptOpts) {
+  SpecializationPlan Plan =
+      makePlan(C, *P, *AC, *PT, Profile.empty() ? nullptr : &Profile, Sel);
+  Optimizer Opt(*P, *AC, OptOpts, Profile.empty() ? nullptr : &Profile);
+  return Opt.compile(Plan);
+}
+
+std::optional<ConfigResult>
+Workbench::runConfig(Config C, int64_t Input, std::string &ErrorOut,
+                     const SelectiveOptions &Sel,
+                     const OptimizerOptions &OptOpts,
+                     const CostModel &Costs) {
+  SpecializationPlan Plan =
+      makePlan(C, *P, *AC, *PT, Profile.empty() ? nullptr : &Profile, Sel);
+
+  ConfigResult R;
+  R.Configuration = C;
+  if (C == Config::Selective) {
+    // Re-run the specializer just for its statistics (cheap).
+    SelectiveSpecializer Specializer(*P, *AC, *PT, Profile, Sel);
+    Specializer.run();
+    R.Specializer = Specializer.stats();
+  }
+
+  Optimizer Opt(*P, *AC, OptOpts, Profile.empty() ? nullptr : &Profile);
+  std::unique_ptr<CompiledProgram> CP = Opt.compile(Plan);
+  R.Opt = Opt.stats();
+  R.CompiledRoutines = CP->numCompiledRoutines();
+  R.CodeSize = CP->totalCodeSize();
+
+  std::ostringstream Output;
+  RunOptions Opts;
+  Opts.Output = &Output;
+  Interpreter I(*CP, Opts, Costs);
+  if (!I.callMain(Input)) {
+    ErrorOut = std::string(configName(C)) +
+               " run failed: " + I.errorMessage();
+    return std::nullopt;
+  }
+  R.Run = I.stats();
+  R.InvokedRoutines = CP->numInvokedRoutines();
+  R.Output = Output.str();
+  return R;
+}

@@ -1,0 +1,109 @@
+//===- driver/Pipeline.h - End-to-end experiment pipeline ------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the whole system together for the benchmarks, examples and tests:
+///
+///   load Mica sources -> resolve -> CHA analyses -> profile run (Base)
+///   -> plan(config) -> optimize -> measured run -> metrics
+///
+/// A Workbench holds one program with its analyses and profile so that the
+/// five Table 1 configurations can be compared on identical inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_DRIVER_PIPELINE_H
+#define SELSPEC_DRIVER_PIPELINE_H
+
+#include "analysis/ApplicableClasses.h"
+#include "analysis/PassThroughArgs.h"
+#include "interp/Interpreter.h"
+#include "opt/Optimizer.h"
+#include "profile/CallGraph.h"
+#include "specialize/Strategies.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace selspec {
+
+/// Everything a bench row needs about one (config, input) execution.
+struct ConfigResult {
+  Config Configuration = Config::Base;
+  /// Execution counters of the measured run.
+  RunStats Run;
+  /// Figure 6 numbers.
+  unsigned CompiledRoutines = 0; ///< static system: all generated versions
+  unsigned InvokedRoutines = 0;  ///< dynamic system: invoked versions only
+  uint64_t CodeSize = 0;
+  /// Optimizer site statistics.
+  Optimizer::Stats Opt;
+  /// Selective-only: specializer statistics.
+  std::optional<SelectiveSpecializer::Stats> Specializer;
+  /// Program output of the measured run (for output-equivalence checks).
+  std::string Output;
+};
+
+class Workbench {
+public:
+  /// Loads and resolves a program.  \p Files are resolved against
+  /// SELSPEC_MICA_DIR when relative; the standard library is prepended
+  /// unless \p WithStdlib is false.  Null + message in \p ErrorOut on
+  /// failure.
+  static std::unique_ptr<Workbench>
+  fromFiles(const std::vector<std::string> &Files, std::string &ErrorOut,
+            bool WithStdlib = true);
+
+  /// Same, from in-memory sources (tests, examples).
+  static std::unique_ptr<Workbench>
+  fromSources(const std::vector<std::string> &Sources, std::string &ErrorOut,
+              bool WithStdlib = false);
+
+  /// Runs the Base-compiled program on `main(Input)` collecting the
+  /// weighted call graph.  May be called several times (profiles merge).
+  bool collectProfile(int64_t Input, std::string &ErrorOut);
+
+  /// Compiles under \p C and runs `main(Input)`.
+  std::optional<ConfigResult>
+  runConfig(Config C, int64_t Input, std::string &ErrorOut,
+            const SelectiveOptions &Sel = {},
+            const OptimizerOptions &OptOpts = {},
+            const CostModel &Costs = {});
+
+  /// Compiles under \p C without running (plan/code-space studies).
+  std::unique_ptr<CompiledProgram>
+  compileOnly(Config C, const SelectiveOptions &Sel = {},
+              const OptimizerOptions &OptOpts = {});
+
+  Program &program() { return *P; }
+  const ApplicableClassesAnalysis &applicableClasses() const { return *AC; }
+  const PassThroughAnalysis &passThrough() const { return *PT; }
+  CallGraph &profile() { return Profile; }
+  bool hasProfile() const { return !Profile.empty(); }
+
+  /// Source line count (Table 2).
+  unsigned sourceLines() const { return SourceLines; }
+
+  /// Reads a Mica file (resolving relative paths against
+  /// SELSPEC_MICA_DIR); empty optional on I/O failure.
+  static std::optional<std::string> readMicaFile(const std::string &Name);
+
+private:
+  Workbench() = default;
+  bool init(const std::vector<std::string> &Sources, std::string &ErrorOut);
+
+  std::unique_ptr<Program> P;
+  std::unique_ptr<ApplicableClassesAnalysis> AC;
+  std::unique_ptr<PassThroughAnalysis> PT;
+  CallGraph Profile;
+  unsigned SourceLines = 0;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_DRIVER_PIPELINE_H

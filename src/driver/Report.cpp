@@ -1,0 +1,81 @@
+//===- driver/Report.cpp - Table formatting for benches --------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Report.h"
+
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+using namespace selspec;
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+void TextTable::print(std::ostream &OS) const {
+  std::vector<size_t> Width(Header.size(), 0);
+  for (size_t I = 0; I != Header.size(); ++I)
+    Width[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Width[I] = std::max(Width[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I)
+        OS << "  ";
+      if (I == 0)
+        OS << std::left << std::setw(static_cast<int>(Width[I])) << Row[I];
+      else
+        OS << std::right << std::setw(static_cast<int>(Width[I])) << Row[I];
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Header);
+  size_t Total = 0;
+  for (size_t W : Width)
+    Total += W + 2;
+  OS << std::string(Total > 2 ? Total - 2 : Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string TextTable::ratio(double V) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(2) << V;
+  return OS.str();
+}
+
+std::string TextTable::count(uint64_t V) {
+  std::string Raw = std::to_string(V);
+  std::string Out;
+  int Pos = 0;
+  for (auto It = Raw.rbegin(); It != Raw.rend(); ++It) {
+    if (Pos && Pos % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(*It);
+    ++Pos;
+  }
+  return std::string(Out.rbegin(), Out.rend());
+}
+
+std::string TextTable::percentDelta(double Value, double Baseline) {
+  if (Baseline == 0)
+    return "n/a";
+  double Delta = (Value / Baseline - 1.0) * 100.0;
+  std::ostringstream OS;
+  OS << (Delta >= 0 ? "+" : "") << std::fixed << std::setprecision(0)
+     << Delta << '%';
+  return OS.str();
+}

@@ -1,0 +1,44 @@
+//===- driver/Report.h - Table formatting for benches ----------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small text-table helper shared by the bench binaries so every figure
+/// reproduction prints consistent, aligned rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_DRIVER_REPORT_H
+#define SELSPEC_DRIVER_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace selspec {
+
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  void addRow(std::vector<std::string> Row);
+  /// Renders with column alignment (first column left, rest right).
+  void print(std::ostream &OS) const;
+
+  /// "1.00", "2.37" — fixed two decimals.
+  static std::string ratio(double V);
+  /// "12,345" — thousands separators.
+  static std::string count(uint64_t V);
+  /// "+65%" / "-12%" — percentage delta vs a baseline.
+  static std::string percentDelta(double Value, double Baseline);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_DRIVER_REPORT_H

@@ -1,0 +1,114 @@
+//===- hierarchy/Builtins.cpp - Builtin classes and generics ---------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hierarchy/Builtins.h"
+#include "hierarchy/Program.h"
+
+using namespace selspec;
+
+const char *selspec::primOpName(PrimOp Op) {
+  switch (Op) {
+  case PrimOp::None: return "none";
+  case PrimOp::IntAdd: return "int.add";
+  case PrimOp::IntSub: return "int.sub";
+  case PrimOp::IntMul: return "int.mul";
+  case PrimOp::IntDiv: return "int.div";
+  case PrimOp::IntMod: return "int.mod";
+  case PrimOp::IntNeg: return "int.neg";
+  case PrimOp::IntLess: return "int.lt";
+  case PrimOp::IntLessEq: return "int.le";
+  case PrimOp::IntGreater: return "int.gt";
+  case PrimOp::IntGreaterEq: return "int.ge";
+  case PrimOp::IntEq: return "int.eq";
+  case PrimOp::IntNe: return "int.ne";
+  case PrimOp::BoolNot: return "bool.not";
+  case PrimOp::BoolEq: return "bool.eq";
+  case PrimOp::AnyEq: return "any.eq";
+  case PrimOp::AnyNe: return "any.ne";
+  case PrimOp::StrConcat: return "str.concat";
+  case PrimOp::StrEq: return "str.eq";
+  case PrimOp::StrLess: return "str.lt";
+  case PrimOp::StrSize: return "str.size";
+  case PrimOp::ArrayNew: return "array.new";
+  case PrimOp::ArrayAt: return "array.at";
+  case PrimOp::ArrayPut: return "array.put";
+  case PrimOp::ArraySize: return "array.size";
+  case PrimOp::Print: return "print";
+  case PrimOp::ClassName: return "class-name";
+  case PrimOp::Abort: return "abort";
+  }
+  return "unknown";
+}
+
+void Program::addBuiltins() {
+  assert(!BuiltinsAdded && "builtins added twice");
+  BuiltinsAdded = true;
+
+  // Classes, in the fixed order declared in Builtins.h.
+  ClassId Any = Classes.addClass(Syms.intern("Any"), {});
+  ClassId Int = Classes.addClass(Syms.intern("Int"), {Any});
+  ClassId Bool = Classes.addClass(Syms.intern("Bool"), {Any});
+  ClassId Str = Classes.addClass(Syms.intern("String"), {Any});
+  ClassId Nil = Classes.addClass(Syms.intern("Nil"), {Any});
+  ClassId Array = Classes.addClass(Syms.intern("Array"), {Any});
+  ClassId Closure = Classes.addClass(Syms.intern("Closure"), {Any});
+  assert(Any == builtin::Any && Int == builtin::Int && Bool == builtin::Bool &&
+         Str == builtin::String && Array == builtin::Array &&
+         "builtin class ids drifted from Builtins.h");
+  // Value classes cannot be subclassed.
+  for (ClassId C : {Int, Bool, Str, Nil, Array, Closure})
+    Classes.seal(C);
+
+  auto Add = [&](const char *Name, std::vector<ClassId> Spec, PrimOp Op) {
+    Symbol S = Syms.intern(Name);
+    GenericId G =
+        getOrCreateGeneric(S, static_cast<unsigned>(Spec.size()));
+    std::vector<Symbol> Params;
+    for (unsigned I = 0; I != Spec.size(); ++I)
+      Params.push_back(Syms.intern("p" + std::to_string(I)));
+    addMethod(G, std::move(Params), std::move(Spec), nullptr, Op,
+              SourceLoc());
+  };
+
+  // Integer arithmetic.
+  Add("+", {Int, Int}, PrimOp::IntAdd);
+  Add("-", {Int, Int}, PrimOp::IntSub);
+  Add("*", {Int, Int}, PrimOp::IntMul);
+  Add("/", {Int, Int}, PrimOp::IntDiv);
+  Add("%", {Int, Int}, PrimOp::IntMod);
+  Add("neg", {Int}, PrimOp::IntNeg);
+  Add("<", {Int, Int}, PrimOp::IntLess);
+  Add("<=", {Int, Int}, PrimOp::IntLessEq);
+  Add(">", {Int, Int}, PrimOp::IntGreater);
+  Add(">=", {Int, Int}, PrimOp::IntGreaterEq);
+
+  // Equality is a true multi-method: an identity default on (Any, Any)
+  // with overriding cases for value types.
+  Add("==", {Any, Any}, PrimOp::AnyEq);
+  Add("==", {Int, Int}, PrimOp::IntEq);
+  Add("==", {Str, Str}, PrimOp::StrEq);
+  Add("==", {Bool, Bool}, PrimOp::BoolEq);
+  Add("!=", {Any, Any}, PrimOp::AnyNe);
+  Add("!=", {Int, Int}, PrimOp::IntNe);
+
+  Add("not", {Bool}, PrimOp::BoolNot);
+
+  // Strings.
+  Add("+", {Str, Str}, PrimOp::StrConcat);
+  Add("<", {Str, Str}, PrimOp::StrLess);
+  Add("size", {Str}, PrimOp::StrSize);
+
+  // Arrays.
+  Add("array", {Int}, PrimOp::ArrayNew);
+  Add("at", {Array, Int}, PrimOp::ArrayAt);
+  Add("atPut", {Array, Int, Any}, PrimOp::ArrayPut);
+  Add("size", {Array}, PrimOp::ArraySize);
+
+  // Miscellaneous.
+  Add("print", {Any}, PrimOp::Print);
+  Add("className", {Any}, PrimOp::ClassName);
+  Add("abort", {Str}, PrimOp::Abort);
+}

@@ -1,0 +1,36 @@
+//===- hierarchy/Builtins.h - Builtin classes and generics -----*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Well-known builtin class ids.  The builtin classes are registered by
+/// Program::addBuiltins() in a fixed order, so these constants are stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_HIERARCHY_BUILTINS_H
+#define SELSPEC_HIERARCHY_BUILTINS_H
+
+#include "support/Ids.h"
+
+namespace selspec {
+namespace builtin {
+
+/// Fixed ids of the builtin classes (registration order in addBuiltins).
+inline const ClassId Any(0);
+inline const ClassId Int(1);
+inline const ClassId Bool(2);
+inline const ClassId String(3);
+inline const ClassId Nil(4);
+inline const ClassId Array(5);
+inline const ClassId Closure(6);
+
+/// Number of builtin classes.
+inline constexpr unsigned NumClasses = 7;
+
+} // namespace builtin
+} // namespace selspec
+
+#endif // SELSPEC_HIERARCHY_BUILTINS_H

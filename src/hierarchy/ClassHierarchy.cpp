@@ -1,0 +1,100 @@
+//===- hierarchy/ClassHierarchy.cpp - Class inheritance DAG ---------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hierarchy/ClassHierarchy.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace selspec;
+
+ClassId ClassHierarchy::addClass(Symbol Name,
+                                 const std::vector<ClassId> &Parents,
+                                 std::vector<Symbol> OwnSlots) {
+  if (ByName.count(Name))
+    return ClassId();
+  ClassId Id(static_cast<uint32_t>(Classes.size()));
+  ClassInfo Info;
+  Info.Name = Name;
+  Info.OwnSlots = std::move(OwnSlots);
+  if (Parents.empty()) {
+    // Only the root may be parentless; others implicitly subclass Any.
+    if (Id != ClassId(0))
+      Info.Parents.push_back(ClassId(0));
+  } else {
+    Info.Parents = Parents;
+  }
+  for (ClassId P : Info.Parents) {
+    assert(P.isValid() && P.value() < Classes.size() && "unknown parent");
+    Classes[P.value()].Children.push_back(Id);
+  }
+  Classes.push_back(std::move(Info));
+  ByName.emplace(Name, Id);
+  Finalized = false;
+  return Id;
+}
+
+ClassId ClassHierarchy::lookup(Symbol Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? ClassId() : It->second;
+}
+
+void ClassHierarchy::finalize() {
+  unsigned N = size();
+  Cones.assign(N, ClassSet(N));
+  // Process classes in reverse id order: parents always have smaller ids
+  // than children (addClass requires parents to exist), so children's
+  // cones are complete when a parent is reached.
+  for (unsigned I = N; I-- > 0;) {
+    ClassSet &Cone = Cones[I];
+    Cone.insert(ClassId(I));
+    for (ClassId Child : Classes[I].Children)
+      Cone |= Cones[Child.value()];
+  }
+
+  // Object layouts: inherited slots in parent order, then own slots, with
+  // duplicates (diamond inheritance) appearing once.
+  SlotIndex.assign(N, {});
+  for (unsigned I = 0; I != N; ++I) {
+    ClassInfo &Info = Classes[I];
+    Info.Layout.clear();
+    auto AppendUnique = [&](Symbol S) {
+      if (std::find(Info.Layout.begin(), Info.Layout.end(), S) ==
+          Info.Layout.end())
+        Info.Layout.push_back(S);
+    };
+    for (ClassId P : Info.Parents)
+      for (Symbol S : Classes[P.value()].Layout)
+        AppendUnique(S);
+    for (Symbol S : Info.OwnSlots)
+      AppendUnique(S);
+    for (size_t SI = 0; SI != Info.Layout.size(); ++SI)
+      SlotIndex[I].emplace(Info.Layout[SI], static_cast<int>(SI));
+  }
+  Finalized = true;
+}
+
+int ClassHierarchy::slotIndex(ClassId C, Symbol SlotName) const {
+  assert(Finalized && "hierarchy not finalized");
+  const auto &Map = SlotIndex[C.value()];
+  auto It = Map.find(SlotName);
+  return It == Map.end() ? -1 : It->second;
+}
+
+std::string ClassHierarchy::setToString(const ClassSet &S,
+                                        const SymbolTable &Syms) const {
+  std::ostringstream OS;
+  OS << '{';
+  bool First = true;
+  for (ClassId C : S.members()) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << Syms.name(info(C).Name);
+  }
+  OS << '}';
+  return OS.str();
+}

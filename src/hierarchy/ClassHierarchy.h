@@ -1,0 +1,117 @@
+//===- hierarchy/ClassHierarchy.h - Class inheritance DAG ------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program's class inheritance DAG (multiple inheritance is allowed, as
+/// in Cecil).  After finalize(), constant-time subclass tests and cone
+/// queries are available; both the specialization algorithm and class
+/// hierarchy analysis are built on cones ("C and all its descendants").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_HIERARCHY_CLASSHIERARCHY_H
+#define SELSPEC_HIERARCHY_CLASSHIERARCHY_H
+
+#include "lang/Symbol.h"
+#include "support/ClassSet.h"
+#include "support/Ids.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace selspec {
+
+/// Per-class record.
+struct ClassInfo {
+  Symbol Name;
+  std::vector<ClassId> Parents;
+  std::vector<ClassId> Children;
+  /// Slots declared directly on this class.
+  std::vector<Symbol> OwnSlots;
+  /// Full object layout: inherited slots (parent order) then own slots,
+  /// deduplicated.  Computed by finalize().
+  std::vector<Symbol> Layout;
+};
+
+class ClassHierarchy {
+public:
+  ClassHierarchy() = default;
+
+  /// Adds a class.  \p Parents may be empty only for the root (Any), which
+  /// must be the first class added; every other parentless class is given
+  /// Any as its parent.  Returns an invalid id and leaves the hierarchy
+  /// unchanged if \p Name is already defined.
+  ClassId addClass(Symbol Name, const std::vector<ClassId> &Parents,
+                   std::vector<Symbol> OwnSlots = {});
+
+  /// Marks \p C sealed: no user class may subclass it.  The builtin value
+  /// classes (Int, Bool, String, Nil, Array, Closure) are sealed, which is
+  /// why even without whole-program analysis the compiler may treat an
+  /// @Int formal as exactly Int.
+  void seal(ClassId C) { Sealed.insert(C.value()); }
+  bool isSealed(ClassId C) const { return Sealed.count(C.value()) != 0; }
+
+  /// Returns the class named \p Name, or an invalid id.
+  ClassId lookup(Symbol Name) const;
+
+  unsigned size() const { return static_cast<unsigned>(Classes.size()); }
+  const ClassInfo &info(ClassId C) const { return Classes[C.value()]; }
+  ClassId root() const { return ClassId(0); }
+
+  /// Precomputes cones and layouts.  Must be called after the last
+  /// addClass and before any query below; adding classes afterwards
+  /// requires calling finalize() again.
+  void finalize();
+
+  bool isFinalized() const { return Finalized; }
+
+  /// Reflexive subclass test: A == B or A inherits (transitively) from B.
+  bool isSubclassOf(ClassId A, ClassId B) const {
+    return cone(B).contains(A);
+  }
+
+  /// The cone of \p C: the set {C} ∪ descendants(C).
+  const ClassSet &cone(ClassId C) const {
+    assert(Finalized && "hierarchy not finalized");
+    return Cones[C.value()];
+  }
+
+  /// The set of every class (the universe).
+  const ClassSet &allClasses() const {
+    assert(Finalized && "hierarchy not finalized");
+    return Cones[0];
+  }
+
+  /// Index of slot \p SlotName in the layout of \p C, or -1.
+  int slotIndex(ClassId C, Symbol SlotName) const;
+
+  /// True when \p C has no children (useful to pick concrete classes).
+  bool isLeaf(ClassId C) const { return info(C).Children.empty(); }
+
+  /// Only concrete classes can be instantiated at run time; by convention
+  /// every class is concrete in Mica (abstract use is just "never
+  /// instantiated"), so this returns the universe.
+  const ClassSet &concreteClasses() const { return allClasses(); }
+
+  /// Renders a ClassSet with class names: "{Set,ListSet}".
+  std::string setToString(const ClassSet &S, const SymbolTable &Syms) const;
+
+private:
+  std::vector<ClassInfo> Classes;
+  std::unordered_map<Symbol, ClassId> ByName;
+  /// Cones[i] = cone of class i; computed by finalize().
+  std::vector<ClassSet> Cones;
+  /// Per-class slot index maps; computed by finalize().
+  std::vector<std::unordered_map<Symbol, int>> SlotIndex;
+  std::unordered_set<uint32_t> Sealed;
+  bool Finalized = false;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_HIERARCHY_CLASSHIERARCHY_H

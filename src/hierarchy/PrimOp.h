@@ -1,0 +1,69 @@
+//===- hierarchy/PrimOp.h - Builtin primitive operations -------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builtin methods carry a PrimOp instead of a Mica body.  The interpreter
+/// implements the semantics; keeping only an enum here lets the hierarchy
+/// layer stay independent of the runtime layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_HIERARCHY_PRIMOP_H
+#define SELSPEC_HIERARCHY_PRIMOP_H
+
+#include <cstdint>
+
+namespace selspec {
+
+enum class PrimOp : uint8_t {
+  None, ///< Not a builtin (user method with a Mica body).
+
+  // Integer arithmetic and comparison.
+  IntAdd,
+  IntSub,
+  IntMul,
+  IntDiv,
+  IntMod,
+  IntNeg,
+  IntLess,
+  IntLessEq,
+  IntGreater,
+  IntGreaterEq,
+  IntEq,
+  IntNe,
+
+  // Boolean.
+  BoolNot,
+  BoolEq,
+
+  // Generic identity comparison (the default == on Any).
+  AnyEq,
+  AnyNe,
+
+  // Strings.
+  StrConcat,
+  StrEq,
+  StrLess,
+  StrSize,
+
+  // Arrays (fixed-size vectors).
+  ArrayNew,  ///< array(n) — n nil elements.
+  ArrayAt,   ///< at(a, i)
+  ArrayPut,  ///< atPut(a, i, v)
+  ArraySize, ///< size(a)
+
+  // Miscellaneous.
+  Print,      ///< print(x) — writes to the interpreter's output stream.
+  ClassName,  ///< className(x) — name of x's class, as a string.
+  Abort,      ///< abort(msg) — halts execution with a runtime error.
+};
+
+/// Stable name for reports and tests.
+const char *primOpName(PrimOp Op);
+
+} // namespace selspec
+
+#endif // SELSPEC_HIERARCHY_PRIMOP_H

@@ -1,0 +1,167 @@
+//===- hierarchy/Program.h - Whole-program container -----------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program owns everything the rest of the system works on: the symbol
+/// table, the class hierarchy, all generic functions and methods (builtin
+/// and user), the resolved method bodies, and the table of numbered call
+/// sites.  Source-level multi-method dispatch (applicability and the
+/// most-specific rule) is implemented here because analyses and the runtime
+/// both need it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_HIERARCHY_PROGRAM_H
+#define SELSPEC_HIERARCHY_PROGRAM_H
+
+#include "hierarchy/ClassHierarchy.h"
+#include "hierarchy/PrimOp.h"
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace selspec {
+
+/// One method: a case of a generic function, dispatched on the dynamic
+/// classes of its arguments against the specializer tuple.
+struct MethodInfo {
+  MethodId Id;
+  GenericId Generic;
+  std::vector<Symbol> ParamNames;
+  /// One specializer class per formal; unspecialized formals use the root
+  /// class (Any).
+  std::vector<ClassId> Specializers;
+  /// Mica body; null for builtins.
+  ExprPtr Body;
+  PrimOp Prim = PrimOp::None;
+  SourceLoc Loc;
+
+  bool isBuiltin() const { return Prim != PrimOp::None; }
+  unsigned arity() const {
+    return static_cast<unsigned>(Specializers.size());
+  }
+};
+
+/// A generic function: a message name + arity and its method cases.
+struct GenericInfo {
+  GenericId Id;
+  Symbol Name;
+  unsigned Arity = 0;
+  std::vector<MethodId> Methods;
+};
+
+/// A numbered message-send site in some method's resolved source body.
+struct CallSiteInfo {
+  CallSiteId Id;
+  /// Enclosing method.
+  MethodId Owner;
+  /// The send node inside Owner's source body (owned by the body tree).
+  SendExpr *Send = nullptr;
+};
+
+class Program {
+public:
+  SymbolTable Syms;
+  ClassHierarchy Classes;
+
+  //===--------------------------------------------------------------------===
+  // Construction
+  //===--------------------------------------------------------------------===
+
+  /// Adds the builtin classes and methods (Any/Int/Bool/...; +, at, print,
+  /// ...).  Call exactly once, before any addModule.
+  void addBuiltins();
+
+  /// Adds a parsed module: declares classes (forward references within the
+  /// module are allowed) and methods.  Bodies stay unresolved until
+  /// resolve() runs.
+  bool addModule(Module M, Diagnostics &Diags);
+
+  /// Convenience: parse + add \p Source.
+  bool addSource(const std::string &Source, Diagnostics &Diags);
+
+  GenericId getOrCreateGeneric(Symbol Name, unsigned Arity);
+
+  MethodId addMethod(GenericId G, std::vector<Symbol> ParamNames,
+                     std::vector<ClassId> Specializers, ExprPtr Body,
+                     PrimOp Prim, SourceLoc Loc);
+
+  /// Finalizes the hierarchy, resolves every user method body (binding
+  /// names, rewriting closure calls) and numbers every call site.  Must run
+  /// once after the last addModule.
+  bool resolve(Diagnostics &Diags);
+  bool isResolved() const { return Resolved; }
+
+  //===--------------------------------------------------------------------===
+  // Queries
+  //===--------------------------------------------------------------------===
+
+  GenericId lookupGeneric(Symbol Name, unsigned Arity) const;
+  const GenericInfo &generic(GenericId G) const {
+    return Generics[G.value()];
+  }
+  const MethodInfo &method(MethodId M) const { return Methods[M.value()]; }
+  MethodInfo &method(MethodId M) { return Methods[M.value()]; }
+  const CallSiteInfo &callSite(CallSiteId S) const {
+    return CallSites[S.value()];
+  }
+
+  unsigned numGenerics() const {
+    return static_cast<unsigned>(Generics.size());
+  }
+  unsigned numMethods() const { return static_cast<unsigned>(Methods.size()); }
+  unsigned numCallSites() const {
+    return static_cast<unsigned>(CallSites.size());
+  }
+
+  /// Number of user (non-builtin) methods, the paper's "source methods".
+  unsigned numUserMethods() const;
+
+  //===--------------------------------------------------------------------===
+  // Source-level multi-method dispatch
+  //===--------------------------------------------------------------------===
+
+  /// True when \p M accepts arguments of exactly the given classes.
+  bool isApplicable(const MethodInfo &M,
+                    const std::vector<ClassId> &ArgClasses) const;
+
+  /// True when method \p A's specializer tuple is pointwise at-least-as-
+  /// specific as \p B's (and they belong to the same generic).
+  bool atLeastAsSpecific(MethodId A, MethodId B) const;
+
+  /// Dispatches generic \p G on concrete argument classes.  Returns an
+  /// invalid id when no method is applicable ("message not understood") or
+  /// when no unique most-specific method exists ("ambiguous").
+  MethodId dispatch(GenericId G,
+                    const std::vector<ClassId> &ArgClasses) const;
+
+  /// "g(C1,C2)" — a readable label for reports and tests.
+  std::string methodLabel(MethodId M) const;
+  /// "g/2" for a generic.
+  std::string genericLabel(GenericId G) const;
+
+private:
+  friend class Resolver;
+
+  std::vector<GenericInfo> Generics;
+  std::vector<MethodInfo> Methods;
+  std::vector<CallSiteInfo> CallSites;
+  /// (name, arity) -> generic.
+  std::unordered_map<uint64_t, GenericId> GenericMap;
+  bool Resolved = false;
+  bool BuiltinsAdded = false;
+
+  static uint64_t genericKey(Symbol Name, unsigned Arity) {
+    return (uint64_t(Name.value()) << 8) | (Arity & 0xff);
+  }
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_HIERARCHY_PROGRAM_H

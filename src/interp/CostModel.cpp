@@ -1,0 +1,22 @@
+//===- interp/CostModel.cpp - Deterministic execution cost model -----------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/CostModel.h"
+
+#include <sstream>
+
+using namespace selspec;
+
+std::string CostModel::describe() const {
+  std::ostringstream OS;
+  OS << "cycles: node=" << NodeCost << " dispatch=" << DynamicDispatchCost
+     << " select=" << VersionSelectCost << " call=" << StaticCallCost
+     << " prim=" << InlinePrimCost << " predict=" << PredictTestCost
+     << " closure-new=" << ClosureCreateCost
+     << " closure-call=" << ClosureCallCost << " alloc=" << AllocCost
+     << " slot=" << SlotCost;
+  return OS.str();
+}

@@ -1,0 +1,709 @@
+//===- interp/Interpreter.cpp - Instrumented AST interpreter ---------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace selspec;
+
+Interpreter::Interpreter(CompiledProgram &CP, RunOptions Opts,
+                         CostModel Costs)
+    : CP(CP), P(CP.program()), Opts(Opts), Costs(Costs), Disp(P) {}
+
+std::string Interpreter::valueToString(const Value &V) const {
+  switch (V.kind()) {
+  case Value::Kind::Nil:
+    return "nil";
+  case Value::Kind::Int:
+    return std::to_string(V.asInt());
+  case Value::Kind::Bool:
+    return V.asBool() ? "true" : "false";
+  case Value::Kind::Object: {
+    const Obj *O = V.asObject();
+    switch (O->payload()) {
+    case Obj::Payload::Str:
+      return O->Str;
+    case Obj::Payload::Array: {
+      std::ostringstream OS;
+      OS << '[';
+      for (size_t I = 0; I != O->Slots.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << valueToString(O->Slots[I]);
+      }
+      OS << ']';
+      return OS.str();
+    }
+    case Obj::Payload::Closure:
+      return "<closure>";
+    case Obj::Payload::Instance:
+      return "<" + P.Syms.name(P.Classes.info(O->getClass()).Name) + ">";
+    }
+  }
+  }
+  return "?";
+}
+
+Value Interpreter::fail(Control &C, const std::string &Message) {
+  if (C.K != Control::Kind::Error) {
+    C.K = Control::Kind::Error;
+    Error = Message;
+    // Attach a bounded stack trace, innermost frame first.
+    const size_t MaxFrames = 12;
+    size_t Shown = 0;
+    for (auto It = CallStack.rbegin(); It != CallStack.rend(); ++It) {
+      if (++Shown > MaxFrames) {
+        Error += "\n  ... " +
+                 std::to_string(CallStack.size() - MaxFrames) +
+                 " more frame(s)";
+        break;
+      }
+      Error += "\n  in " + P.methodLabel(*It);
+    }
+  }
+  return Value::nil();
+}
+
+bool Interpreter::chargeNode(Control &C) {
+  ++Stats.NodesEvaluated;
+  Stats.Cycles += Costs.NodeCost;
+  if (Stats.NodesEvaluated > Opts.MaxNodes) {
+    fail(C, "execution exceeded the node budget (infinite loop?)");
+    return false;
+  }
+  return true;
+}
+
+void Interpreter::recordArc(CallSiteId Site, MethodId Callee) {
+  if (!Opts.Profile || !Site.isValid())
+    return;
+  Opts.Profile->addHits(Site, P.callSite(Site).Owner, Callee);
+}
+
+bool Interpreter::evalArgs(const std::vector<ExprPtr> &ArgExprs,
+                           const EnvPtr &CurEnv, Control &C,
+                           std::vector<Value> &Out) {
+  Out.reserve(ArgExprs.size());
+  for (const ExprPtr &A : ArgExprs) {
+    Out.push_back(eval(A.get(), CurEnv, C));
+    if (C.active())
+      return false;
+  }
+  return true;
+}
+
+Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
+  if (!chargeNode(C))
+    return Value::nil();
+
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return Value::ofInt(cast<IntLitExpr>(E)->Value);
+  case Expr::Kind::BoolLit:
+    return Value::ofBool(cast<BoolLitExpr>(E)->Value);
+  case Expr::Kind::StrLit:
+    return Value::ofObj(TheHeap.newString(cast<StrLitExpr>(E)->Value));
+  case Expr::Kind::NilLit:
+    return Value::nil();
+
+  case Expr::Kind::VarRef: {
+    const auto *V = cast<VarRefExpr>(E);
+    if (Value *Slot = CurEnv->lookup(V->Name))
+      return *Slot;
+    return fail(C, "internal: unbound variable '" + P.Syms.name(V->Name) +
+                       "'");
+  }
+
+  case Expr::Kind::AssignVar: {
+    const auto *A = cast<AssignVarExpr>(E);
+    Value V = eval(A->Value.get(), CurEnv, C);
+    if (C.active())
+      return Value::nil();
+    if (Value *Slot = CurEnv->lookup(A->Name)) {
+      *Slot = V;
+      return V;
+    }
+    return fail(C, "internal: assignment to unbound variable '" +
+                       P.Syms.name(A->Name) + "'");
+  }
+
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    Value V = eval(L->Init.get(), CurEnv, C);
+    if (C.active())
+      return Value::nil();
+    CurEnv->define(L->Name, V);
+    return Value::nil();
+  }
+
+  case Expr::Kind::Seq: {
+    const auto *S = cast<SeqExpr>(E);
+    EnvPtr Scope = std::make_shared<Env>(CurEnv);
+    Value Last = Value::nil();
+    for (const ExprPtr &Elem : S->Elems) {
+      Last = eval(Elem.get(), Scope, C);
+      if (C.active())
+        return Value::nil();
+    }
+    return Last;
+  }
+
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    Value Cond = eval(I->Cond.get(), CurEnv, C);
+    if (C.active())
+      return Value::nil();
+    if (!Cond.isBool())
+      return fail(C, "if condition is not a boolean");
+    if (Cond.asBool())
+      return eval(I->Then.get(), CurEnv, C);
+    if (I->Else)
+      return eval(I->Else.get(), CurEnv, C);
+    return Value::nil();
+  }
+
+  case Expr::Kind::While: {
+    const auto *W = cast<WhileExpr>(E);
+    for (;;) {
+      Value Cond = eval(W->Cond.get(), CurEnv, C);
+      if (C.active())
+        return Value::nil();
+      if (!Cond.isBool())
+        return fail(C, "while condition is not a boolean");
+      if (!Cond.asBool())
+        return Value::nil();
+      eval(W->Body.get(), CurEnv, C);
+      if (C.active())
+        return Value::nil();
+    }
+  }
+
+  case Expr::Kind::Send:
+    return evalSend(cast<SendExpr>(E), CurEnv, C);
+
+  case Expr::Kind::ClosureCall: {
+    const auto *Call = cast<ClosureCallExpr>(E);
+    Value Callee = eval(Call->Callee.get(), CurEnv, C);
+    if (C.active())
+      return Value::nil();
+    std::vector<Value> Args;
+    if (!evalArgs(Call->Args, CurEnv, C, Args))
+      return Value::nil();
+    if (!Callee.isObject() ||
+        Callee.asObject()->payload() != Obj::Payload::Closure)
+      return fail(C, "called value is not a closure");
+    Obj *Closure = Callee.asObject();
+    if (Closure->Lit->Params.size() != Args.size())
+      return fail(C, "closure called with wrong number of arguments");
+
+    ++Stats.ClosureCalls;
+    Stats.Cycles += Costs.ClosureCallCost;
+
+    EnvPtr Scope = std::make_shared<Env>(Closure->Captured);
+    for (size_t I = 0; I != Args.size(); ++I)
+      Scope->define(Closure->Lit->Params[I], Args[I]);
+
+    uint64_t SavedHome = CurrentHome;
+    CurrentHome = Closure->HomeActivation;
+    Value Result = eval(Closure->Lit->Body.get(), Scope, C);
+    CurrentHome = SavedHome;
+    return Result;
+  }
+
+  case Expr::Kind::ClosureLit: {
+    const auto *Lit = cast<ClosureLitExpr>(E);
+    ++Stats.ClosuresCreated;
+    Stats.Cycles += Costs.ClosureCreateCost;
+    return Value::ofObj(TheHeap.newClosure(Lit, CurEnv, CurrentHome));
+  }
+
+  case Expr::Kind::New: {
+    const auto *N = cast<NewExpr>(E);
+    const ClassInfo &Info = P.Classes.info(N->Class);
+    ++Stats.Allocations;
+    Stats.Cycles += Costs.AllocCost + Info.Layout.size();
+    Obj *O = TheHeap.newInstance(
+        N->Class, static_cast<unsigned>(Info.Layout.size()));
+    for (const auto &[SlotName, Init] : N->Inits) {
+      Value V = eval(Init.get(), CurEnv, C);
+      if (C.active())
+        return Value::nil();
+      int Idx = P.Classes.slotIndex(N->Class, SlotName);
+      assert(Idx >= 0 && "resolver checked slot names");
+      O->Slots[Idx] = V;
+    }
+    return Value::ofObj(O);
+  }
+
+  case Expr::Kind::SlotGet: {
+    const auto *G = cast<SlotGetExpr>(E);
+    Value ObjV = eval(G->Object.get(), CurEnv, C);
+    if (C.active())
+      return Value::nil();
+    if (!ObjV.isObject() ||
+        ObjV.asObject()->payload() != Obj::Payload::Instance)
+      return fail(C, "slot access '" + P.Syms.name(G->SlotName) +
+                         "' on a non-instance value");
+    Obj *O = ObjV.asObject();
+    int Idx = P.Classes.slotIndex(O->getClass(), G->SlotName);
+    if (Idx < 0)
+      return fail(C, "class '" +
+                         P.Syms.name(P.Classes.info(O->getClass()).Name) +
+                         "' has no slot '" + P.Syms.name(G->SlotName) + "'");
+    Stats.Cycles += Costs.SlotCost;
+    return O->Slots[Idx];
+  }
+
+  case Expr::Kind::SlotSet: {
+    const auto *S = cast<SlotSetExpr>(E);
+    Value ObjV = eval(S->Object.get(), CurEnv, C);
+    if (C.active())
+      return Value::nil();
+    Value V = eval(S->Value.get(), CurEnv, C);
+    if (C.active())
+      return Value::nil();
+    if (!ObjV.isObject() ||
+        ObjV.asObject()->payload() != Obj::Payload::Instance)
+      return fail(C, "slot assignment on a non-instance value");
+    Obj *O = ObjV.asObject();
+    int Idx = P.Classes.slotIndex(O->getClass(), S->SlotName);
+    if (Idx < 0)
+      return fail(C, "class '" +
+                         P.Syms.name(P.Classes.info(O->getClass()).Name) +
+                         "' has no slot '" + P.Syms.name(S->SlotName) + "'");
+    Stats.Cycles += Costs.SlotCost;
+    O->Slots[Idx] = V;
+    return V;
+  }
+
+  case Expr::Kind::Return: {
+    const auto *R = cast<ReturnExpr>(E);
+    Value V = Value::nil();
+    if (R->Value) {
+      V = eval(R->Value.get(), CurEnv, C);
+      if (C.active())
+        return Value::nil();
+    }
+    C.K = Control::Kind::Return;
+    C.Activation = CurrentHome;
+    C.Boundary = R->Boundary;
+    C.Val = V;
+    return Value::nil();
+  }
+
+  case Expr::Kind::Inlined:
+    return evalInlined(cast<InlinedExpr>(E), CurEnv, C);
+  }
+  return fail(C, "internal: unknown expression kind");
+}
+
+Value Interpreter::evalInlined(const InlinedExpr *In, const EnvPtr &CurEnv,
+                               Control &C) {
+  // Binding initializers evaluate in the outer environment (call-by-value
+  // argument evaluation), then the body runs in a fresh scope.
+  std::vector<Value> Inits;
+  Inits.reserve(In->Bindings.size());
+  for (const auto &[Name, Init] : In->Bindings) {
+    Inits.push_back(eval(Init.get(), CurEnv, C));
+    if (C.active())
+      return Value::nil();
+  }
+  EnvPtr Scope = std::make_shared<Env>(CurEnv);
+  for (size_t I = 0; I != In->Bindings.size(); ++I)
+    Scope->define(In->Bindings[I].first, Inits[I]);
+
+  Value Result = eval(In->Body.get(), Scope, C);
+  // Catch returns targeting this inline boundary within our activation.
+  if (C.K == Control::Kind::Return && C.Activation == CurrentHome &&
+      C.Boundary == In->Boundary) {
+    Result = C.Val;
+    C = Control();
+  }
+  return Result;
+}
+
+Value Interpreter::invokeMethod(MethodId M, int VersionIndex,
+                                std::vector<Value> &&Args, Control &C) {
+  if (VersionIndex < 0)
+    return fail(C, "internal: no compiled version matches arguments of " +
+                       P.methodLabel(M));
+  return invokeVersion(CP.version(static_cast<uint32_t>(VersionIndex)),
+                       std::move(Args), C);
+}
+
+Value Interpreter::invokeVersion(CompiledMethod &CM,
+                                 std::vector<Value> &&Args, Control &C) {
+  const MethodInfo &M = P.method(CM.Source);
+  CM.Invoked = true;
+
+  if (M.isBuiltin())
+    return invokePrim(M.Prim, Args, C);
+
+  ++Stats.MethodInvocations;
+  uint64_t Activation = NextActivation++;
+  EnvPtr Scope = std::make_shared<Env>();
+  for (size_t I = 0; I != Args.size(); ++I)
+    Scope->define(M.ParamNames[I], Args[I]);
+
+  uint64_t SavedHome = CurrentHome;
+  CurrentHome = Activation;
+  CallStack.push_back(CM.Source);
+  Value Result = eval(CM.Body.get(), Scope, C);
+  CallStack.pop_back();
+  CurrentHome = SavedHome;
+
+  if (C.K == Control::Kind::Return && C.Activation == Activation &&
+      C.Boundary == 0) {
+    Result = C.Val;
+    C = Control();
+  }
+  return Result;
+}
+
+Value Interpreter::dispatchCall(const SendExpr *S, std::vector<Value> &&Args,
+                                Control &C) {
+  std::vector<ClassId> Classes;
+  Classes.reserve(Args.size());
+  for (const Value &V : Args)
+    Classes.push_back(V.classOf());
+
+  MethodId Target = Disp.lookup(S->Generic, Classes, S->Site);
+  if (!Target.isValid())
+    return fail(C, "message '" + P.genericLabel(S->Generic) +
+                       "' not understood or ambiguous");
+
+  recordArc(S->Site, Target);
+  ++Stats.DynamicDispatches;
+  Stats.Cycles += Costs.DynamicDispatchCost;
+  return invokeMethod(Target, CP.selectVersion(Target, Classes),
+                      std::move(Args), C);
+}
+
+Value Interpreter::evalSend(const SendExpr *S, const EnvPtr &CurEnv,
+                            Control &C) {
+  std::vector<Value> Args;
+  if (!evalArgs(S->Args, CurEnv, C, Args))
+    return Value::nil();
+
+  switch (S->Binding.Kind) {
+  case SendBindKind::Dynamic:
+    return dispatchCall(S, std::move(Args), C);
+
+  case SendBindKind::Static: {
+    CompiledMethod &CM = CP.version(S->Binding.TargetVersion);
+    if (Opts.ValidateBindings) {
+      std::vector<ClassId> Classes;
+      for (const Value &V : Args)
+        Classes.push_back(V.classOf());
+      MethodId Real = P.dispatch(S->Generic, Classes);
+      if (Real != CM.Source)
+        return fail(C, "static binding violation at site " +
+                           std::to_string(S->Site.value()) + ": bound to " +
+                           P.methodLabel(CM.Source) + " but dispatch picks " +
+                           (Real.isValid() ? P.methodLabel(Real) : "<none>"));
+      if (!tupleContains(CM.Tuple, Classes))
+        return fail(C, "static version binding violation at site " +
+                           std::to_string(S->Site.value()));
+    }
+    recordArc(S->Site, CM.Source);
+    ++Stats.StaticCalls;
+    Stats.Cycles += Costs.StaticCallCost;
+    return invokeVersion(CM, std::move(Args), C);
+  }
+
+  case SendBindKind::StaticSelect: {
+    std::vector<ClassId> Classes;
+    Classes.reserve(Args.size());
+    for (const Value &V : Args)
+      Classes.push_back(V.classOf());
+    if (Opts.ValidateBindings) {
+      MethodId Real = P.dispatch(S->Generic, Classes);
+      if (Real != S->Binding.Target)
+        return fail(C, "static-select binding violation at site " +
+                           std::to_string(S->Site.value()));
+    }
+    recordArc(S->Site, S->Binding.Target);
+    ++Stats.VersionSelects;
+    Stats.Cycles += Costs.VersionSelectCost;
+    return invokeMethod(S->Binding.Target,
+                        CP.selectVersion(S->Binding.Target, Classes),
+                        std::move(Args), C);
+  }
+
+  case SendBindKind::InlinePrim: {
+    const MethodInfo &M = P.method(S->Binding.Target);
+    if (Opts.ValidateBindings) {
+      std::vector<ClassId> Classes;
+      for (const Value &V : Args)
+        Classes.push_back(V.classOf());
+      if (P.dispatch(S->Generic, Classes) != S->Binding.Target)
+        return fail(C, "inline-prim binding violation at site " +
+                           std::to_string(S->Site.value()));
+    }
+    recordArc(S->Site, S->Binding.Target);
+    ++Stats.InlinePrims;
+    Stats.Cycles += Costs.InlinePrimCost;
+    return invokePrim(M.Prim, Args, C);
+  }
+
+  case SendBindKind::FeedbackGuard: {
+    std::vector<ClassId> Classes;
+    Classes.reserve(Args.size());
+    for (const Value &V : Args)
+      Classes.push_back(V.classOf());
+    // The modeled machine executes an inline-cache class test; this
+    // implementation realizes the test via the dispatcher.
+    Stats.Cycles += Costs.PredictTestCost;
+    MethodId Real = Disp.lookup(S->Generic, Classes, S->Site);
+    if (!Real.isValid())
+      return fail(C, "message '" + P.genericLabel(S->Generic) +
+                         "' not understood or ambiguous");
+    recordArc(S->Site, Real);
+    if (Real == S->Binding.Target) {
+      ++Stats.FeedbackHits;
+      const MethodInfo &M = P.method(Real);
+      if (M.isBuiltin()) {
+        Stats.Cycles += Costs.InlinePrimCost;
+        return invokePrim(M.Prim, Args, C);
+      }
+      Stats.Cycles += Costs.StaticCallCost;
+      return invokeMethod(Real, CP.selectVersion(Real, Classes),
+                          std::move(Args), C);
+    }
+    ++Stats.FeedbackMisses;
+    ++Stats.DynamicDispatches;
+    Stats.Cycles += Costs.DynamicDispatchCost;
+    return invokeMethod(Real, CP.selectVersion(Real, Classes),
+                        std::move(Args), C);
+  }
+
+  case SendBindKind::Predicted: {
+    Stats.Cycles += Costs.PredictTestCost;
+    bool Hit = true;
+    for (const Value &V : Args)
+      Hit &= V.classOf() == S->Binding.PredictedClass;
+    if (Hit) {
+      recordArc(S->Site, S->Binding.Target);
+      ++Stats.PredictedHits;
+      Stats.Cycles += Costs.InlinePrimCost;
+      return invokePrim(P.method(S->Binding.Target).Prim, Args, C);
+    }
+    ++Stats.PredictedMisses;
+    return dispatchCall(S, std::move(Args), C);
+  }
+  }
+  return fail(C, "internal: unknown binding kind");
+}
+
+Value Interpreter::invokePrim(PrimOp Op, const std::vector<Value> &Args,
+                              Control &C) {
+  auto WantInt = [&](const Value &V, int64_t &Out) {
+    if (!V.isInt()) {
+      fail(C, std::string("primitive '") + primOpName(Op) +
+                  "' expects an integer");
+      return false;
+    }
+    Out = V.asInt();
+    return true;
+  };
+  auto WantStr = [&](const Value &V, const std::string *&Out) {
+    if (!V.isObject() || V.asObject()->payload() != Obj::Payload::Str) {
+      fail(C, std::string("primitive '") + primOpName(Op) +
+                  "' expects a string");
+      return false;
+    }
+    Out = &V.asObject()->Str;
+    return true;
+  };
+  auto WantArray = [&](const Value &V, Obj *&Out) {
+    if (!V.isObject() || V.asObject()->payload() != Obj::Payload::Array) {
+      fail(C, std::string("primitive '") + primOpName(Op) +
+                  "' expects an array");
+      return false;
+    }
+    Out = V.asObject();
+    return true;
+  };
+
+  int64_t A = 0, B = 0;
+  const std::string *SA = nullptr, *SB = nullptr;
+  Obj *Arr = nullptr;
+
+  switch (Op) {
+  case PrimOp::None:
+    return fail(C, "internal: invoking PrimOp::None");
+
+  case PrimOp::IntAdd:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    return Value::ofInt(A + B);
+  case PrimOp::IntSub:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    return Value::ofInt(A - B);
+  case PrimOp::IntMul:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    return Value::ofInt(A * B);
+  case PrimOp::IntDiv:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    if (B == 0)
+      return fail(C, "division by zero");
+    return Value::ofInt(A / B);
+  case PrimOp::IntMod:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    if (B == 0)
+      return fail(C, "modulo by zero");
+    return Value::ofInt(A % B);
+  case PrimOp::IntNeg:
+    if (!WantInt(Args[0], A))
+      return Value::nil();
+    return Value::ofInt(-A);
+  case PrimOp::IntLess:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    return Value::ofBool(A < B);
+  case PrimOp::IntLessEq:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    return Value::ofBool(A <= B);
+  case PrimOp::IntGreater:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    return Value::ofBool(A > B);
+  case PrimOp::IntGreaterEq:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    return Value::ofBool(A >= B);
+  case PrimOp::IntEq:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    return Value::ofBool(A == B);
+  case PrimOp::IntNe:
+    if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
+      return Value::nil();
+    return Value::ofBool(A != B);
+
+  case PrimOp::BoolNot:
+    if (!Args[0].isBool())
+      return fail(C, "'not' expects a boolean");
+    return Value::ofBool(!Args[0].asBool());
+  case PrimOp::BoolEq:
+    if (!Args[0].isBool() || !Args[1].isBool())
+      return fail(C, "'==' on booleans expects booleans");
+    return Value::ofBool(Args[0].asBool() == Args[1].asBool());
+
+  case PrimOp::AnyEq:
+    return Value::ofBool(Args[0].identicalTo(Args[1]));
+  case PrimOp::AnyNe:
+    return Value::ofBool(!Args[0].identicalTo(Args[1]));
+
+  case PrimOp::StrConcat:
+    if (!WantStr(Args[0], SA) || !WantStr(Args[1], SB))
+      return Value::nil();
+    return Value::ofObj(TheHeap.newString(*SA + *SB));
+  case PrimOp::StrEq:
+    if (!WantStr(Args[0], SA) || !WantStr(Args[1], SB))
+      return Value::nil();
+    return Value::ofBool(*SA == *SB);
+  case PrimOp::StrLess:
+    if (!WantStr(Args[0], SA) || !WantStr(Args[1], SB))
+      return Value::nil();
+    return Value::ofBool(*SA < *SB);
+  case PrimOp::StrSize:
+    if (!WantStr(Args[0], SA))
+      return Value::nil();
+    return Value::ofInt(static_cast<int64_t>(SA->size()));
+
+  case PrimOp::ArrayNew:
+    if (!WantInt(Args[0], A))
+      return Value::nil();
+    if (A < 0)
+      return fail(C, "array size must be non-negative");
+    ++Stats.Allocations;
+    Stats.Cycles += Costs.AllocCost + static_cast<uint64_t>(A);
+    return Value::ofObj(TheHeap.newArray(static_cast<size_t>(A)));
+  case PrimOp::ArrayAt:
+    if (!WantArray(Args[0], Arr) || !WantInt(Args[1], A))
+      return Value::nil();
+    if (A < 0 || static_cast<size_t>(A) >= Arr->Slots.size())
+      return fail(C, "array index " + std::to_string(A) +
+                         " out of bounds (size " +
+                         std::to_string(Arr->Slots.size()) + ")");
+    Stats.Cycles += Costs.SlotCost;
+    return Arr->Slots[static_cast<size_t>(A)];
+  case PrimOp::ArrayPut:
+    if (!WantArray(Args[0], Arr) || !WantInt(Args[1], A))
+      return Value::nil();
+    if (A < 0 || static_cast<size_t>(A) >= Arr->Slots.size())
+      return fail(C, "array index " + std::to_string(A) +
+                         " out of bounds (size " +
+                         std::to_string(Arr->Slots.size()) + ")");
+    Stats.Cycles += Costs.SlotCost;
+    Arr->Slots[static_cast<size_t>(A)] = Args[2];
+    return Args[2];
+  case PrimOp::ArraySize:
+    if (!WantArray(Args[0], Arr))
+      return Value::nil();
+    return Value::ofInt(static_cast<int64_t>(Arr->Slots.size()));
+
+  case PrimOp::Print:
+    if (Opts.Output)
+      *Opts.Output << valueToString(Args[0]) << '\n';
+    return Value::nil();
+  case PrimOp::ClassName:
+    return Value::ofObj(TheHeap.newString(
+        P.Syms.name(P.Classes.info(Args[0].classOf()).Name)));
+  case PrimOp::Abort:
+    return fail(C, "abort: " + valueToString(Args[0]));
+  }
+  return fail(C, "internal: unknown primitive");
+}
+
+Value Interpreter::callGeneric(const std::string &Name,
+                               std::vector<Value> Args, bool &Ok) {
+  Ok = false;
+  Error.clear();
+  Symbol S = P.Syms.find(Name);
+  GenericId G = S.isValid()
+                    ? P.lookupGeneric(S, static_cast<unsigned>(Args.size()))
+                    : GenericId();
+  if (!G.isValid()) {
+    Error = "no generic function '" + Name + "/" +
+            std::to_string(Args.size()) + "'";
+    return Value::nil();
+  }
+  std::vector<ClassId> Classes;
+  for (const Value &V : Args)
+    Classes.push_back(V.classOf());
+  MethodId Target = P.dispatch(G, Classes);
+  if (!Target.isValid()) {
+    Error = "message '" + Name + "' not understood";
+    return Value::nil();
+  }
+
+  Control C;
+  Value Result = invokeMethod(Target, CP.selectVersion(Target, Classes),
+                              std::move(Args), C);
+  if (C.K == Control::Kind::Error)
+    return Value::nil();
+  if (C.K == Control::Kind::Return) {
+    Error = "non-local return escaped its home activation";
+    return Value::nil();
+  }
+  Ok = true;
+  return Result;
+}
+
+bool Interpreter::callMain(int64_t Arg) {
+  bool Ok = false;
+  callGeneric("main", {Value::ofInt(Arg)}, Ok);
+  return Ok;
+}

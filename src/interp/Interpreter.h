@@ -1,0 +1,142 @@
+//===- interp/Interpreter.h - Instrumented AST interpreter -----*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a CompiledProgram, honoring the optimizer's binding
+/// annotations (dynamic dispatch, static call, version selection, inlined
+/// primitive, class prediction) and charging the CostModel.  The same
+/// interpreter both gathers profiles (filling a CallGraph with
+/// call-site-exact weighted arcs, the paper's PIC-based profiling) and
+/// measures optimized executions (dispatch counts and modeled cycles for
+/// Figure 5, invoked-version bits for Figure 6).
+///
+/// Non-local returns: `return` inside a closure unwinds to the closure's
+/// home method activation (Cecil semantics), which the Figure 1
+/// `overlaps`/`includes` pattern relies on; inlined bodies catch their own
+/// rewritten return boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_INTERP_INTERPRETER_H
+#define SELSPEC_INTERP_INTERPRETER_H
+
+#include "interp/CostModel.h"
+#include "opt/CompiledProgram.h"
+#include "profile/CallGraph.h"
+#include "runtime/Dispatcher.h"
+#include "runtime/Heap.h"
+#include "runtime/Value.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace selspec {
+
+/// Counters of one execution.
+struct RunStats {
+  uint64_t DynamicDispatches = 0;
+  uint64_t VersionSelects = 0;
+  uint64_t StaticCalls = 0;
+  uint64_t InlinePrims = 0;
+  uint64_t PredictedHits = 0;
+  uint64_t PredictedMisses = 0;
+  uint64_t FeedbackHits = 0;
+  uint64_t FeedbackMisses = 0;
+  uint64_t ClosuresCreated = 0;
+  uint64_t ClosureCalls = 0;
+  uint64_t Allocations = 0;
+  uint64_t MethodInvocations = 0;
+  uint64_t NodesEvaluated = 0;
+  /// Modeled execution time.
+  uint64_t Cycles = 0;
+
+  /// The paper's "number of dynamic dispatches": full dispatches plus
+  /// run-time version selections (statically-bound calls that had to be
+  /// converted back to dispatches, Section 3.3).
+  uint64_t totalDispatches() const {
+    return DynamicDispatches + VersionSelects;
+  }
+};
+
+struct RunOptions {
+  /// Record (site, caller, callee, weight) arcs into Profile.
+  CallGraph *Profile = nullptr;
+  /// Verify every statically-bound send against real dispatch (tests).
+  bool ValidateBindings = false;
+  /// Abort runs exceeding this many evaluated nodes.
+  uint64_t MaxNodes = UINT64_C(4'000'000'000);
+  /// Destination of `print`; null discards output.
+  std::ostream *Output = nullptr;
+};
+
+class Interpreter {
+public:
+  explicit Interpreter(CompiledProgram &CP, RunOptions Opts = {},
+                       CostModel Costs = {});
+
+  /// Invokes `main(Arg)`.  Returns false on any runtime error (see
+  /// errorMessage()).
+  bool callMain(int64_t Arg);
+
+  /// Invokes generic \p Name on \p Args; \p Ok reports success.
+  Value callGeneric(const std::string &Name, std::vector<Value> Args,
+                    bool &Ok);
+
+  const RunStats &stats() const { return Stats; }
+  const std::string &errorMessage() const { return Error; }
+  Dispatcher &dispatcher() { return Disp; }
+  Heap &heap() { return TheHeap; }
+  const CostModel &costs() const { return Costs; }
+
+  /// Renders a value for `print` and diagnostics.
+  std::string valueToString(const Value &V) const;
+
+private:
+  struct Control {
+    enum class Kind : uint8_t { None, Return, Error };
+    Kind K = Kind::None;
+    uint64_t Activation = 0;
+    uint32_t Boundary = 0;
+    Value Val;
+
+    bool active() const { return K != Kind::None; }
+  };
+
+  Value eval(const Expr *E, const EnvPtr &CurEnv, Control &C);
+  Value evalSend(const SendExpr *S, const EnvPtr &CurEnv, Control &C);
+  Value evalInlined(const InlinedExpr *In, const EnvPtr &CurEnv, Control &C);
+  Value invokeMethod(MethodId M, int VersionIndex,
+                     std::vector<Value> &&Args, Control &C);
+  Value invokeVersion(CompiledMethod &CM, std::vector<Value> &&Args,
+                      Control &C);
+  Value invokePrim(PrimOp Op, const std::vector<Value> &Args, Control &C);
+  Value dispatchCall(const SendExpr *S, std::vector<Value> &&Args,
+                     Control &C);
+  bool evalArgs(const std::vector<ExprPtr> &ArgExprs, const EnvPtr &CurEnv,
+                Control &C, std::vector<Value> &Out);
+  void recordArc(CallSiteId Site, MethodId Callee);
+  Value fail(Control &C, const std::string &Message);
+  bool chargeNode(Control &C);
+
+  CompiledProgram &CP;
+  const Program &P;
+  RunOptions Opts;
+  CostModel Costs;
+  Dispatcher Disp;
+  Heap TheHeap;
+  RunStats Stats;
+  std::string Error;
+  uint64_t NextActivation = 1;
+  /// Home activation of the code currently executing (the activation a
+  /// boundary-0 return unwinds to).
+  uint64_t CurrentHome = 0;
+  /// Active method invocations, innermost last (for error stack traces).
+  std::vector<MethodId> CallStack;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_INTERP_INTERPRETER_H

@@ -1,0 +1,128 @@
+//===- lang/Ast.cpp - Mica AST cloning ------------------------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace selspec;
+
+Expr::~Expr() = default;
+
+static std::vector<ExprPtr> cloneVec(const std::vector<ExprPtr> &Elems) {
+  std::vector<ExprPtr> Out;
+  Out.reserve(Elems.size());
+  for (const ExprPtr &E : Elems)
+    Out.push_back(E->clone());
+  return Out;
+}
+
+ExprPtr Expr::clone() const {
+  switch (getKind()) {
+  case Kind::IntLit: {
+    const auto *E = cast<IntLitExpr>(this);
+    return std::make_unique<IntLitExpr>(E->Value, getLoc());
+  }
+  case Kind::BoolLit: {
+    const auto *E = cast<BoolLitExpr>(this);
+    return std::make_unique<BoolLitExpr>(E->Value, getLoc());
+  }
+  case Kind::StrLit: {
+    const auto *E = cast<StrLitExpr>(this);
+    return std::make_unique<StrLitExpr>(E->Value, getLoc());
+  }
+  case Kind::NilLit:
+    return std::make_unique<NilLitExpr>(getLoc());
+  case Kind::VarRef: {
+    const auto *E = cast<VarRefExpr>(this);
+    return std::make_unique<VarRefExpr>(E->Name, getLoc());
+  }
+  case Kind::AssignVar: {
+    const auto *E = cast<AssignVarExpr>(this);
+    return std::make_unique<AssignVarExpr>(E->Name, E->Value->clone(),
+                                           getLoc());
+  }
+  case Kind::Let: {
+    const auto *E = cast<LetExpr>(this);
+    return std::make_unique<LetExpr>(E->Name, E->Init->clone(), getLoc());
+  }
+  case Kind::Seq: {
+    const auto *E = cast<SeqExpr>(this);
+    return std::make_unique<SeqExpr>(cloneVec(E->Elems), getLoc());
+  }
+  case Kind::If: {
+    const auto *E = cast<IfExpr>(this);
+    return std::make_unique<IfExpr>(E->Cond->clone(), E->Then->clone(),
+                                    E->Else ? E->Else->clone() : nullptr,
+                                    getLoc());
+  }
+  case Kind::While: {
+    const auto *E = cast<WhileExpr>(this);
+    return std::make_unique<WhileExpr>(E->Cond->clone(), E->Body->clone(),
+                                       getLoc());
+  }
+  case Kind::Send: {
+    const auto *E = cast<SendExpr>(this);
+    auto N = std::make_unique<SendExpr>(E->GenericName, cloneVec(E->Args),
+                                        getLoc());
+    N->DefinitelySend = E->DefinitelySend;
+    N->Site = E->Site;
+    N->Generic = E->Generic;
+    N->Binding = E->Binding;
+    return N;
+  }
+  case Kind::ClosureCall: {
+    const auto *E = cast<ClosureCallExpr>(this);
+    return std::make_unique<ClosureCallExpr>(E->Callee->clone(),
+                                             cloneVec(E->Args), getLoc());
+  }
+  case Kind::ClosureLit: {
+    const auto *E = cast<ClosureLitExpr>(this);
+    return std::make_unique<ClosureLitExpr>(E->Params, E->Body->clone(),
+                                            getLoc());
+  }
+  case Kind::New: {
+    const auto *E = cast<NewExpr>(this);
+    std::vector<std::pair<Symbol, ExprPtr>> Inits;
+    Inits.reserve(E->Inits.size());
+    for (const auto &[S, V] : E->Inits)
+      Inits.emplace_back(S, V->clone());
+    auto N = std::make_unique<NewExpr>(E->ClassName, std::move(Inits),
+                                       getLoc());
+    N->Class = E->Class;
+    return N;
+  }
+  case Kind::SlotGet: {
+    const auto *E = cast<SlotGetExpr>(this);
+    return std::make_unique<SlotGetExpr>(E->Object->clone(), E->SlotName,
+                                         getLoc());
+  }
+  case Kind::SlotSet: {
+    const auto *E = cast<SlotSetExpr>(this);
+    return std::make_unique<SlotSetExpr>(E->Object->clone(), E->SlotName,
+                                         E->Value->clone(), getLoc());
+  }
+  case Kind::Return: {
+    const auto *E = cast<ReturnExpr>(this);
+    auto N = std::make_unique<ReturnExpr>(
+        E->Value ? E->Value->clone() : nullptr, getLoc());
+    N->Boundary = E->Boundary;
+    return N;
+  }
+  case Kind::Inlined: {
+    const auto *E = cast<InlinedExpr>(this);
+    std::vector<std::pair<Symbol, ExprPtr>> Bindings;
+    Bindings.reserve(E->Bindings.size());
+    for (const auto &[S, V] : E->Bindings)
+      Bindings.emplace_back(S, V->clone());
+    auto N = std::make_unique<InlinedExpr>(std::move(Bindings),
+                                           E->Body->clone(), E->Boundary,
+                                           getLoc());
+    N->OriginSite = E->OriginSite;
+    return N;
+  }
+  }
+  assert(false && "unknown expression kind");
+  return nullptr;
+}

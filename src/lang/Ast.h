@@ -1,0 +1,442 @@
+//===- lang/Ast.h - Mica abstract syntax trees -----------------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for Mica.  The same node types serve three roles:
+///   1. raw parse trees produced by the Parser,
+///   2. resolved trees (names bound, call sites numbered) produced by the
+///      Resolver and stored in the Program,
+///   3. optimized trees produced by the Optimizer, in which SendExprs carry
+///      binding annotations and InlinedExprs splice callee bodies.
+///
+/// Nodes use a Kind discriminator with LLVM-style isa/cast/dyn_cast (the
+/// project is built without C++ RTTI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_LANG_AST_H
+#define SELSPEC_LANG_AST_H
+
+#include "lang/Symbol.h"
+#include "support/Casting.h"
+#include "support/Ids.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace selspec {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class of all Mica expressions (Mica is expression-oriented:
+/// statements are expressions evaluated for effect).
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    IntLit,
+    BoolLit,
+    StrLit,
+    NilLit,
+    VarRef,
+    AssignVar,
+    Let,
+    Seq,
+    If,
+    While,
+    Send,
+    ClosureCall,
+    ClosureLit,
+    New,
+    SlotGet,
+    SlotSet,
+    Return,
+    Inlined,
+  };
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+  /// Deep-copies the subtree (used by the inliner, which must never share
+  /// nodes between compiled method versions).
+  ExprPtr clone() const;
+
+  ~Expr();
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// 64-bit integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+  int64_t Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+};
+
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, SourceLoc Loc)
+      : Expr(Kind::BoolLit, Loc), Value(Value) {}
+  bool Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::BoolLit; }
+};
+
+class StrLitExpr : public Expr {
+public:
+  StrLitExpr(std::string Value, SourceLoc Loc)
+      : Expr(Kind::StrLit, Loc), Value(std::move(Value)) {}
+  std::string Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::StrLit; }
+};
+
+class NilLitExpr : public Expr {
+public:
+  explicit NilLitExpr(SourceLoc Loc) : Expr(Kind::NilLit, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::NilLit; }
+};
+
+/// Reference to a lexically-bound variable (formal, let or closure param).
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(Symbol Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(Name) {}
+  Symbol Name;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+};
+
+/// `x := e` where x is a lexically-bound variable.
+class AssignVarExpr : public Expr {
+public:
+  AssignVarExpr(Symbol Name, ExprPtr Value, SourceLoc Loc)
+      : Expr(Kind::AssignVar, Loc), Name(Name), Value(std::move(Value)) {}
+  Symbol Name;
+  ExprPtr Value;
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::AssignVar;
+  }
+};
+
+/// `let x := e;` introduces a binding in the enclosing block's scope and
+/// evaluates to nil.
+class LetExpr : public Expr {
+public:
+  LetExpr(Symbol Name, ExprPtr Init, SourceLoc Loc)
+      : Expr(Kind::Let, Loc), Name(Name), Init(std::move(Init)) {}
+  Symbol Name;
+  ExprPtr Init;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Let; }
+};
+
+/// A block: `{ s1; s2; ... }`.  Evaluates to the value of the last element
+/// (nil when empty) and opens a fresh variable scope.
+class SeqExpr : public Expr {
+public:
+  SeqExpr(std::vector<ExprPtr> Elems, SourceLoc Loc)
+      : Expr(Kind::Seq, Loc), Elems(std::move(Elems)) {}
+  std::vector<ExprPtr> Elems;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Seq; }
+};
+
+/// `if (c) { ... } else { ... }`; evaluates to the taken branch's value.
+class IfExpr : public Expr {
+public:
+  IfExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else, SourceLoc Loc)
+      : Expr(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  ExprPtr Then;
+  /// May be null (no else branch; value is nil when the condition fails).
+  ExprPtr Else;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::If; }
+};
+
+class WhileExpr : public Expr {
+public:
+  WhileExpr(ExprPtr Cond, ExprPtr Body, SourceLoc Loc)
+      : Expr(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  ExprPtr Cond;
+  ExprPtr Body;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::While; }
+};
+
+/// How the optimizer bound a message-send site.
+enum class SendBindKind : uint8_t {
+  /// Not optimized: full dynamic dispatch (also the state of raw ASTs).
+  Dynamic,
+  /// Statically bound to one compiled version of one method.
+  Static,
+  /// Statically bound to a method with several compiled versions that the
+  /// caller cannot distinguish: a run-time version-selection dispatch is
+  /// required (the paper's "statically-bound call converted into a
+  /// dynamically-bound call", Section 3.3).
+  StaticSelect,
+  /// Statically bound to a builtin primitive and inlined: no call overhead.
+  InlinePrim,
+  /// Hard-wired class prediction (Base optimization for common messages
+  /// such as `+`): test the arguments against a predicted class and run
+  /// the primitive inline on a hit, full dispatch on a miss.
+  Predicted,
+  /// Profile-guided type feedback (Hölzle & Ungar, discussed in the
+  /// paper's Section 6): an inline-cache-style guard for the profiled
+  /// dominant callee — cheap test + direct call on a hit, full dispatch
+  /// on a miss.
+  FeedbackGuard,
+};
+
+/// Binding annotation attached to a SendExpr by the Optimizer.
+struct SendBinding {
+  SendBindKind Kind = SendBindKind::Dynamic;
+  /// Target source method for Static/StaticSelect/InlinePrim/Predicted.
+  MethodId Target;
+  /// Global CompiledProgram version index of the target, for Static.
+  uint32_t TargetVersion = 0;
+  /// Class against which Predicted sites test their arguments.
+  ClassId PredictedClass;
+};
+
+/// A message send `g(a1, ..., an)` / `a1.g(a2, ..., an)`: dynamic dispatch
+/// on the generic function `g`.
+class SendExpr : public Expr {
+public:
+  SendExpr(Symbol GenericName, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(Kind::Send, Loc), GenericName(GenericName),
+        Args(std::move(Args)) {}
+  Symbol GenericName;
+  std::vector<ExprPtr> Args;
+  /// True for sends that cannot be closure calls (dot syntax `e.m(...)`,
+  /// desugared operators).  For bare `f(args)` this is false and the
+  /// Resolver rewrites the node into a ClosureCallExpr when `f` is
+  /// lexically bound.
+  bool DefinitelySend = false;
+  /// Dense program-wide call-site id, assigned by the Resolver.
+  CallSiteId Site;
+  /// Resolved generic function, assigned by the Resolver.
+  GenericId Generic;
+  /// Optimizer annotation.
+  SendBinding Binding;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Send; }
+};
+
+/// Invocation of a first-class closure value: `f(a1, ..., an)` where `f`
+/// is an expression (not a generic-function name).
+class ClosureCallExpr : public Expr {
+public:
+  ClosureCallExpr(ExprPtr Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(Kind::ClosureCall, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::ClosureCall;
+  }
+};
+
+/// `fn(x, y) { body }` — a lexically-scoped first-class closure.  `return`
+/// inside the body is a non-local return from the closure's home method
+/// activation (Cecil/Smalltalk semantics, required by the paper's Figure 1
+/// `overlaps` example).
+class ClosureLitExpr : public Expr {
+public:
+  ClosureLitExpr(std::vector<Symbol> Params, ExprPtr Body, SourceLoc Loc)
+      : Expr(Kind::ClosureLit, Loc), Params(std::move(Params)),
+        Body(std::move(Body)) {}
+  std::vector<Symbol> Params;
+  ExprPtr Body;
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::ClosureLit;
+  }
+};
+
+/// `new C { slot := e, ... }`.
+class NewExpr : public Expr {
+public:
+  NewExpr(Symbol ClassName, std::vector<std::pair<Symbol, ExprPtr>> Inits,
+          SourceLoc Loc)
+      : Expr(Kind::New, Loc), ClassName(ClassName), Inits(std::move(Inits)) {}
+  Symbol ClassName;
+  std::vector<std::pair<Symbol, ExprPtr>> Inits;
+  /// Resolved class, assigned by the Resolver.
+  ClassId Class;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::New; }
+};
+
+/// `obj.slot` (no parentheses — parenthesized forms are sends).
+class SlotGetExpr : public Expr {
+public:
+  SlotGetExpr(ExprPtr Object, Symbol SlotName, SourceLoc Loc)
+      : Expr(Kind::SlotGet, Loc), Object(std::move(Object)),
+        SlotName(SlotName) {}
+  ExprPtr Object;
+  Symbol SlotName;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::SlotGet; }
+};
+
+/// `obj.slot := e`.
+class SlotSetExpr : public Expr {
+public:
+  SlotSetExpr(ExprPtr Object, Symbol SlotName, ExprPtr Value, SourceLoc Loc)
+      : Expr(Kind::SlotSet, Loc), Object(std::move(Object)),
+        SlotName(SlotName), Value(std::move(Value)) {}
+  ExprPtr Object;
+  Symbol SlotName;
+  ExprPtr Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::SlotSet; }
+};
+
+/// `return e;`.  Boundary 0 targets the enclosing method activation (a
+/// non-local return when evaluated inside a closure).  The inliner rewrites
+/// boundary-0 returns of an inlined body to the fresh boundary of the
+/// enclosing InlinedExpr.
+class ReturnExpr : public Expr {
+public:
+  ReturnExpr(ExprPtr Value, SourceLoc Loc)
+      : Expr(Kind::Return, Loc), Value(std::move(Value)) {}
+  /// May be null (returns nil).
+  ExprPtr Value;
+  uint32_t Boundary = 0;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Return; }
+};
+
+/// Result of inlining a callee body at a call site.  Binds the callee's
+/// formals to the actual argument expressions, then evaluates the spliced
+/// body; catches boundary-`Boundary` returns.  Created only by the
+/// Optimizer.
+class InlinedExpr : public Expr {
+public:
+  InlinedExpr(std::vector<std::pair<Symbol, ExprPtr>> Bindings, ExprPtr Body,
+              uint32_t Boundary, SourceLoc Loc)
+      : Expr(Kind::Inlined, Loc), Bindings(std::move(Bindings)),
+        Body(std::move(Body)), Boundary(Boundary) {}
+  std::vector<std::pair<Symbol, ExprPtr>> Bindings;
+  ExprPtr Body;
+  uint32_t Boundary;
+  /// The call site this inlined body replaced (for attribution in
+  /// statistics); may be invalid for closure-call inlining.
+  CallSiteId OriginSite;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Inlined; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// One formal parameter of a method, with an optional class specializer
+/// (`x@Circle`).  An unspecialized formal accepts any object ("@Any").
+struct ParamDecl {
+  Symbol Name;
+  /// Invalid symbol when the formal is unspecialized.
+  Symbol SpecializerName;
+  SourceLoc Loc;
+};
+
+/// `method g(x@C, y) { ... }` — one multi-method case of generic `g`.
+struct MethodDecl {
+  Symbol Name;
+  std::vector<ParamDecl> Params;
+  ExprPtr Body;
+  SourceLoc Loc;
+};
+
+/// `class C isa P1, P2 { slot a; slot b; }`.
+struct ClassDecl {
+  Symbol Name;
+  std::vector<Symbol> Parents;
+  std::vector<Symbol> Slots;
+  SourceLoc Loc;
+};
+
+/// One parsed source file.
+struct Module {
+  std::vector<ClassDecl> Classes;
+  std::vector<MethodDecl> Methods;
+};
+
+/// Calls \p F on each direct child expression of \p E (non-null ones).
+template <typename Fn> void forEachChild(const Expr *E, Fn &&F) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::StrLit:
+  case Expr::Kind::NilLit:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::AssignVar:
+    F(cast<AssignVarExpr>(E)->Value.get());
+    return;
+  case Expr::Kind::Let:
+    F(cast<LetExpr>(E)->Init.get());
+    return;
+  case Expr::Kind::Seq:
+    for (const ExprPtr &Elem : cast<SeqExpr>(E)->Elems)
+      F(Elem.get());
+    return;
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    F(I->Cond.get());
+    F(I->Then.get());
+    if (I->Else)
+      F(I->Else.get());
+    return;
+  }
+  case Expr::Kind::While: {
+    const auto *W = cast<WhileExpr>(E);
+    F(W->Cond.get());
+    F(W->Body.get());
+    return;
+  }
+  case Expr::Kind::Send:
+    for (const ExprPtr &A : cast<SendExpr>(E)->Args)
+      F(A.get());
+    return;
+  case Expr::Kind::ClosureCall: {
+    const auto *C = cast<ClosureCallExpr>(E);
+    F(C->Callee.get());
+    for (const ExprPtr &A : C->Args)
+      F(A.get());
+    return;
+  }
+  case Expr::Kind::ClosureLit:
+    F(cast<ClosureLitExpr>(E)->Body.get());
+    return;
+  case Expr::Kind::New:
+    for (const auto &[Slot, Init] : cast<NewExpr>(E)->Inits)
+      F(Init.get());
+    return;
+  case Expr::Kind::SlotGet:
+    F(cast<SlotGetExpr>(E)->Object.get());
+    return;
+  case Expr::Kind::SlotSet: {
+    const auto *S = cast<SlotSetExpr>(E);
+    F(S->Object.get());
+    F(S->Value.get());
+    return;
+  }
+  case Expr::Kind::Return:
+    if (const ExprPtr &V = cast<ReturnExpr>(E)->Value)
+      F(V.get());
+    return;
+  case Expr::Kind::Inlined: {
+    const auto *I = cast<InlinedExpr>(E);
+    for (const auto &[Name, Init] : I->Bindings)
+      F(Init.get());
+    F(I->Body.get());
+    return;
+  }
+  }
+}
+
+} // namespace selspec
+
+#endif // SELSPEC_LANG_AST_H

@@ -1,0 +1,203 @@
+//===- lang/AstPrinter.cpp - Debug printing of Mica ASTs -------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+#include <sstream>
+
+using namespace selspec;
+
+namespace {
+
+class Printer {
+public:
+  explicit Printer(const SymbolTable &Syms) : Syms(Syms) {}
+
+  void print(const Expr *E, std::ostringstream &OS) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+      OS << "(int " << cast<IntLitExpr>(E)->Value << ')';
+      return;
+    case Expr::Kind::BoolLit:
+      OS << "(bool " << (cast<BoolLitExpr>(E)->Value ? "true" : "false")
+         << ')';
+      return;
+    case Expr::Kind::StrLit:
+      OS << "(str \"" << cast<StrLitExpr>(E)->Value << "\")";
+      return;
+    case Expr::Kind::NilLit:
+      OS << "(nil)";
+      return;
+    case Expr::Kind::VarRef:
+      OS << "(var " << Syms.name(cast<VarRefExpr>(E)->Name) << ')';
+      return;
+    case Expr::Kind::AssignVar: {
+      const auto *A = cast<AssignVarExpr>(E);
+      OS << "(assign " << Syms.name(A->Name) << ' ';
+      print(A->Value.get(), OS);
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      OS << "(let " << Syms.name(L->Name) << ' ';
+      print(L->Init.get(), OS);
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::Seq: {
+      const auto *S = cast<SeqExpr>(E);
+      OS << "(seq";
+      for (const ExprPtr &Elem : S->Elems) {
+        OS << ' ';
+        print(Elem.get(), OS);
+      }
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      OS << "(if ";
+      print(I->Cond.get(), OS);
+      OS << ' ';
+      print(I->Then.get(), OS);
+      if (I->Else) {
+        OS << ' ';
+        print(I->Else.get(), OS);
+      }
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::While: {
+      const auto *W = cast<WhileExpr>(E);
+      OS << "(while ";
+      print(W->Cond.get(), OS);
+      OS << ' ';
+      print(W->Body.get(), OS);
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::Send: {
+      const auto *S = cast<SendExpr>(E);
+      OS << "(send";
+      switch (S->Binding.Kind) {
+      case SendBindKind::Dynamic:
+        break;
+      case SendBindKind::Static:
+        OS << "[static]";
+        break;
+      case SendBindKind::StaticSelect:
+        OS << "[select]";
+        break;
+      case SendBindKind::InlinePrim:
+        OS << "[prim]";
+        break;
+      case SendBindKind::Predicted:
+        OS << "[pred]";
+        break;
+      case SendBindKind::FeedbackGuard:
+        OS << "[fb]";
+        break;
+      }
+      OS << ' ' << Syms.name(S->GenericName);
+      for (const ExprPtr &A : S->Args) {
+        OS << ' ';
+        print(A.get(), OS);
+      }
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::ClosureCall: {
+      const auto *C = cast<ClosureCallExpr>(E);
+      OS << "(call ";
+      print(C->Callee.get(), OS);
+      for (const ExprPtr &A : C->Args) {
+        OS << ' ';
+        print(A.get(), OS);
+      }
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::ClosureLit: {
+      const auto *C = cast<ClosureLitExpr>(E);
+      OS << "(fn (";
+      for (size_t I = 0; I != C->Params.size(); ++I) {
+        if (I)
+          OS << ' ';
+        OS << Syms.name(C->Params[I]);
+      }
+      OS << ") ";
+      print(C->Body.get(), OS);
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::New: {
+      const auto *N = cast<NewExpr>(E);
+      OS << "(new " << Syms.name(N->ClassName);
+      for (const auto &[SlotName, Init] : N->Inits) {
+        OS << " (" << Syms.name(SlotName) << ' ';
+        print(Init.get(), OS);
+        OS << ')';
+      }
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::SlotGet: {
+      const auto *G = cast<SlotGetExpr>(E);
+      OS << "(get ";
+      print(G->Object.get(), OS);
+      OS << ' ' << Syms.name(G->SlotName) << ')';
+      return;
+    }
+    case Expr::Kind::SlotSet: {
+      const auto *S = cast<SlotSetExpr>(E);
+      OS << "(set ";
+      print(S->Object.get(), OS);
+      OS << ' ' << Syms.name(S->SlotName) << ' ';
+      print(S->Value.get(), OS);
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::Return: {
+      const auto *R = cast<ReturnExpr>(E);
+      OS << "(return";
+      if (R->Boundary != 0)
+        OS << '#' << R->Boundary;
+      if (R->Value) {
+        OS << ' ';
+        print(R->Value.get(), OS);
+      }
+      OS << ')';
+      return;
+    }
+    case Expr::Kind::Inlined: {
+      const auto *I = cast<InlinedExpr>(E);
+      OS << "(inlined#" << I->Boundary;
+      for (const auto &[Name, Init] : I->Bindings) {
+        OS << " (" << Syms.name(Name) << ' ';
+        print(Init.get(), OS);
+        OS << ')';
+      }
+      OS << ' ';
+      print(I->Body.get(), OS);
+      OS << ')';
+      return;
+    }
+    }
+    OS << "(?)";
+  }
+
+private:
+  const SymbolTable &Syms;
+};
+
+} // namespace
+
+std::string selspec::printExpr(const Expr *E, const SymbolTable &Syms) {
+  std::ostringstream OS;
+  Printer(Syms).print(E, OS);
+  return OS.str();
+}

@@ -1,0 +1,28 @@
+//===- lang/AstPrinter.h - Debug printing of Mica ASTs ---------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an expression tree as an s-expression-like string; used by the
+/// parser/optimizer tests to assert on tree shape, and handy for debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_LANG_ASTPRINTER_H
+#define SELSPEC_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace selspec {
+
+/// Prints \p E compactly, e.g. `(send + (var x) (int 1))`.  Optimizer
+/// annotations are shown as suffixes on sends, e.g. `(send[static] ...)`.
+std::string printExpr(const Expr *E, const SymbolTable &Syms);
+
+} // namespace selspec
+
+#endif // SELSPEC_LANG_ASTPRINTER_H

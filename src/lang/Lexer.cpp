@@ -1,0 +1,237 @@
+//===- lang/Lexer.cpp - Mica lexer ----------------------------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace selspec;
+
+const char *selspec::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof: return "end of input";
+  case TokenKind::Ident: return "identifier";
+  case TokenKind::IntLit: return "integer literal";
+  case TokenKind::StrLit: return "string literal";
+  case TokenKind::KwClass: return "'class'";
+  case TokenKind::KwIsa: return "'isa'";
+  case TokenKind::KwSlot: return "'slot'";
+  case TokenKind::KwMethod: return "'method'";
+  case TokenKind::KwLet: return "'let'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwNew: return "'new'";
+  case TokenKind::KwFn: return "'fn'";
+  case TokenKind::KwTrue: return "'true'";
+  case TokenKind::KwFalse: return "'false'";
+  case TokenKind::KwNil: return "'nil'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Dot: return "'.'";
+  case TokenKind::At: return "'@'";
+  case TokenKind::Assign: return "':='";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::EqEq: return "'=='";
+  case TokenKind::BangEq: return "'!='";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::LessEq: return "'<='";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::GreaterEq: return "'>='";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Bang: return "'!'";
+  }
+  return "token";
+}
+
+Lexer::Lexer(std::string Source, Diagnostics &Diags)
+    : Src(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordMap() {
+  static const std::unordered_map<std::string, TokenKind> Map = {
+      {"class", TokenKind::KwClass},   {"isa", TokenKind::KwIsa},
+      {"slot", TokenKind::KwSlot},     {"method", TokenKind::KwMethod},
+      {"let", TokenKind::KwLet},       {"return", TokenKind::KwReturn},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},   {"new", TokenKind::KwNew},
+      {"fn", TokenKind::KwFn},         {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"nil", TokenKind::KwNil},
+  };
+  return Map;
+}
+
+Token Lexer::next() {
+  // Skip whitespace and comments.
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    break;
+  }
+
+  Token T;
+  T.Loc = loc();
+  if (Pos >= Src.size()) {
+    T.Kind = TokenKind::Eof;
+    return T;
+  }
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    auto It = keywordMap().find(Text);
+    if (It != keywordMap().end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = TokenKind::Ident;
+      T.Text = std::move(Text);
+    }
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t V = C - '0';
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      V = V * 10 + (advance() - '0');
+    T.Kind = TokenKind::IntLit;
+    T.IntValue = V;
+    return T;
+  }
+
+  switch (C) {
+  case '"': {
+    std::string Text;
+    while (peek() != '"' && peek() != '\0') {
+      char D = advance();
+      if (D == '\\') {
+        char E = advance();
+        switch (E) {
+        case 'n': Text += '\n'; break;
+        case 't': Text += '\t'; break;
+        case '\\': Text += '\\'; break;
+        case '"': Text += '"'; break;
+        default:
+          Diags.error(loc(), std::string("unknown escape '\\") + E + "'");
+          break;
+        }
+      } else {
+        Text += D;
+      }
+    }
+    if (!match('"'))
+      Diags.error(T.Loc, "unterminated string literal");
+    T.Kind = TokenKind::StrLit;
+    T.Text = std::move(Text);
+    return T;
+  }
+  case '(': T.Kind = TokenKind::LParen; return T;
+  case ')': T.Kind = TokenKind::RParen; return T;
+  case '{': T.Kind = TokenKind::LBrace; return T;
+  case '}': T.Kind = TokenKind::RBrace; return T;
+  case ',': T.Kind = TokenKind::Comma; return T;
+  case ';': T.Kind = TokenKind::Semi; return T;
+  case '.': T.Kind = TokenKind::Dot; return T;
+  case '@': T.Kind = TokenKind::At; return T;
+  case ':':
+    if (match('=')) {
+      T.Kind = TokenKind::Assign;
+      return T;
+    }
+    Diags.error(T.Loc, "expected '=' after ':'");
+    return next();
+  case '+': T.Kind = TokenKind::Plus; return T;
+  case '-': T.Kind = TokenKind::Minus; return T;
+  case '*': T.Kind = TokenKind::Star; return T;
+  case '/': T.Kind = TokenKind::Slash; return T;
+  case '%': T.Kind = TokenKind::Percent; return T;
+  case '=':
+    if (match('=')) {
+      T.Kind = TokenKind::EqEq;
+      return T;
+    }
+    Diags.error(T.Loc, "expected '==' (assignment is ':=')");
+    return next();
+  case '!':
+    T.Kind = match('=') ? TokenKind::BangEq : TokenKind::Bang;
+    return T;
+  case '<':
+    T.Kind = match('=') ? TokenKind::LessEq : TokenKind::Less;
+    return T;
+  case '>':
+    T.Kind = match('=') ? TokenKind::GreaterEq : TokenKind::Greater;
+    return T;
+  case '&':
+    if (match('&')) {
+      T.Kind = TokenKind::AmpAmp;
+      return T;
+    }
+    Diags.error(T.Loc, "expected '&&'");
+    return next();
+  case '|':
+    if (match('|')) {
+      T.Kind = TokenKind::PipePipe;
+      return T;
+    }
+    Diags.error(T.Loc, "expected '||'");
+    return next();
+  default:
+    Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = next();
+    bool Done = T.Kind == TokenKind::Eof;
+    Out.push_back(std::move(T));
+    if (Done)
+      return Out;
+  }
+}

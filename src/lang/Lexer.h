@@ -1,0 +1,48 @@
+//===- lang/Lexer.h - Mica lexer -------------------------------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for Mica.  Comments run from "//" to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_LANG_LEXER_H
+#define SELSPEC_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace selspec {
+
+class Lexer {
+public:
+  Lexer(std::string Source, Diagnostics &Diags);
+
+  /// Lexes the whole input.  The returned vector always ends with an Eof
+  /// token; on error, diagnostics are emitted and offending characters are
+  /// skipped so parsing can still be attempted.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  std::string Src;
+  Diagnostics &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_LANG_LEXER_H

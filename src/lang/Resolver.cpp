@@ -1,0 +1,178 @@
+//===- lang/Resolver.cpp - Name resolution and call-site numbering ---------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Resolver.h"
+
+#include "hierarchy/Program.h"
+
+using namespace selspec;
+
+bool Resolver::isBound(Symbol Name) const {
+  for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It)
+    for (Symbol S : *It)
+      if (S == Name)
+        return true;
+  return false;
+}
+
+void Resolver::resolveMethod(MethodInfo &M) {
+  Scopes.clear();
+  pushScope();
+  for (Symbol S : M.ParamNames)
+    bind(S);
+  CurrentMethod = M.Id;
+  resolveExpr(M.Body);
+  popScope();
+}
+
+void Resolver::resolveExpr(ExprPtr &E) {
+  assert(E && "resolving null expression");
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::StrLit:
+  case Expr::Kind::NilLit:
+    return;
+
+  case Expr::Kind::VarRef: {
+    auto *V = cast<VarRefExpr>(E.get());
+    if (!isBound(V->Name))
+      Diags.error(V->getLoc(),
+                  "unknown variable '" + P.Syms.name(V->Name) + "'");
+    return;
+  }
+
+  case Expr::Kind::AssignVar: {
+    auto *A = cast<AssignVarExpr>(E.get());
+    if (!isBound(A->Name))
+      Diags.error(A->getLoc(),
+                  "assignment to unknown variable '" +
+                      P.Syms.name(A->Name) + "'");
+    resolveExpr(A->Value);
+    return;
+  }
+
+  case Expr::Kind::Let: {
+    auto *L = cast<LetExpr>(E.get());
+    resolveExpr(L->Init);
+    bind(L->Name);
+    return;
+  }
+
+  case Expr::Kind::Seq: {
+    auto *S = cast<SeqExpr>(E.get());
+    pushScope();
+    for (ExprPtr &Elem : S->Elems)
+      resolveExpr(Elem);
+    popScope();
+    return;
+  }
+
+  case Expr::Kind::If: {
+    auto *I = cast<IfExpr>(E.get());
+    resolveExpr(I->Cond);
+    resolveExpr(I->Then);
+    if (I->Else)
+      resolveExpr(I->Else);
+    return;
+  }
+
+  case Expr::Kind::While: {
+    auto *W = cast<WhileExpr>(E.get());
+    resolveExpr(W->Cond);
+    resolveExpr(W->Body);
+    return;
+  }
+
+  case Expr::Kind::Send: {
+    auto *S = cast<SendExpr>(E.get());
+    // Bare `f(args)` on a lexically-bound name is a closure call.
+    if (!S->DefinitelySend && isBound(S->GenericName)) {
+      auto Callee =
+          std::make_unique<VarRefExpr>(S->GenericName, S->getLoc());
+      auto Call = std::make_unique<ClosureCallExpr>(
+          std::move(Callee), std::move(S->Args), S->getLoc());
+      E = std::move(Call);
+      resolveExpr(E);
+      return;
+    }
+    unsigned Arity = static_cast<unsigned>(S->Args.size());
+    GenericId G = P.lookupGeneric(S->GenericName, Arity);
+    if (!G.isValid()) {
+      Diags.error(S->getLoc(), "unknown message '" +
+                                   P.Syms.name(S->GenericName) + "' with " +
+                                   std::to_string(Arity) + " argument(s)");
+      return;
+    }
+    S->Generic = G;
+    S->Site = CallSiteId(P.numCallSites());
+    P.CallSites.push_back({S->Site, CurrentMethod, S});
+    for (ExprPtr &A : S->Args)
+      resolveExpr(A);
+    return;
+  }
+
+  case Expr::Kind::ClosureCall: {
+    auto *C = cast<ClosureCallExpr>(E.get());
+    resolveExpr(C->Callee);
+    for (ExprPtr &A : C->Args)
+      resolveExpr(A);
+    return;
+  }
+
+  case Expr::Kind::ClosureLit: {
+    auto *C = cast<ClosureLitExpr>(E.get());
+    pushScope();
+    for (Symbol S : C->Params)
+      bind(S);
+    resolveExpr(C->Body);
+    popScope();
+    return;
+  }
+
+  case Expr::Kind::New: {
+    auto *N = cast<NewExpr>(E.get());
+    N->Class = P.Classes.lookup(N->ClassName);
+    if (!N->Class.isValid()) {
+      Diags.error(N->getLoc(),
+                  "unknown class '" + P.Syms.name(N->ClassName) + "'");
+      return;
+    }
+    for (auto &[SlotName, Init] : N->Inits) {
+      if (P.Classes.slotIndex(N->Class, SlotName) < 0)
+        Diags.error(N->getLoc(),
+                    "class '" + P.Syms.name(N->ClassName) +
+                        "' has no slot '" + P.Syms.name(SlotName) + "'");
+      resolveExpr(Init);
+    }
+    return;
+  }
+
+  case Expr::Kind::SlotGet: {
+    auto *G = cast<SlotGetExpr>(E.get());
+    resolveExpr(G->Object);
+    return;
+  }
+
+  case Expr::Kind::SlotSet: {
+    auto *S = cast<SlotSetExpr>(E.get());
+    resolveExpr(S->Object);
+    resolveExpr(S->Value);
+    return;
+  }
+
+  case Expr::Kind::Return: {
+    auto *R = cast<ReturnExpr>(E.get());
+    if (R->Value)
+      resolveExpr(R->Value);
+    return;
+  }
+
+  case Expr::Kind::Inlined:
+    assert(false && "InlinedExpr cannot appear in source");
+    return;
+  }
+}

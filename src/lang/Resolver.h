@@ -1,0 +1,54 @@
+//===- lang/Resolver.h - Name resolution and call-site numbering -*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Resolver runs once per user method after all modules are loaded:
+///  - binds variable references against lexical scopes (formals, lets,
+///    closure parameters) and reports unknown names;
+///  - rewrites `f(args)` into a closure call when `f` is lexically bound,
+///    otherwise binds it to the generic function (name, arity);
+///  - resolves `new C` class names;
+///  - numbers every message-send site with a dense program-wide CallSiteId
+///    and registers it in the Program's call-site table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_LANG_RESOLVER_H
+#define SELSPEC_LANG_RESOLVER_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace selspec {
+
+class Program;
+struct MethodInfo;
+
+class Resolver {
+public:
+  Resolver(Program &P, Diagnostics &Diags) : P(P), Diags(Diags) {}
+
+  /// Resolves \p M's body in place.
+  void resolveMethod(MethodInfo &M);
+
+private:
+  void resolveExpr(ExprPtr &E);
+  bool isBound(Symbol Name) const;
+  void bind(Symbol Name) { Scopes.back().push_back(Name); }
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  Program &P;
+  Diagnostics &Diags;
+  std::vector<std::vector<Symbol>> Scopes;
+  MethodId CurrentMethod;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_LANG_RESOLVER_H

@@ -1,0 +1,62 @@
+//===- opt/CompiledProgram.cpp - Compiled method versions ------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/CompiledProgram.h"
+
+using namespace selspec;
+
+uint32_t CompiledProgram::addVersion(CompiledMethod CM) {
+  if (ByMethod.size() < P.numMethods())
+    ByMethod.resize(P.numMethods());
+  uint32_t Index = static_cast<uint32_t>(Versions.size());
+  CM.Index = Index;
+  ByMethod[CM.Source.value()].push_back(Index);
+  Versions.push_back(std::move(CM));
+  return Index;
+}
+
+int CompiledProgram::selectVersion(
+    MethodId M, const std::vector<ClassId> &ArgClasses) const {
+  int Best = -1;
+  for (uint32_t Index : ByMethod[M.value()]) {
+    const CompiledMethod &CM = Versions[Index];
+    if (!tupleContains(CM.Tuple, ArgClasses))
+      continue;
+    if (Best < 0 ||
+        tupleSubsetOf(CM.Tuple, Versions[Best].Tuple))
+      Best = static_cast<int>(Index);
+  }
+  return Best;
+}
+
+unsigned CompiledProgram::numCompiledRoutines() const {
+  unsigned N = 0;
+  for (const CompiledMethod &CM : Versions)
+    if (!P.method(CM.Source).isBuiltin())
+      ++N;
+  return N;
+}
+
+unsigned CompiledProgram::numInvokedRoutines() const {
+  unsigned N = 0;
+  for (const CompiledMethod &CM : Versions)
+    if (CM.Invoked && !P.method(CM.Source).isBuiltin())
+      ++N;
+  return N;
+}
+
+uint64_t CompiledProgram::totalCodeSize() const {
+  uint64_t N = 0;
+  for (const CompiledMethod &CM : Versions)
+    if (!P.method(CM.Source).isBuiltin())
+      N += CM.CodeSize;
+  return N;
+}
+
+void CompiledProgram::resetInvoked() {
+  for (CompiledMethod &CM : Versions)
+    CM.Invoked = false;
+}

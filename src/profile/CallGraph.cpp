@@ -1,0 +1,73 @@
+//===- profile/CallGraph.cpp - Weighted dynamic call graph -----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace selspec;
+
+void CallGraph::addHits(CallSiteId Site, MethodId Caller, MethodId Callee,
+                        uint64_t N) {
+  assert(Site.isValid() && Caller.isValid() && Callee.isValid() &&
+         "invalid arc component");
+  Weights[{Site.value(), Caller.value(), Callee.value()}] += N;
+}
+
+static Arc makeArc(uint32_t Site, uint32_t Caller, uint32_t Callee,
+                   uint64_t W) {
+  return Arc{CallSiteId(Site), MethodId(Caller), MethodId(Callee), W};
+}
+
+std::vector<Arc> CallGraph::arcs() const {
+  std::vector<Arc> Out;
+  Out.reserve(Weights.size());
+  for (const auto &[K, W] : Weights)
+    Out.push_back(makeArc(K.Site, K.Caller, K.Callee, W));
+  std::sort(Out.begin(), Out.end(), [](const Arc &A, const Arc &B) {
+    if (A.Site != B.Site)
+      return A.Site < B.Site;
+    return A.Callee < B.Callee;
+  });
+  return Out;
+}
+
+std::vector<Arc> CallGraph::arcsFrom(MethodId Caller) const {
+  std::vector<Arc> Out;
+  for (const Arc &A : arcs())
+    if (A.Caller == Caller)
+      Out.push_back(A);
+  return Out;
+}
+
+std::vector<Arc> CallGraph::arcsTo(MethodId Callee) const {
+  std::vector<Arc> Out;
+  for (const Arc &A : arcs())
+    if (A.Callee == Callee)
+      Out.push_back(A);
+  return Out;
+}
+
+std::vector<Arc> CallGraph::arcsAt(CallSiteId Site) const {
+  std::vector<Arc> Out;
+  for (const Arc &A : arcs())
+    if (A.Site == Site)
+      Out.push_back(A);
+  return Out;
+}
+
+uint64_t CallGraph::totalWeight() const {
+  uint64_t Total = 0;
+  for (const auto &[K, W] : Weights)
+    Total += W;
+  return Total;
+}
+
+void CallGraph::merge(const CallGraph &Other) {
+  for (const auto &[K, W] : Other.Weights)
+    Weights[K] += W;
+}

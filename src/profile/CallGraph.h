@@ -1,0 +1,82 @@
+//===- profile/CallGraph.h - Weighted dynamic call graph -------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The weighted call graph the specialization algorithm consumes: for each
+/// call site, the set of methods invoked from it and how many times (one
+/// arc per (site, callee); a dynamically-dispatched site can have several
+/// arcs).  Matches the paper's Caller(arc), Callee(arc), CallSite(arc),
+/// Weight(arc) accessors.  Arcs are recorded for statically-bound sites
+/// too, since cascadeSpecializations needs their weights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_PROFILE_CALLGRAPH_H
+#define SELSPEC_PROFILE_CALLGRAPH_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace selspec {
+
+/// One weighted arc of the dynamic call graph.
+struct Arc {
+  CallSiteId Site;
+  MethodId Caller;
+  MethodId Callee;
+  uint64_t Weight = 0;
+};
+
+class CallGraph {
+public:
+  /// Records \p N invocations of \p Callee from \p Site (inside \p Caller).
+  void addHits(CallSiteId Site, MethodId Caller, MethodId Callee,
+               uint64_t N = 1);
+
+  /// All arcs in a deterministic order (by site, then callee).
+  std::vector<Arc> arcs() const;
+
+  /// Arcs leaving \p Caller / arriving at \p Callee.
+  std::vector<Arc> arcsFrom(MethodId Caller) const;
+  std::vector<Arc> arcsTo(MethodId Callee) const;
+  /// Arcs of one call site.
+  std::vector<Arc> arcsAt(CallSiteId Site) const;
+
+  uint64_t totalWeight() const;
+  bool empty() const { return Weights.empty(); }
+  size_t numArcs() const { return Weights.size(); }
+
+  /// Accumulates \p Other into this graph (profiles from several runs).
+  void merge(const CallGraph &Other);
+
+  void clear() { Weights.clear(); }
+
+private:
+  struct Key {
+    uint32_t Site;
+    uint32_t Caller;
+    uint32_t Callee;
+    bool operator==(const Key &K) const {
+      return Site == K.Site && Caller == K.Caller && Callee == K.Callee;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      uint64_t H = (uint64_t(K.Site) << 40) ^ (uint64_t(K.Caller) << 20) ^
+                   K.Callee;
+      return std::hash<uint64_t>()(H);
+    }
+  };
+
+  std::unordered_map<Key, uint64_t, KeyHash> Weights;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_PROFILE_CALLGRAPH_H

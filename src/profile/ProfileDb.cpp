@@ -1,0 +1,73 @@
+//===- profile/ProfileDb.cpp - Persistent profile database -----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileDb.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace selspec;
+
+std::string ProfileDb::serialize() const {
+  std::ostringstream OS;
+  OS << "selspec-profile v1\n";
+  for (const auto &[Name, Graph] : Graphs) {
+    std::vector<Arc> Arcs = Graph.arcs();
+    OS << "program " << Name << ' ' << Arcs.size() << '\n';
+    for (const Arc &A : Arcs)
+      OS << "arc " << A.Site.value() << ' ' << A.Caller.value() << ' '
+         << A.Callee.value() << ' ' << A.Weight << '\n';
+  }
+  return OS.str();
+}
+
+bool ProfileDb::deserialize(const std::string &Text) {
+  std::istringstream IS(Text);
+  std::string Header;
+  if (!std::getline(IS, Header) || Header != "selspec-profile v1")
+    return false;
+
+  std::string Word;
+  CallGraph *Current = nullptr;
+  while (IS >> Word) {
+    if (Word == "program") {
+      std::string Name;
+      size_t NumArcs;
+      if (!(IS >> Name >> NumArcs))
+        return false;
+      Current = &Graphs[Name];
+      continue;
+    }
+    if (Word == "arc") {
+      uint32_t Site, Caller, Callee;
+      uint64_t Weight;
+      if (!Current || !(IS >> Site >> Caller >> Callee >> Weight))
+        return false;
+      Current->addHits(CallSiteId(Site), MethodId(Caller), MethodId(Callee),
+                       Weight);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ProfileDb::saveToFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  OS << serialize();
+  return static_cast<bool>(OS);
+}
+
+bool ProfileDb::loadFromFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return false;
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  return deserialize(Buf.str());
+}

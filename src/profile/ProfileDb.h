@@ -1,0 +1,62 @@
+//===- profile/ProfileDb.h - Persistent profile database -------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.7.2: "our compiler maintains a persistent internal database of
+/// profile information that is consulted transparently during
+/// compilations."  This is that database: call graphs keyed by a program
+/// name, saved to and loaded from a simple line-oriented text format so
+/// profiles can be gathered rarely and reused across many compiles.
+///
+/// Format:
+///   selspec-profile v1
+///   program <name> <num-arcs>
+///   arc <site> <caller> <callee> <weight>
+///   ...
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_PROFILE_PROFILEDB_H
+#define SELSPEC_PROFILE_PROFILEDB_H
+
+#include "profile/CallGraph.h"
+
+#include <map>
+#include <string>
+
+namespace selspec {
+
+class ProfileDb {
+public:
+  /// Returns the profile for \p ProgramName, creating an empty one.
+  CallGraph &forProgram(const std::string &ProgramName) {
+    return Graphs[ProgramName];
+  }
+
+  bool hasProgram(const std::string &ProgramName) const {
+    return Graphs.count(ProgramName) != 0;
+  }
+
+  /// Serializes the whole database.
+  std::string serialize() const;
+
+  /// Parses \p Text, merging into this database.  Returns false (leaving
+  /// partial content merged) on malformed input.
+  bool deserialize(const std::string &Text);
+
+  /// File convenience wrappers.
+  bool saveToFile(const std::string &Path) const;
+  bool loadFromFile(const std::string &Path);
+
+  size_t numPrograms() const { return Graphs.size(); }
+
+private:
+  std::map<std::string, CallGraph> Graphs;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_PROFILE_PROFILEDB_H

@@ -1,0 +1,81 @@
+//===- runtime/DispatchTable.h - Compressed dispatch tables ----*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.5 lists compressed multi-method dispatch tables (Chen et
+/// al., Amiel et al.) among the lookup mechanisms a runtime with
+/// specialized multi-methods can use.  This is that mechanism: per
+/// generic function, an n-dimensional table indexed by per-argument class
+/// groups.  Classes that behave identically at an argument position share
+/// a group (the compression), so the table size is the product of the
+/// *behavioral* group counts rather than of the class counts.
+///
+/// Lookup is two array reads per dispatched argument plus one table read —
+/// constant time, no search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_RUNTIME_DISPATCHTABLE_H
+#define SELSPEC_RUNTIME_DISPATCHTABLE_H
+
+#include "hierarchy/Program.h"
+
+#include <vector>
+
+namespace selspec {
+
+/// Compressed dispatch table for one generic function.
+class DispatchTable {
+public:
+  /// Builds the table for \p G by enumerating dispatch behaviors.
+  DispatchTable(const Program &P, GenericId G);
+
+  /// The method invoked for the given argument classes, or invalid for
+  /// "message not understood"/ambiguous.  Equivalent to P.dispatch().
+  MethodId lookup(const std::vector<ClassId> &ArgClasses) const;
+
+  /// Compression statistics.
+  unsigned numDispatchedPositions() const {
+    return static_cast<unsigned>(GroupOf.size());
+  }
+  unsigned numGroups(unsigned DispatchedPos) const {
+    return GroupCount[DispatchedPos];
+  }
+  size_t tableSize() const { return Table.size(); }
+  /// Table cells an uncompressed class^n table would need.
+  size_t uncompressedSize() const;
+
+private:
+  const Program &P;
+  GenericId G;
+  /// Positions of the generic that actually dispatch.
+  std::vector<unsigned> Positions;
+  /// GroupOf[i][classId] = group index of the class at dispatched
+  /// position i.
+  std::vector<std::vector<uint32_t>> GroupOf;
+  std::vector<uint32_t> GroupCount;
+  /// Row-major over group indexes.
+  std::vector<MethodId> Table;
+};
+
+/// A full set of tables, one per generic, sharing the Program.
+class DispatchTableSet {
+public:
+  explicit DispatchTableSet(const Program &P);
+
+  const DispatchTable &forGeneric(GenericId G) const {
+    return Tables[G.value()];
+  }
+  size_t totalCells() const;
+  size_t totalUncompressedCells() const;
+
+private:
+  std::vector<DispatchTable> Tables;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_RUNTIME_DISPATCHTABLE_H

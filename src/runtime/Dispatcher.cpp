@@ -1,0 +1,75 @@
+//===- runtime/Dispatcher.cpp - Multi-method dispatch ----------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Dispatcher.h"
+
+using namespace selspec;
+
+uint64_t Dispatcher::tupleKey(GenericId G,
+                              const std::vector<ClassId> &ArgClasses) {
+  // FNV-style mix of the generic id and argument classes.  Collisions only
+  // cost correctness if two distinct tuples hash equal; to stay exact we
+  // only use this key for the memo map *together with* a per-key check in
+  // lookup (the PIC path already compares classes exactly).  The class
+  // universe is small (< 2^10) and arity < 8, so pack exactly when
+  // possible.
+  uint64_t Key = G.value();
+  for (ClassId C : ArgClasses)
+    Key = (Key << 10) ^ (C.value() + 1);
+  return Key;
+}
+
+unsigned Dispatcher::picSize(CallSiteId Site) const {
+  auto It = Pics.find(Site.value());
+  return It == Pics.end()
+             ? 0
+             : static_cast<unsigned>(It->second.Entries.size());
+}
+
+MethodId Dispatcher::lookup(GenericId G,
+                            const std::vector<ClassId> &ArgClasses,
+                            CallSiteId Site) {
+  ++S.Lookups;
+
+  struct Pic *SitePic = nullptr;
+  if (Site.isValid()) {
+    SitePic = &Pics[Site.value()];
+    if (!SitePic->Megamorphic) {
+      for (const PicEntry &E : SitePic->Entries) {
+        if (E.Classes == ArgClasses) {
+          ++S.PicHits;
+          return E.Target;
+        }
+      }
+    }
+  }
+
+  uint64_t Key = tupleKey(G, ArgClasses);
+  MethodId Target;
+  auto It = Memo.find(Key);
+  if (It != Memo.end()) {
+    ++S.MemoHits;
+    Target = It->second;
+  } else {
+    ++S.FullLookups;
+    Target = P.dispatch(G, ArgClasses);
+    Memo.emplace(Key, Target);
+  }
+
+  if (SitePic && Target.isValid() && !SitePic->Megamorphic) {
+    if (SitePic->Entries.size() >= PicCapacity) {
+      // The site is megamorphic: caching per-site no longer pays; drop
+      // the cache and rely on the global memo from now on.
+      SitePic->Megamorphic = true;
+      SitePic->Entries.clear();
+      SitePic->Entries.shrink_to_fit();
+      ++S.MegamorphicSites;
+    } else {
+      SitePic->Entries.push_back({ArgClasses, Target});
+    }
+  }
+  return Target;
+}

@@ -1,0 +1,53 @@
+//===- runtime/Heap.h - Object allocation ----------------------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple growing arena for runtime objects.  The benchmark programs have
+/// bounded allocation, so no collector is needed; everything is released
+/// when the Heap is destroyed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_RUNTIME_HEAP_H
+#define SELSPEC_RUNTIME_HEAP_H
+
+#include "runtime/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace selspec {
+
+class Heap {
+public:
+  Obj *newInstance(ClassId Class, unsigned NumSlots) {
+    return track(std::make_unique<Obj>(Class, NumSlots));
+  }
+  Obj *newString(std::string S) {
+    return track(std::make_unique<Obj>(std::move(S)));
+  }
+  Obj *newArray(size_t N) { return track(std::make_unique<Obj>(N)); }
+  Obj *newClosure(const ClosureLitExpr *Lit, EnvPtr Captured,
+                  uint64_t HomeActivation) {
+    return track(
+        std::make_unique<Obj>(Lit, std::move(Captured), HomeActivation));
+  }
+
+  /// Total objects ever allocated (a run statistic).
+  uint64_t numAllocated() const { return Objects.size(); }
+
+private:
+  Obj *track(std::unique_ptr<Obj> O) {
+    Objects.push_back(std::move(O));
+    return Objects.back().get();
+  }
+
+  std::vector<std::unique_ptr<Obj>> Objects;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_RUNTIME_HEAP_H

@@ -1,0 +1,159 @@
+//===- runtime/Value.h - Mica runtime values -------------------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tagged runtime values.  Ints, bools and nil are immediate; strings,
+/// arrays, class instances and closures are heap objects (Obj).  Lexical
+/// environments (Env) also live here because closures capture them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_RUNTIME_VALUE_H
+#define SELSPEC_RUNTIME_VALUE_H
+
+#include "hierarchy/Builtins.h"
+#include "lang/Ast.h"
+#include "support/Ids.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace selspec {
+
+class Obj;
+
+/// A Mica runtime value.
+class Value {
+public:
+  enum class Kind : uint8_t { Nil, Int, Bool, Object };
+
+  Value() : K(Kind::Nil), I(0) {}
+
+  static Value nil() { return Value(); }
+  static Value ofInt(int64_t V) {
+    Value R;
+    R.K = Kind::Int;
+    R.I = V;
+    return R;
+  }
+  static Value ofBool(bool V) {
+    Value R;
+    R.K = Kind::Bool;
+    R.B = V;
+    return R;
+  }
+  static Value ofObj(Obj *O) {
+    Value R;
+    R.K = Kind::Object;
+    R.O = O;
+    return R;
+  }
+
+  Kind kind() const { return K; }
+  bool isNil() const { return K == Kind::Nil; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isObject() const { return K == Kind::Object; }
+
+  int64_t asInt() const {
+    assert(isInt() && "not an int");
+    return I;
+  }
+  bool asBool() const {
+    assert(isBool() && "not a bool");
+    return B;
+  }
+  Obj *asObject() const {
+    assert(isObject() && "not an object");
+    return O;
+  }
+
+  /// The dynamic class of the value (builtin class for immediates).
+  ClassId classOf() const;
+
+  /// Identity / immediate equality (the semantics of the builtin Any ==).
+  bool identicalTo(const Value &RHS) const;
+
+private:
+  Kind K;
+  union {
+    int64_t I;
+    bool B;
+    Obj *O;
+  };
+};
+
+/// A lexical environment: a chain of scopes, each holding (name, value)
+/// bindings.  Closures keep their defining Env alive via shared_ptr.
+class Env {
+public:
+  explicit Env(std::shared_ptr<Env> Parent = nullptr)
+      : Parent(std::move(Parent)) {}
+
+  void define(Symbol Name, Value V) { Bindings.emplace_back(Name, V); }
+
+  /// Innermost binding of \p Name, or null.
+  Value *lookup(Symbol Name) {
+    for (Env *E = this; E; E = E->Parent.get())
+      for (auto It = E->Bindings.rbegin(); It != E->Bindings.rend(); ++It)
+        if (It->first == Name)
+          return &It->second;
+    return nullptr;
+  }
+
+  const std::shared_ptr<Env> &parent() const { return Parent; }
+
+private:
+  std::shared_ptr<Env> Parent;
+  std::vector<std::pair<Symbol, Value>> Bindings;
+};
+
+using EnvPtr = std::shared_ptr<Env>;
+
+/// A heap object: class instance, string, array or closure.
+class Obj {
+public:
+  enum class Payload : uint8_t { Instance, Str, Array, Closure };
+
+  /// Class instance with \p NumSlots nil slots.
+  Obj(ClassId Class, unsigned NumSlots)
+      : Slots(NumSlots), Class(Class), P(Payload::Instance) {}
+
+  /// String.
+  explicit Obj(std::string S)
+      : Str(std::move(S)), Class(builtin::String), P(Payload::Str) {}
+
+  /// Array of \p N nil elements.
+  explicit Obj(size_t N)
+      : Slots(N), Class(builtin::Array), P(Payload::Array) {}
+
+  /// Closure over \p Lit with captured environment and home activation.
+  Obj(const ClosureLitExpr *Lit, EnvPtr Captured, uint64_t HomeActivation)
+      : Lit(Lit), Captured(std::move(Captured)),
+        HomeActivation(HomeActivation), Class(builtin::Closure),
+        P(Payload::Closure) {}
+
+  ClassId getClass() const { return Class; }
+  Payload payload() const { return P; }
+
+  /// Instance slots or array elements.
+  std::vector<Value> Slots;
+  std::string Str;
+
+  // Closure payload.
+  const ClosureLitExpr *Lit = nullptr;
+  EnvPtr Captured;
+  uint64_t HomeActivation = 0;
+
+private:
+  ClassId Class;
+  Payload P;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_RUNTIME_VALUE_H

@@ -1,0 +1,172 @@
+//===- specialize/Directives.cpp - Specialization directives ---------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "specialize/Directives.h"
+
+#include "analysis/ApplicableClasses.h"
+
+#include <sstream>
+
+using namespace selspec;
+
+namespace {
+
+/// Renders a class set as comma-separated names, or "*" for the universe.
+std::string setToDirective(const ClassSet &S, const Program &P) {
+  if (S.isAll())
+    return "*";
+  std::ostringstream OS;
+  bool First = true;
+  for (ClassId C : S.members()) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << P.Syms.name(P.Classes.info(C).Name);
+  }
+  return First ? "-" : OS.str(); // "-" encodes the empty set
+}
+
+bool parseSetDirective(const std::string &Word, const Program &P,
+                       ClassSet &Out, std::string &ErrorOut) {
+  Out = ClassSet::empty(P.Classes.size());
+  if (Word == "*") {
+    Out = P.Classes.allClasses();
+    return true;
+  }
+  if (Word == "-")
+    return true;
+  std::istringstream IS(Word);
+  std::string Name;
+  while (std::getline(IS, Name, ',')) {
+    Symbol S = P.Syms.find(Name);
+    ClassId C = S.isValid() ? P.Classes.lookup(S) : ClassId();
+    if (!C.isValid()) {
+      ErrorOut = "directives name unknown class '" + Name + "'";
+      return false;
+    }
+    Out.insert(C);
+  }
+  return true;
+}
+
+/// Methods identified by label; labels are unique per program because a
+/// generic cannot have two methods with identical specializer tuples.
+MethodId methodByLabel(const Program &P, const std::string &Label) {
+  for (unsigned MI = 0; MI != P.numMethods(); ++MI)
+    if (P.methodLabel(MethodId(MI)) == Label)
+      return MethodId(MI);
+  return MethodId();
+}
+
+} // namespace
+
+std::string selspec::serializeDirectives(const SpecializationPlan &Plan,
+                                         const Program &P) {
+  std::ostringstream OS;
+  OS << "selspec-directives v1\n";
+  OS << "config " << configName(Plan.Configuration)
+     << " cha=" << (Plan.UseCHA ? 1 : 0) << '\n';
+  for (unsigned MI = 0; MI != Plan.VersionsByMethod.size(); ++MI) {
+    const std::vector<SpecTuple> &Versions = Plan.VersionsByMethod[MI];
+    if (Versions.empty())
+      continue;
+    OS << "method " << P.methodLabel(MethodId(MI)) << ' '
+       << Versions.size() << '\n';
+    for (const SpecTuple &T : Versions) {
+      OS << "version";
+      for (const ClassSet &S : T)
+        OS << ' ' << setToDirective(S, P);
+      OS << '\n';
+    }
+  }
+  return OS.str();
+}
+
+bool selspec::deserializeDirectives(const std::string &Text,
+                                    const Program &P,
+                                    const ApplicableClassesAnalysis &AC,
+                                    SpecializationPlan &PlanOut,
+                                    std::string &ErrorOut) {
+  std::istringstream IS(Text);
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != "selspec-directives v1") {
+    ErrorOut = "not a selspec-directives v1 file";
+    return false;
+  }
+
+  PlanOut = SpecializationPlan();
+  PlanOut.VersionsByMethod.resize(P.numMethods());
+
+  MethodId Current;
+  size_t Expected = 0;
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string Word;
+    LS >> Word;
+    if (Word == "config") {
+      std::string Name, Cha;
+      if (!(LS >> Name >> Cha)) {
+        ErrorOut = "malformed config line";
+        return false;
+      }
+      for (Config C : {Config::Base, Config::Cust, Config::CustMM,
+                       Config::CHA, Config::Selective})
+        if (Name == configName(C))
+          PlanOut.Configuration = C;
+      PlanOut.UseCHA = Cha == "cha=1";
+      continue;
+    }
+    if (Word == "method") {
+      std::string Label;
+      if (!(LS >> Label >> Expected)) {
+        ErrorOut = "malformed method line";
+        return false;
+      }
+      Current = methodByLabel(P, Label);
+      if (!Current.isValid()) {
+        ErrorOut = "directives name unknown method '" + Label + "'";
+        return false;
+      }
+      continue;
+    }
+    if (Word == "version") {
+      if (!Current.isValid()) {
+        ErrorOut = "version line before any method line";
+        return false;
+      }
+      const MethodInfo &M = P.method(Current);
+      SpecTuple T;
+      std::string SetWord;
+      while (LS >> SetWord) {
+        ClassSet S(P.Classes.size());
+        if (!parseSetDirective(SetWord, P, S, ErrorOut))
+          return false;
+        T.push_back(std::move(S));
+      }
+      if (T.size() != M.arity()) {
+        ErrorOut = "version arity mismatch for '" +
+                   P.methodLabel(Current) + "'";
+        return false;
+      }
+      PlanOut.VersionsByMethod[Current.value()].push_back(std::move(T));
+      continue;
+    }
+    ErrorOut = "unknown directive '" + Word + "'";
+    return false;
+  }
+
+  // Methods the directives did not mention keep their general version.
+  for (unsigned MI = 0; MI != P.numMethods(); ++MI) {
+    if (P.method(MethodId(MI)).isBuiltin())
+      continue;
+    if (PlanOut.VersionsByMethod[MI].empty())
+      PlanOut.VersionsByMethod[MI].push_back(AC.of(MethodId(MI)));
+  }
+  (void)Expected;
+  return true;
+}

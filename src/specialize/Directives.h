@@ -1,0 +1,53 @@
+//===- specialize/Directives.h - Specialization directives -----*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4: "The implementation of our algorithm constructs a weighted
+/// call graph from profiles of the program and then generates a list of
+/// specialization directives using our algorithm.  The compiler then
+/// executes the directives to produce the specialized versions of
+/// methods."  This module is that interchange format: a textual, name-
+/// based serialization of a SpecializationPlan, stable across recompiles
+/// of the same sources (methods and classes are identified by label, not
+/// by id), so directives can be generated once and replayed by later
+/// compiles — like the persistent profile database of Section 3.7.2.
+///
+/// Format:
+///   selspec-directives v1
+///   config <name> cha=<0|1>
+///   method <label> <num-versions>
+///   version <set> <set> ...        (one per formal; sets are
+///                                   comma-separated class names, or *)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SPECIALIZE_DIRECTIVES_H
+#define SELSPEC_SPECIALIZE_DIRECTIVES_H
+
+#include "specialize/SpecTuple.h"
+
+#include <string>
+
+namespace selspec {
+
+class ApplicableClassesAnalysis;
+
+/// Serializes \p Plan against \p P (names, not ids).
+std::string serializeDirectives(const SpecializationPlan &Plan,
+                                const Program &P);
+
+/// Parses directives back into a plan for \p P.  Returns false (with a
+/// message in \p ErrorOut) on malformed input or names unknown to \p P;
+/// methods absent from the directives keep a single general version built
+/// from \p AC.
+bool deserializeDirectives(const std::string &Text, const Program &P,
+                           const ApplicableClassesAnalysis &AC,
+                           SpecializationPlan &PlanOut,
+                           std::string &ErrorOut);
+
+} // namespace selspec
+
+#endif // SELSPEC_SPECIALIZE_DIRECTIVES_H

@@ -1,0 +1,93 @@
+//===- specialize/SpecTuple.cpp - Specialization tuples --------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "specialize/SpecTuple.h"
+
+#include <sstream>
+
+using namespace selspec;
+
+SpecTuple selspec::tupleIntersect(const SpecTuple &A, const SpecTuple &B) {
+  assert(A.size() == B.size() && "tuple arity mismatch");
+  SpecTuple Out;
+  Out.reserve(A.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    Out.push_back(A[I] & B[I]);
+  return Out;
+}
+
+bool selspec::tupleNonEmpty(const SpecTuple &T) {
+  for (const ClassSet &S : T)
+    if (S.isEmpty())
+      return false;
+  return true;
+}
+
+bool selspec::tupleIntersects(const SpecTuple &A, const SpecTuple &B) {
+  assert(A.size() == B.size() && "tuple arity mismatch");
+  for (size_t I = 0; I != A.size(); ++I)
+    if (!A[I].intersects(B[I]))
+      return false;
+  return true;
+}
+
+bool selspec::tupleEquals(const SpecTuple &A, const SpecTuple &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I] != B[I])
+      return false;
+  return true;
+}
+
+bool selspec::tupleSubsetOf(const SpecTuple &A, const SpecTuple &B) {
+  assert(A.size() == B.size() && "tuple arity mismatch");
+  for (size_t I = 0; I != A.size(); ++I)
+    if (!A[I].isSubsetOf(B[I]))
+      return false;
+  return true;
+}
+
+bool selspec::tupleContains(const SpecTuple &T,
+                            const std::vector<ClassId> &Classes) {
+  assert(T.size() == Classes.size() && "tuple arity mismatch");
+  for (size_t I = 0; I != T.size(); ++I)
+    if (!T[I].contains(Classes[I]))
+      return false;
+  return true;
+}
+
+std::string selspec::tupleToString(const SpecTuple &T,
+                                   const ClassHierarchy &H,
+                                   const SymbolTable &Syms) {
+  std::ostringstream OS;
+  OS << '<';
+  for (size_t I = 0; I != T.size(); ++I) {
+    if (I)
+      OS << ',';
+    OS << H.setToString(T[I], Syms);
+  }
+  OS << '>';
+  return OS.str();
+}
+
+const char *selspec::configName(Config C) {
+  switch (C) {
+  case Config::Base: return "Base";
+  case Config::Cust: return "Cust";
+  case Config::CustMM: return "Cust-MM";
+  case Config::CHA: return "CHA";
+  case Config::Selective: return "Selective";
+  }
+  return "?";
+}
+
+unsigned SpecializationPlan::totalVersions() const {
+  unsigned N = 0;
+  for (const auto &Versions : VersionsByMethod)
+    N += static_cast<unsigned>(Versions.size());
+  return N;
+}

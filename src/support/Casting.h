@@ -1,0 +1,46 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast --------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal hand-rolled RTTI scheme in the LLVM style: classes opt in by
+/// providing `static bool classof(const Base *)`, and clients use isa<>,
+/// cast<> and dyn_cast<>.  The project is built without C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SUPPORT_CASTING_H
+#define SELSPEC_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace selspec {
+
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return Val && isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace selspec
+
+#endif // SELSPEC_SUPPORT_CASTING_H

@@ -1,0 +1,124 @@
+//===- support/ClassSet.cpp - Dense bit-set over class ids ---------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ClassSet.h"
+
+#include <bit>
+#include <sstream>
+
+using namespace selspec;
+
+ClassSet ClassSet::all(unsigned UniverseSize) {
+  ClassSet S(UniverseSize);
+  for (auto &W : S.Words)
+    W = ~uint64_t(0);
+  // Clear the bits above the universe in the last word so that equality and
+  // isAll comparisons stay canonical.
+  unsigned Tail = UniverseSize % 64;
+  if (Tail != 0 && !S.Words.empty())
+    S.Words.back() &= (uint64_t(1) << Tail) - 1;
+  return S;
+}
+
+ClassSet ClassSet::single(unsigned UniverseSize, ClassId C) {
+  ClassSet S(UniverseSize);
+  S.insert(C);
+  return S;
+}
+
+bool ClassSet::isEmpty() const {
+  for (uint64_t W : Words)
+    if (W != 0)
+      return false;
+  return true;
+}
+
+unsigned ClassSet::count() const {
+  unsigned N = 0;
+  for (uint64_t W : Words)
+    N += std::popcount(W);
+  return N;
+}
+
+bool ClassSet::isAll() const { return count() == Universe; }
+
+ClassSet &ClassSet::operator&=(const ClassSet &RHS) {
+  assert(Universe == RHS.Universe && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= RHS.Words[I];
+  return *this;
+}
+
+ClassSet &ClassSet::operator|=(const ClassSet &RHS) {
+  assert(Universe == RHS.Universe && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] |= RHS.Words[I];
+  return *this;
+}
+
+ClassSet &ClassSet::subtract(const ClassSet &RHS) {
+  assert(Universe == RHS.Universe && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= ~RHS.Words[I];
+  return *this;
+}
+
+bool ClassSet::isSubsetOf(const ClassSet &RHS) const {
+  assert(Universe == RHS.Universe && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    if ((Words[I] & ~RHS.Words[I]) != 0)
+      return false;
+  return true;
+}
+
+bool ClassSet::intersects(const ClassSet &RHS) const {
+  assert(Universe == RHS.Universe && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    if ((Words[I] & RHS.Words[I]) != 0)
+      return true;
+  return false;
+}
+
+std::vector<ClassId> ClassSet::members() const {
+  std::vector<ClassId> Out;
+  Out.reserve(count());
+  for (unsigned I = 0; I != Universe; ++I) {
+    ClassId C(I);
+    if (contains(C))
+      Out.push_back(C);
+  }
+  return Out;
+}
+
+ClassId ClassSet::getSingleElement() const {
+  if (count() != 1)
+    return ClassId();
+  for (unsigned I = 0; I != Universe; ++I)
+    if (contains(ClassId(I)))
+      return ClassId(I);
+  return ClassId();
+}
+
+size_t ClassSet::hashValue() const {
+  size_t H = Universe;
+  for (uint64_t W : Words)
+    H = H * 1000003u + std::hash<uint64_t>()(W);
+  return H;
+}
+
+std::string ClassSet::toString() const {
+  std::ostringstream OS;
+  OS << '{';
+  bool First = true;
+  for (ClassId C : members()) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << C.value();
+  }
+  OS << '}';
+  return OS.str();
+}

@@ -1,0 +1,116 @@
+//===- support/ClassSet.h - Dense bit-set over class ids -------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ClassSet is the central value domain of the specialization framework: the
+/// paper describes every specialization as "a tuple of class sets, one class
+/// set per formal argument".  We represent a class set as a dense bit vector
+/// indexed by ClassId, sized to the hierarchy's class count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SUPPORT_CLASSSET_H
+#define SELSPEC_SUPPORT_CLASSSET_H
+
+#include "support/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace selspec {
+
+/// A set of classes, represented as a bit vector over dense ClassIds.
+///
+/// All binary operations require both operands to have the same universe
+/// size (they come from the same ClassHierarchy).
+class ClassSet {
+public:
+  ClassSet() = default;
+
+  /// Creates an empty set over a universe of \p UniverseSize classes.
+  explicit ClassSet(unsigned UniverseSize)
+      : Words((UniverseSize + 63) / 64, 0), Universe(UniverseSize) {}
+
+  /// Returns the empty set over \p UniverseSize classes.
+  static ClassSet empty(unsigned UniverseSize) {
+    return ClassSet(UniverseSize);
+  }
+
+  /// Returns the full set (all classes) over \p UniverseSize classes.
+  static ClassSet all(unsigned UniverseSize);
+
+  /// Returns the singleton set {C}.
+  static ClassSet single(unsigned UniverseSize, ClassId C);
+
+  unsigned universeSize() const { return Universe; }
+
+  bool contains(ClassId C) const {
+    assert(C.isValid() && C.value() < Universe && "class out of universe");
+    return (Words[C.value() / 64] >> (C.value() % 64)) & 1;
+  }
+
+  void insert(ClassId C) {
+    assert(C.isValid() && C.value() < Universe && "class out of universe");
+    Words[C.value() / 64] |= uint64_t(1) << (C.value() % 64);
+  }
+
+  void remove(ClassId C) {
+    assert(C.isValid() && C.value() < Universe && "class out of universe");
+    Words[C.value() / 64] &= ~(uint64_t(1) << (C.value() % 64));
+  }
+
+  bool isEmpty() const;
+
+  /// Number of classes in the set.
+  unsigned count() const;
+
+  /// True when the set contains every class in the universe.
+  bool isAll() const;
+
+  /// Pointwise operations (operands must share a universe).
+  ClassSet &operator&=(const ClassSet &RHS);
+  ClassSet &operator|=(const ClassSet &RHS);
+  /// Set difference: removes all members of \p RHS.
+  ClassSet &subtract(const ClassSet &RHS);
+
+  friend ClassSet operator&(ClassSet A, const ClassSet &B) { return A &= B; }
+  friend ClassSet operator|(ClassSet A, const ClassSet &B) { return A |= B; }
+
+  bool operator==(const ClassSet &RHS) const {
+    return Universe == RHS.Universe && Words == RHS.Words;
+  }
+  bool operator!=(const ClassSet &RHS) const { return !(*this == RHS); }
+
+  /// True when this set is a subset of \p RHS.
+  bool isSubsetOf(const ClassSet &RHS) const;
+
+  /// True when the two sets share at least one class.
+  bool intersects(const ClassSet &RHS) const;
+
+  /// Returns the members in increasing ClassId order.
+  std::vector<ClassId> members() const;
+
+  /// If the set is a singleton, returns its sole member; otherwise an
+  /// invalid ClassId.
+  ClassId getSingleElement() const;
+
+  /// Stable hash usable for unordered containers of SpecTuples.
+  size_t hashValue() const;
+
+  /// Renders as "{0,3,7}" using raw ids (names require a hierarchy; see
+  /// ClassHierarchy::setToString).
+  std::string toString() const;
+
+private:
+  std::vector<uint64_t> Words;
+  unsigned Universe = 0;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_SUPPORT_CLASSSET_H

@@ -1,0 +1,28 @@
+//===- support/Diagnostics.cpp - Error collection -------------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace selspec;
+
+bool Diagnostics::hasErrors() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Sev == Diagnostic::Severity::Error)
+      return true;
+  return false;
+}
+
+std::string Diagnostics::toString() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    OS << D.Loc.Line << ':' << D.Loc.Col << ": "
+       << (D.Sev == Diagnostic::Severity::Error ? "error" : "warning") << ": "
+       << D.Message << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,56 @@
+//===- support/Diagnostics.h - Error collection ----------------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Library code never throws; fallible phases (lexing, parsing, resolution,
+/// runtime) append to a Diagnostics sink and return failure.  Tools decide
+/// how to render or whether to exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SUPPORT_DIAGNOSTICS_H
+#define SELSPEC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace selspec {
+
+/// One reported problem.
+struct Diagnostic {
+  enum class Severity { Error, Warning };
+
+  Severity Sev = Severity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics emitted by a compilation phase.
+class Diagnostics {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Severity::Error, Loc, std::move(Message)});
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Severity::Warning, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const;
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  void clear() { Diags.clear(); }
+
+  /// Renders every diagnostic as "line:col: severity: message\n".
+  std::string toString() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,82 @@
+//===- support/Ids.h - Strongly-typed entity identifiers -------*- C++ -*-===//
+//
+// Part of the selspec project: a reproduction of Dean, Chambers & Grove,
+// "Selective Specialization for Object-Oriented Languages" (PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly-typed integer identifiers for classes, generic functions,
+/// methods, call sites and compiled method versions.  Using distinct types
+/// rather than raw unsigned prevents accidentally indexing the wrong table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SUPPORT_IDS_H
+#define SELSPEC_SUPPORT_IDS_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace selspec {
+
+/// CRTP base for a strongly-typed index.  \p Tag makes each instantiation a
+/// distinct type.
+template <typename Tag> class StrongId {
+public:
+  using ValueType = uint32_t;
+
+  static constexpr ValueType InvalidValue =
+      std::numeric_limits<ValueType>::max();
+
+  constexpr StrongId() : Val(InvalidValue) {}
+  constexpr explicit StrongId(ValueType V) : Val(V) {}
+
+  /// Returns the raw index value; only valid ids may be unwrapped.
+  constexpr ValueType value() const { return Val; }
+
+  constexpr bool isValid() const { return Val != InvalidValue; }
+
+  friend constexpr bool operator==(StrongId A, StrongId B) {
+    return A.Val == B.Val;
+  }
+  friend constexpr bool operator!=(StrongId A, StrongId B) {
+    return A.Val != B.Val;
+  }
+  friend constexpr bool operator<(StrongId A, StrongId B) {
+    return A.Val < B.Val;
+  }
+
+private:
+  ValueType Val;
+};
+
+struct ClassIdTag {};
+struct GenericIdTag {};
+struct MethodIdTag {};
+struct CallSiteIdTag {};
+struct VersionIdTag {};
+
+/// Identifies a class in a ClassHierarchy (dense, 0-based).
+using ClassId = StrongId<ClassIdTag>;
+/// Identifies a generic function (a dispatched message name + arity).
+using GenericId = StrongId<GenericIdTag>;
+/// Identifies a source method (one `method` declaration or builtin).
+using MethodId = StrongId<MethodIdTag>;
+/// Identifies a message-send site in the program (dense over all methods).
+using CallSiteId = StrongId<CallSiteIdTag>;
+/// Identifies one compiled (possibly specialized) version of a method.
+using VersionId = StrongId<VersionIdTag>;
+
+} // namespace selspec
+
+namespace std {
+template <typename Tag> struct hash<selspec::StrongId<Tag>> {
+  size_t operator()(selspec::StrongId<Tag> Id) const {
+    return std::hash<uint32_t>()(Id.value());
+  }
+};
+} // namespace std
+
+#endif // SELSPEC_SUPPORT_IDS_H

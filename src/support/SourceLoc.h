@@ -1,0 +1,32 @@
+//===- support/SourceLoc.h - Source positions ------------------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions used by the lexer, parser and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SUPPORT_SOURCELOC_H
+#define SELSPEC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace selspec {
+
+/// A 1-based line/column source position.  Line 0 means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,165 @@
+//===- tests/ApplicableClassesTests.cpp - CHA ApplicableClasses ------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ApplicableClasses.h"
+#include "analysis/StaticBinding.h"
+#include "hierarchy/Builtins.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+/// Finds method "g(Spec1,...)" by label.
+MethodId findMethod(const Program &P, const std::string &Label) {
+  for (unsigned MI = 0; MI != P.numMethods(); ++MI)
+    if (P.methodLabel(MethodId(MI)) == Label)
+      return MethodId(MI);
+  ADD_FAILURE() << "no method labeled " << Label;
+  return MethodId();
+}
+
+ClassSet namedSet(const Program &P, std::initializer_list<const char *> Names) {
+  ClassSet S(P.Classes.size());
+  for (const char *N : Names) {
+    ClassId C = P.Classes.lookup(P.Syms.find(N));
+    EXPECT_TRUE(C.isValid()) << "unknown class " << N;
+    S.insert(C);
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(ApplicableClasses, SingleDispatchConesMinusOverrides) {
+  // The paper's m() structure: a method on the root of a subtree is
+  // applicable to its cone minus the cones of overriding methods.
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A; class B isa A; class C isa A;
+    class D isa B; class E isa B;
+    method m(x@A) { 1; }
+    method m(x@E) { 2; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ApplicableClassesAnalysis AC(*P);
+
+  MethodId MA = findMethod(*P, "m(A)");
+  MethodId ME = findMethod(*P, "m(E)");
+  EXPECT_EQ(AC.of(MA)[0], namedSet(*P, {"A", "B", "C", "D"}));
+  EXPECT_EQ(AC.of(ME)[0], namedSet(*P, {"E"}));
+}
+
+TEST(ApplicableClasses, UnspecializedFormalIsUniverse) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    method f(x@A, y) { y; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ApplicableClassesAnalysis AC(*P);
+  MethodId M = findMethod(*P, "f(A,Any)");
+  EXPECT_FALSE(AC.of(M)[0].isAll());
+  EXPECT_TRUE(AC.of(M)[1].isAll());
+}
+
+TEST(ApplicableClasses, MultiMethodExactProjection) {
+  // With multi-methods a class can stay in a general method's set at one
+  // position even though a more specific method exists, because tuples
+  // with other second arguments still invoke the general method.
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A; class B isa A;
+    method g(x@A, y@A) { 1; }
+    method g(x@B, y@B) { 2; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ApplicableClassesAnalysis AC(*P);
+  MethodId GA = findMethod(*P, "g(A,A)");
+  MethodId GB = findMethod(*P, "g(B,B)");
+
+  // g(A,A) is still invoked with x=B (when y=A), so B stays in position 0.
+  EXPECT_EQ(AC.of(GA)[0], namedSet(*P, {"A", "B"}));
+  EXPECT_EQ(AC.of(GA)[1], namedSet(*P, {"A", "B"}));
+  EXPECT_EQ(AC.of(GB)[0], namedSet(*P, {"B"}));
+  EXPECT_EQ(AC.of(GB)[1], namedSet(*P, {"B"}));
+}
+
+TEST(ApplicableClasses, FullyShadowedPositionRemoved) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A; class B isa A;
+    method h(x@A) { 1; }
+    method h(x@B) { 2; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ApplicableClassesAnalysis AC(*P);
+  EXPECT_EQ(AC.of(findMethod(*P, "h(A)"))[0], namedSet(*P, {"A"}));
+  EXPECT_EQ(AC.of(findMethod(*P, "h(B)"))[0], namedSet(*P, {"B"}));
+}
+
+TEST(ApplicableClasses, DispatchedPositions) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    method p(x@A, y, z@A) { 1; }
+    method q(x, y) { 1; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ApplicableClassesAnalysis AC(*P);
+  GenericId GP = P->lookupGeneric(P->Syms.find("p"), 3);
+  GenericId GQ = P->lookupGeneric(P->Syms.find("q"), 2);
+  EXPECT_EQ(AC.dispatchedPositions(GP), (std::vector<unsigned>{0, 2}));
+  EXPECT_TRUE(AC.dispatchedPositions(GQ).empty());
+}
+
+TEST(ApplicableClasses, ExactMatchesPointwiseOnSingleDispatch) {
+  // Force the pointwise fallback with a tiny tuple limit and compare with
+  // the exact enumeration on a singly-dispatched generic.
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A; class B isa A; class C isa B; class D isa A;
+    method m(x@A) { 1; }
+    method m(x@B) { 2; }
+    method m(x@D) { 3; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ApplicableClassesAnalysis Exact(*P);
+  ApplicableClassesAnalysis Fallback(*P, /*ExactTupleLimit=*/1);
+
+  GenericId G = P->lookupGeneric(P->Syms.find("m"), 1);
+  EXPECT_FALSE(Exact.usedFallback(G));
+  EXPECT_TRUE(Fallback.usedFallback(G));
+  for (MethodId M : P->generic(G).Methods)
+    EXPECT_EQ(Exact.of(M)[0], Fallback.of(M)[0])
+        << "mismatch for " << P->methodLabel(M);
+}
+
+TEST(StaticBinding, UniqueTargetRequiresOneIntersection) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A; class B isa A; class C isa A;
+    method m(x@B) { 1; }
+    method m(x@C) { 2; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ApplicableClassesAnalysis AC(*P);
+  GenericId G = P->lookupGeneric(P->Syms.find("m"), 1);
+
+  std::vector<ClassSet> JustB = {namedSet(*P, {"B"})};
+  std::vector<ClassSet> BorC = {namedSet(*P, {"B", "C"})};
+  EXPECT_TRUE(uniqueTarget(AC, G, JustB).isValid());
+  EXPECT_FALSE(uniqueTarget(AC, G, BorC).isValid());
+  EXPECT_EQ(possibleTargets(AC, G, BorC).size(), 2u);
+
+  // A alone understands no m: no targets.
+  std::vector<ClassSet> JustA = {namedSet(*P, {"A"})};
+  EXPECT_TRUE(possibleTargets(AC, G, JustA).empty());
+}

@@ -1,0 +1,121 @@
+//===- tests/DepGraphTests.cpp - Selective recompilation substrate ---------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "depgraph/DependencyGraph.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+TEST(DepGraph, InvalidationPropagatesDownstream) {
+  DependencyGraph G;
+  auto A = G.addNode(DependencyGraph::NodeKind::SourceClass, "A");
+  auto F = G.addNode(DependencyGraph::NodeKind::DispatchFacts, "facts");
+  auto C1 = G.addNode(DependencyGraph::NodeKind::CompiledCode, "c1");
+  auto C2 = G.addNode(DependencyGraph::NodeKind::CompiledCode, "c2");
+  auto Unrelated = G.addNode(DependencyGraph::NodeKind::CompiledCode, "u");
+  G.addEdge(A, F);
+  G.addEdge(F, C1);
+  G.addEdge(F, C2);
+
+  std::vector<DependencyGraph::NodeId> Invalidated = G.invalidate(A);
+  EXPECT_EQ(Invalidated.size(), 4u);
+  EXPECT_FALSE(G.isValid(A));
+  EXPECT_FALSE(G.isValid(F));
+  EXPECT_FALSE(G.isValid(C1));
+  EXPECT_FALSE(G.isValid(C2));
+  EXPECT_TRUE(G.isValid(Unrelated));
+
+  // Work list: both compiled nodes need recompiling.
+  EXPECT_EQ(
+      G.invalidNodes(DependencyGraph::NodeKind::CompiledCode).size(), 2u);
+  G.revalidate(C1);
+  EXPECT_EQ(
+      G.invalidNodes(DependencyGraph::NodeKind::CompiledCode).size(), 1u);
+
+  // Re-invalidating an already-invalid node is a no-op.
+  EXPECT_TRUE(G.invalidate(A).empty());
+}
+
+TEST(DepGraph, DuplicateEdgesCollapse) {
+  DependencyGraph G;
+  auto A = G.addNode(DependencyGraph::NodeKind::SourceMethod, "m");
+  auto B = G.addNode(DependencyGraph::NodeKind::CompiledCode, "c");
+  G.addEdge(A, B);
+  G.addEdge(A, B);
+  G.addEdge(A, B);
+  EXPECT_EQ(G.numEdges(), 1u);
+}
+
+TEST(DepGraph, BuildFromCompiledProgram) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A; class B isa A;
+    method ping(x@A) { 1; }
+    method user(a@A) { ping(a); }
+    method bystander(n@Int) { n + 1; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  OptimizerOptions NoInline;
+  NoInline.EnableInlining = false;
+  std::unique_ptr<CompiledProgram> CP =
+      compileProgram(*P, Config::CHA, nullptr, {}, NoInline);
+
+  DependencyGraph G;
+  DependencyGraph::ProgramNodes PN = G.buildFromCompiledProgram(*CP);
+  ASSERT_EQ(PN.ClassNodes.size(), P->Classes.size());
+  ASSERT_EQ(PN.MethodNodes.size(), P->numMethods());
+  ASSERT_EQ(PN.VersionNodes.size(), CP->versions().size());
+
+  // Simulate "a method was added to generic ping": invalidate ping's
+  // dispatch facts.  user's compiled code embeds a static binding of ping
+  // and must be invalidated; bystander must not (its sends target the
+  // arithmetic builtins, not ping).
+  GenericId Ping = P->lookupGeneric(P->Syms.find("ping"), 1);
+  ASSERT_TRUE(Ping.isValid());
+  G.invalidate(PN.GenericFactNodes[Ping.value()]);
+
+  auto VersionValid = [&](const std::string &Label) {
+    for (const CompiledMethod &CM : CP->versions())
+      if (P->methodLabel(CM.Source) == Label)
+        return G.isValid(PN.VersionNodes[CM.Index]);
+    ADD_FAILURE() << "no version " << Label;
+    return false;
+  };
+  EXPECT_FALSE(VersionValid("user(A)"));
+  EXPECT_TRUE(VersionValid("bystander(Int)"));
+}
+
+TEST(DepGraph, ClassEditInvalidatesDependentCompiledCode) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A; class B isa A;
+    method ping(x@A) { 1; }
+    method user(a@A) { ping(a); }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  OptimizerOptions NoInline;
+  NoInline.EnableInlining = false;
+  std::unique_ptr<CompiledProgram> CP =
+      compileProgram(*P, Config::CHA, nullptr, {}, NoInline);
+
+  DependencyGraph G;
+  DependencyGraph::ProgramNodes PN = G.buildFromCompiledProgram(*CP);
+
+  // Editing class B (inside ping's specializer cone) must reach user's
+  // compiled code through ping's dispatch facts.
+  ClassId B = P->Classes.lookup(P->Syms.find("B"));
+  std::vector<DependencyGraph::NodeId> Invalidated =
+      G.invalidate(PN.ClassNodes[B.value()]);
+  bool UserInvalidated = false;
+  for (auto N : Invalidated)
+    if (G.label(N).find("user(A)") != std::string::npos)
+      UserInvalidated = true;
+  EXPECT_TRUE(UserInvalidated);
+}

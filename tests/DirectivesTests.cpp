@@ -1,0 +1,197 @@
+//===- tests/DirectivesTests.cpp - Specialization directives ----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4's interchange step: the algorithm "generates a list of
+/// specialization directives ... the compiler then executes the
+/// directives."  Round-trip and error-handling tests of that format.
+///
+//===----------------------------------------------------------------------===//
+
+#include "specialize/Directives.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+const char *ShapeSource = R"(
+  class Shape; class Circle isa Shape; class Square isa Shape;
+  method area(s@Circle) { 3; }
+  method area(s@Square) { 4; }
+  method describe(s@Shape) { area(s); }
+  method main(n@Int) { print(describe(new Circle)); }
+)";
+
+struct Built {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<ApplicableClassesAnalysis> AC;
+  std::unique_ptr<PassThroughAnalysis> PT;
+};
+
+Built build(const char *Source) {
+  Built B;
+  B.P = buildProgram({Source});
+  if (B.P) {
+    B.AC = std::make_unique<ApplicableClassesAnalysis>(*B.P);
+    B.PT = std::make_unique<PassThroughAnalysis>(*B.P);
+  }
+  return B;
+}
+
+bool plansEqual(const SpecializationPlan &A, const SpecializationPlan &B) {
+  if (A.UseCHA != B.UseCHA ||
+      A.VersionsByMethod.size() != B.VersionsByMethod.size())
+    return false;
+  for (size_t I = 0; I != A.VersionsByMethod.size(); ++I) {
+    if (A.VersionsByMethod[I].size() != B.VersionsByMethod[I].size())
+      return false;
+    for (size_t J = 0; J != A.VersionsByMethod[I].size(); ++J)
+      if (!tupleEquals(A.VersionsByMethod[I][J], B.VersionsByMethod[I][J]))
+        return false;
+  }
+  return true;
+}
+
+} // namespace
+
+TEST(Directives, RoundTripEveryConfiguration) {
+  Built B = build(ShapeSource);
+  ASSERT_TRUE(B.P);
+  // A profile so the Selective plan has content.
+  CallGraph CG;
+  MethodId Describe, AreaCircle;
+  for (unsigned MI = 0; MI != B.P->numMethods(); ++MI) {
+    if (B.P->methodLabel(MethodId(MI)) == "describe(Shape)")
+      Describe = MethodId(MI);
+    if (B.P->methodLabel(MethodId(MI)) == "area(Circle)")
+      AreaCircle = MethodId(MI);
+  }
+  for (unsigned I = 0; I != B.P->numCallSites(); ++I) {
+    const CallSiteInfo &Site = B.P->callSite(CallSiteId(I));
+    if (Site.Owner == Describe)
+      CG.addHits(Site.Id, Describe, AreaCircle, 9000);
+  }
+
+  for (Config C : {Config::Base, Config::Cust, Config::CustMM, Config::CHA,
+                   Config::Selective}) {
+    SpecializationPlan Plan = makePlan(C, *B.P, *B.AC, *B.PT, &CG);
+    std::string Text = serializeDirectives(Plan, *B.P);
+    SpecializationPlan Loaded;
+    std::string Err;
+    ASSERT_TRUE(
+        deserializeDirectives(Text, *B.P, *B.AC, Loaded, Err))
+        << configName(C) << ": " << Err;
+    EXPECT_TRUE(plansEqual(Plan, Loaded)) << configName(C);
+    // Serializing again is byte-identical.
+    EXPECT_EQ(serializeDirectives(Loaded, *B.P), Text) << configName(C);
+  }
+}
+
+TEST(Directives, ReplayedPlanCompilesAndRunsIdentically) {
+  Built B1 = build(ShapeSource);
+  Built B2 = build(ShapeSource);
+  ASSERT_TRUE(B1.P && B2.P);
+
+  SpecializationPlan Plan =
+      makePlan(Config::Cust, *B1.P, *B1.AC, *B1.PT, nullptr);
+  std::string Text = serializeDirectives(Plan, *B1.P);
+
+  // Replay against a *separately built* program (fresh ids): the
+  // name-based format must still resolve.
+  SpecializationPlan Loaded;
+  std::string Err;
+  ASSERT_TRUE(deserializeDirectives(Text, *B2.P, *B2.AC, Loaded, Err))
+      << Err;
+
+  Optimizer Opt(*B2.P, *B2.AC);
+  std::unique_ptr<CompiledProgram> CP = Opt.compile(Loaded);
+  std::string Out;
+  runMain(*CP, 0, &Out);
+  EXPECT_EQ(Out, "3\n");
+}
+
+TEST(Directives, UnmentionedMethodsKeepGeneralVersion) {
+  Built B = build(ShapeSource);
+  ASSERT_TRUE(B.P);
+  std::string Text = "selspec-directives v1\n"
+                     "config CHA cha=1\n"
+                     "method describe(Shape) 1\n"
+                     "version Circle\n";
+  SpecializationPlan Plan;
+  std::string Err;
+  ASSERT_TRUE(deserializeDirectives(Text, *B.P, *B.AC, Plan, Err)) << Err;
+  EXPECT_TRUE(Plan.UseCHA);
+
+  unsigned WithVersions = 0;
+  for (unsigned MI = 0; MI != B.P->numMethods(); ++MI) {
+    if (B.P->method(MethodId(MI)).isBuiltin())
+      continue;
+    EXPECT_GE(Plan.VersionsByMethod[MI].size(), 1u)
+        << B.P->methodLabel(MethodId(MI));
+    ++WithVersions;
+  }
+  EXPECT_EQ(WithVersions, B.P->numUserMethods());
+}
+
+TEST(Directives, MalformedInputsRejectedWithMessages) {
+  Built B = build(ShapeSource);
+  ASSERT_TRUE(B.P);
+  SpecializationPlan Plan;
+  std::string Err;
+
+  EXPECT_FALSE(deserializeDirectives("garbage", *B.P, *B.AC, Plan, Err));
+  EXPECT_NE(Err.find("not a selspec-directives"), std::string::npos);
+
+  EXPECT_FALSE(deserializeDirectives(
+      "selspec-directives v1\nmethod nosuch(Shape) 1\nversion *\n", *B.P,
+      *B.AC, Plan, Err));
+  EXPECT_NE(Err.find("unknown method"), std::string::npos);
+
+  EXPECT_FALSE(deserializeDirectives(
+      "selspec-directives v1\nmethod describe(Shape) 1\nversion Bogus\n",
+      *B.P, *B.AC, Plan, Err));
+  EXPECT_NE(Err.find("unknown class"), std::string::npos);
+
+  EXPECT_FALSE(deserializeDirectives(
+      "selspec-directives v1\nversion *\n", *B.P, *B.AC, Plan, Err));
+  EXPECT_NE(Err.find("before any method"), std::string::npos);
+
+  EXPECT_FALSE(deserializeDirectives(
+      "selspec-directives v1\nmethod describe(Shape) 1\nversion * *\n",
+      *B.P, *B.AC, Plan, Err));
+  EXPECT_NE(Err.find("arity mismatch"), std::string::npos);
+
+  EXPECT_FALSE(deserializeDirectives(
+      "selspec-directives v1\nfrobnicate\n", *B.P, *B.AC, Plan, Err));
+  EXPECT_NE(Err.find("unknown directive"), std::string::npos);
+}
+
+TEST(Directives, EmptySetAndUniverseEncodings) {
+  Built B = build(ShapeSource);
+  ASSERT_TRUE(B.P);
+  std::string Text = "selspec-directives v1\n"
+                     "config CHA cha=1\n"
+                     "method describe(Shape) 2\n"
+                     "version *\n"
+                     "version Circle,Square\n";
+  SpecializationPlan Plan;
+  std::string Err;
+  ASSERT_TRUE(deserializeDirectives(Text, *B.P, *B.AC, Plan, Err)) << Err;
+
+  MethodId Describe;
+  for (unsigned MI = 0; MI != B.P->numMethods(); ++MI)
+    if (B.P->methodLabel(MethodId(MI)) == "describe(Shape)")
+      Describe = MethodId(MI);
+  const auto &Versions = Plan.VersionsByMethod[Describe.value()];
+  ASSERT_EQ(Versions.size(), 2u);
+  EXPECT_TRUE(Versions[0][0].isAll());
+  EXPECT_EQ(Versions[1][0].count(), 2u);
+}

@@ -1,0 +1,185 @@
+//===- tests/HierarchyTests.cpp - ClassHierarchy and dispatch --------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hierarchy/Builtins.h"
+#include "hierarchy/Program.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+TEST(ClassHierarchy, ConesAndSubclassing) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    class B isa A;
+    class C isa A;
+    class D isa B;
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ClassHierarchy &H = P->Classes;
+  ClassId A = H.lookup(P->Syms.find("A"));
+  ClassId B = H.lookup(P->Syms.find("B"));
+  ClassId C = H.lookup(P->Syms.find("C"));
+  ClassId D = H.lookup(P->Syms.find("D"));
+  ASSERT_TRUE(A.isValid() && B.isValid() && C.isValid() && D.isValid());
+
+  EXPECT_TRUE(H.isSubclassOf(D, A));
+  EXPECT_TRUE(H.isSubclassOf(D, B));
+  EXPECT_FALSE(H.isSubclassOf(D, C));
+  EXPECT_TRUE(H.isSubclassOf(A, A)) << "subclassing is reflexive";
+  EXPECT_FALSE(H.isSubclassOf(A, B));
+
+  const ClassSet &ConeA = H.cone(A);
+  EXPECT_TRUE(ConeA.contains(A));
+  EXPECT_TRUE(ConeA.contains(B));
+  EXPECT_TRUE(ConeA.contains(C));
+  EXPECT_TRUE(ConeA.contains(D));
+  EXPECT_FALSE(ConeA.contains(builtin::Int));
+  EXPECT_EQ(H.cone(D).count(), 1u);
+  EXPECT_EQ(H.cone(B).count(), 2u);
+
+  // The root cone is the universe.
+  EXPECT_TRUE(H.cone(H.root()).isAll());
+}
+
+TEST(ClassHierarchy, DuplicateClassRejected) {
+  ClassHierarchy H;
+  SymbolTable Syms;
+  ClassId Root = H.addClass(Syms.intern("Any"), {});
+  ASSERT_TRUE(Root.isValid());
+  EXPECT_TRUE(H.addClass(Syms.intern("A"), {Root}).isValid());
+  EXPECT_FALSE(H.addClass(Syms.intern("A"), {Root}).isValid());
+}
+
+TEST(ClassHierarchy, SlotLayoutWithInheritance) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A { slot a1; slot a2; }
+    class B isa A { slot b1; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ClassHierarchy &H = P->Classes;
+  ClassId B = H.lookup(P->Syms.find("B"));
+  EXPECT_EQ(H.info(B).Layout.size(), 3u);
+  EXPECT_EQ(H.slotIndex(B, P->Syms.find("a1")), 0);
+  EXPECT_EQ(H.slotIndex(B, P->Syms.find("a2")), 1);
+  EXPECT_EQ(H.slotIndex(B, P->Syms.find("b1")), 2);
+  EXPECT_EQ(H.slotIndex(B, P->Syms.find("nope")), -1);
+}
+
+TEST(ClassHierarchy, DiamondInheritanceSharesSlots) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A { slot s; }
+    class B isa A;
+    class C isa A;
+    class D isa B, C;
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ClassHierarchy &H = P->Classes;
+  ClassId D = H.lookup(P->Syms.find("D"));
+  // The diamond-inherited slot appears once.
+  EXPECT_EQ(H.info(D).Layout.size(), 1u);
+}
+
+TEST(Dispatch, SingleDispatchPicksMostSpecific) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    class B isa A;
+    class C isa B;
+    method m(x@A) { 1; }
+    method m(x@B) { 2; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ClassId A = P->Classes.lookup(P->Syms.find("A"));
+  ClassId B = P->Classes.lookup(P->Syms.find("B"));
+  ClassId C = P->Classes.lookup(P->Syms.find("C"));
+  GenericId G = P->lookupGeneric(P->Syms.find("m"), 1);
+  ASSERT_TRUE(G.isValid());
+
+  MethodId MA = P->dispatch(G, {A});
+  MethodId MB = P->dispatch(G, {B});
+  MethodId MC = P->dispatch(G, {C});
+  ASSERT_TRUE(MA.isValid() && MB.isValid() && MC.isValid());
+  EXPECT_EQ(P->methodLabel(MA), "m(A)");
+  EXPECT_EQ(P->methodLabel(MB), "m(B)");
+  EXPECT_EQ(P->methodLabel(MC), "m(B)") << "C inherits B's method";
+
+  // Ints are not As: message not understood.
+  EXPECT_FALSE(P->dispatch(G, {builtin::Int}).isValid());
+}
+
+TEST(Dispatch, MultiMethodPointwiseSpecificity) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    class B isa A;
+    method m2(x@A, y@A) { 1; }
+    method m2(x@B, y@A) { 2; }
+    method m2(x@B, y@B) { 3; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ClassId A = P->Classes.lookup(P->Syms.find("A"));
+  ClassId B = P->Classes.lookup(P->Syms.find("B"));
+  GenericId G = P->lookupGeneric(P->Syms.find("m2"), 2);
+
+  EXPECT_EQ(P->methodLabel(P->dispatch(G, {A, A})), "m2(A,A)");
+  EXPECT_EQ(P->methodLabel(P->dispatch(G, {B, A})), "m2(B,A)");
+  EXPECT_EQ(P->methodLabel(P->dispatch(G, {B, B})), "m2(B,B)");
+  EXPECT_EQ(P->methodLabel(P->dispatch(G, {A, B})), "m2(A,A)");
+}
+
+TEST(Dispatch, AmbiguityDetected) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    class B isa A;
+    method amb(x@B, y@A) { 1; }
+    method amb(x@A, y@B) { 2; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  ClassId B = P->Classes.lookup(P->Syms.find("B"));
+  GenericId G = P->lookupGeneric(P->Syms.find("amb"), 2);
+  // (B, B) matches both methods and neither dominates: ambiguous.
+  EXPECT_FALSE(P->dispatch(G, {B, B}).isValid());
+}
+
+TEST(Dispatch, BuiltinEqualityIsMultiMethod) {
+  auto P = std::make_unique<Program>();
+  P->addBuiltins();
+  Diagnostics Diags;
+  ASSERT_TRUE(P->resolve(Diags));
+
+  GenericId Eq = P->lookupGeneric(P->Syms.find("=="), 2);
+  ASSERT_TRUE(Eq.isValid());
+  MethodId II = P->dispatch(Eq, {builtin::Int, builtin::Int});
+  MethodId AA = P->dispatch(Eq, {builtin::Array, builtin::Array});
+  MethodId IA = P->dispatch(Eq, {builtin::Int, builtin::Array});
+  ASSERT_TRUE(II.isValid() && AA.isValid() && IA.isValid());
+  EXPECT_EQ(P->method(II).Prim, PrimOp::IntEq);
+  EXPECT_EQ(P->method(AA).Prim, PrimOp::AnyEq);
+  EXPECT_EQ(P->method(IA).Prim, PrimOp::AnyEq);
+}
+
+TEST(Program, LabelsAndCounts) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    method m(x@A, y) { x; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  GenericId G = P->lookupGeneric(P->Syms.find("m"), 2);
+  ASSERT_TRUE(G.isValid());
+  EXPECT_EQ(P->genericLabel(G), "m/2");
+  EXPECT_EQ(P->methodLabel(P->generic(G).Methods[0]), "m(A,Any)");
+  EXPECT_EQ(P->numUserMethods(), 2u);
+  EXPECT_GT(P->numMethods(), P->numUserMethods()) << "builtins exist";
+}

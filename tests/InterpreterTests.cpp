@@ -1,0 +1,312 @@
+//===- tests/InterpreterTests.cpp - Mica semantics --------------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+/// Runs `main(Input)` under Base and returns printed output.
+std::string runBase(const std::string &Source, int64_t Input = 0) {
+  return runSource(Source, Config::Base, Input);
+}
+
+/// Expects a runtime error whose message contains \p Needle.
+void expectRuntimeError(const std::string &Source, const std::string &Needle,
+                        int64_t Input = 0) {
+  std::unique_ptr<Program> P = buildProgram({Source});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  Interpreter I(*CP);
+  EXPECT_FALSE(I.callMain(Input));
+  EXPECT_NE(I.errorMessage().find(Needle), std::string::npos)
+      << "actual error: " << I.errorMessage();
+}
+
+} // namespace
+
+TEST(Interp, ArithmeticAndPrint) {
+  EXPECT_EQ(runBase("method main(n@Int) { print(2 + 3 * 4); }"), "14\n");
+  EXPECT_EQ(runBase("method main(n@Int) { print(10 / 3); print(10 % 3); }"),
+            "3\n1\n");
+  EXPECT_EQ(runBase("method main(n@Int) { print(-n); }", 5), "-5\n");
+}
+
+TEST(Interp, ComparisonsAndBooleans) {
+  EXPECT_EQ(runBase(R"(method main(n@Int) {
+    print(1 < 2); print(2 <= 1); print(3 > 2); print(2 >= 3);
+    print(1 == 1); print(1 != 1); print(!true);
+  })"),
+            "true\nfalse\ntrue\nfalse\ntrue\nfalse\nfalse\n");
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  // The right operand must not be evaluated when short-circuited.
+  EXPECT_EQ(runBase(R"(
+    method noisy(x) { print("boom"); true; }
+    method main(n@Int) {
+      if (false && noisy(1)) { print("no"); }
+      if (true || noisy(1)) { print("yes"); }
+    })"),
+            "yes\n");
+}
+
+TEST(Interp, StringsAndEquality) {
+  EXPECT_EQ(runBase(R"(method main(n@Int) {
+    let s := "ab" + "cd";
+    print(s); print(size(s)); print(s == "abcd"); print("a" < "b");
+  })"),
+            "abcd\n4\ntrue\ntrue\n");
+}
+
+TEST(Interp, ArraysAndBounds) {
+  EXPECT_EQ(runBase(R"(method main(n@Int) {
+    let a := array(3);
+    atPut(a, 0, 5); atPut(a, 2, 7);
+    print(at(a, 0)); print(at(a, 1)); print(size(a)); print(a);
+  })"),
+            "5\nnil\n3\n[5, nil, 7]\n");
+  expectRuntimeError(
+      "method main(n@Int) { at(array(2), 5); }", "out of bounds");
+}
+
+TEST(Interp, ObjectsSlotsAndDispatch) {
+  EXPECT_EQ(runBase(R"(
+    class Point { slot x; slot y; }
+    class Point3 isa Point { slot z; }
+    method sum(p@Point) { p.x + p.y; }
+    method sum(p@Point3) { p.x + p.y + p.z; }
+    method main(n@Int) {
+      let p := new Point { x := 1, y := 2 };
+      let q := new Point3 { x := 1, y := 2, z := 3 };
+      print(sum(p)); print(sum(q));
+      p.x := 10;
+      print(sum(p));
+    })"),
+            "3\n6\n12\n");
+}
+
+TEST(Interp, WhileLoops) {
+  EXPECT_EQ(runBase(R"(method main(n@Int) {
+    let i := 0; let total := 0;
+    while (i < n) { total := total + i; i := i + 1; }
+    print(total);
+  })", 10),
+            "45\n");
+}
+
+TEST(Interp, ClosuresCaptureEnvironment) {
+  EXPECT_EQ(runBase(R"(
+    method makeAdder(k@Int) { fn(x) { x + k; }; }
+    method main(n@Int) {
+      let add5 := makeAdder(5);
+      let add7 := makeAdder(7);
+      print(add5(10)); print(add7(10));
+    })"),
+            "15\n17\n");
+}
+
+TEST(Interp, ClosuresMutateCapturedVariables) {
+  EXPECT_EQ(runBase(R"(
+    method apply2(f) { f(); f(); }
+    method main(n@Int) {
+      let count := 0;
+      apply2(fn() { count := count + 1; });
+      print(count);
+    })"),
+            "2\n");
+}
+
+TEST(Interp, NonLocalReturnFromClosure) {
+  // `return` inside the closure exits `find`, not just the closure —
+  // the Figure 1 `includes` pattern.
+  EXPECT_EQ(runBase(R"(
+    method each(n@Int, body) {
+      let i := 0;
+      while (i < n) { body(i); i := i + 1; }
+    }
+    method find(n@Int, target@Int) {
+      each(n, fn(i) { if (i == target) { return "found"; } });
+      "missing";
+    }
+    method main(n@Int) {
+      print(find(10, 4));
+      print(find(10, 12));
+    })"),
+            "found\nmissing\n");
+}
+
+TEST(Interp, MethodValueIsLastExpression) {
+  EXPECT_EQ(runBase(R"(
+    method f(n@Int) { n * 2; }
+    method main(n@Int) { print(f(21)); }
+  )"),
+            "42\n");
+}
+
+TEST(Interp, ExplicitReturn) {
+  EXPECT_EQ(runBase(R"(
+    method classify(n@Int) {
+      if (n < 0) { return "neg"; }
+      if (n == 0) { return "zero"; }
+      "pos";
+    }
+    method main(n@Int) {
+      print(classify(-5)); print(classify(0)); print(classify(5));
+    })"),
+            "neg\nzero\npos\n");
+}
+
+TEST(Interp, MultiMethodDispatchAtRuntime) {
+  EXPECT_EQ(runBase(R"(
+    class Shape; class Circle isa Shape; class Square isa Shape;
+    method hit(a@Circle, b@Circle) { "cc"; }
+    method hit(a@Circle, b@Square) { "cs"; }
+    method hit(a@Shape, b@Shape) { "ss"; }
+    method main(n@Int) {
+      let c := new Circle; let s := new Square;
+      print(hit(c, c)); print(hit(c, s)); print(hit(s, s));
+    })"),
+            "cc\ncs\nss\n");
+}
+
+TEST(Interp, ClassNamePrim) {
+  EXPECT_EQ(runBase(R"(
+    class Widget;
+    method main(n@Int) {
+      print(className(3)); print(className(new Widget));
+      print(className("x")); print(className(nil));
+    })"),
+            "Int\nWidget\nString\nNil\n");
+}
+
+TEST(Interp, RuntimeErrors) {
+  expectRuntimeError("method main(n@Int) { 1 / 0; }", "division by zero");
+  expectRuntimeError("method main(n@Int) { abort(\"bye\"); }", "abort: bye");
+  expectRuntimeError("method main(n@Int) { if (3) { 1; } }",
+                     "not a boolean");
+  expectRuntimeError(R"(
+    class A;
+    method m(x@A) { x; }
+    method main(n@Int) { m(3); }
+  )",
+                     "not understood");
+  expectRuntimeError("method main(n@Int) { n(3); }", "not a closure");
+}
+
+TEST(Interp, InfiniteLoopGuard) {
+  std::unique_ptr<Program> P =
+      buildProgram({"method main(n@Int) { while (true) { 1; } }"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  RunOptions Opts;
+  Opts.MaxNodes = 10000;
+  Interpreter I(*CP, Opts);
+  EXPECT_FALSE(I.callMain(0));
+  EXPECT_NE(I.errorMessage().find("node budget"), std::string::npos);
+}
+
+TEST(Interp, StatsCountDispatchesAndClosures) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A; class B isa A;
+    method poke(x@A) { 1; }
+    method poke(x@B) { 2; }
+    method pick(n@Int) { if (n % 2 == 0) { new A; } else { new B; } }
+    method use(x@A, f) { f(1); }
+    method use(x@B, f) { f(2); }
+    method main(n@Int) {
+      let i := 0;
+      while (i < n) {
+        poke(pick(i));
+        use(pick(i), fn(x) { x; });
+        i := i + 1;
+      }
+    })"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  Interpreter I(*CP);
+  ASSERT_TRUE(I.callMain(10)) << I.errorMessage();
+  const RunStats &S = I.stats();
+  // poke(pick(i)) cannot be statically bound under Base: 10 dispatches at
+  // least (plus pick itself unless bound).
+  EXPECT_GE(S.DynamicDispatches, 10u);
+  // The closure is passed through a dynamically-dispatched `use`, so its
+  // creation cannot be optimized away.
+  EXPECT_GE(S.ClosuresCreated, 10u);
+  EXPECT_GE(S.ClosureCalls, 10u);
+  EXPECT_GT(S.Cycles, 0u);
+  EXPECT_GT(S.Allocations, 0u);
+}
+
+TEST(Interp, CallGenericDirectly) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    method double(x@Int) { x * 2; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  Interpreter I(*CP);
+  bool Ok = false;
+  Value V = I.callGeneric("double", {Value::ofInt(21)}, Ok);
+  ASSERT_TRUE(Ok) << I.errorMessage();
+  ASSERT_TRUE(V.isInt());
+  EXPECT_EQ(V.asInt(), 42);
+
+  I.callGeneric("nonexistent", {}, Ok);
+  EXPECT_FALSE(Ok);
+}
+
+TEST(Interp, RuntimeErrorsCarryStackTraces) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    method innermost(n@Int) { n / 0; }
+    method middle(n@Int) { innermost(n); }
+    method outer(n@Int) { middle(n); }
+    method main(n@Int) { outer(n); }
+  )"});
+  ASSERT_TRUE(P);
+  OptimizerOptions NoInline;
+  NoInline.EnableInlining = false;
+  std::unique_ptr<CompiledProgram> CP =
+      compileProgram(*P, Config::Base, nullptr, {}, NoInline);
+  Interpreter I(*CP);
+  ASSERT_FALSE(I.callMain(7));
+  const std::string &E = I.errorMessage();
+  EXPECT_NE(E.find("division by zero"), std::string::npos);
+  // Innermost first.
+  size_t PosInner = E.find("in innermost(Int)");
+  size_t PosMiddle = E.find("in middle(Int)");
+  size_t PosOuter = E.find("in outer(Int)");
+  size_t PosMain = E.find("in main(Int)");
+  EXPECT_NE(PosInner, std::string::npos) << E;
+  EXPECT_NE(PosMiddle, std::string::npos) << E;
+  EXPECT_NE(PosOuter, std::string::npos) << E;
+  EXPECT_NE(PosMain, std::string::npos) << E;
+  EXPECT_LT(PosInner, PosMiddle);
+  EXPECT_LT(PosMiddle, PosOuter);
+  EXPECT_LT(PosOuter, PosMain);
+}
+
+TEST(Interp, DeepStackTraceIsTruncated) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    method sink(n@Int) {
+      if (n == 0) { abort("bottom"); }
+      sink(n - 1);
+    }
+    method main(n@Int) { sink(50); }
+  )"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  Interpreter I(*CP);
+  ASSERT_FALSE(I.callMain(0));
+  EXPECT_NE(I.errorMessage().find("more frame(s)"), std::string::npos)
+      << I.errorMessage();
+}

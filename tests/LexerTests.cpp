@@ -1,0 +1,111 @@
+//===- tests/LexerTests.cpp - Mica lexer -----------------------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, bool ExpectErrors = false) {
+  Diagnostics Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Toks = L.lexAll();
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.toString();
+  return Toks;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Toks) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Toks)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  std::vector<Token> T = lex("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_EQ(T[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, KeywordsAndIdents) {
+  std::vector<Token> T =
+      lex("class isa slot method let return if else while new fn true "
+          "false nil foo _bar b42");
+  std::vector<TokenKind> K = kinds(T);
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwClass, TokenKind::KwIsa,   TokenKind::KwSlot,
+      TokenKind::KwMethod, TokenKind::KwLet,  TokenKind::KwReturn,
+      TokenKind::KwIf,    TokenKind::KwElse,  TokenKind::KwWhile,
+      TokenKind::KwNew,   TokenKind::KwFn,    TokenKind::KwTrue,
+      TokenKind::KwFalse, TokenKind::KwNil,   TokenKind::Ident,
+      TokenKind::Ident,   TokenKind::Ident,   TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+  EXPECT_EQ(T[14].Text, "foo");
+  EXPECT_EQ(T[15].Text, "_bar");
+  EXPECT_EQ(T[16].Text, "b42");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  std::vector<Token> T = lex("0 7 1234567");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].IntValue, 0);
+  EXPECT_EQ(T[1].IntValue, 7);
+  EXPECT_EQ(T[2].IntValue, 1234567);
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  std::vector<Token> T = lex(R"("hello" "a\nb" "q\"q" "back\\slash")");
+  ASSERT_EQ(T.size(), 5u);
+  EXPECT_EQ(T[0].Text, "hello");
+  EXPECT_EQ(T[1].Text, "a\nb");
+  EXPECT_EQ(T[2].Text, "q\"q");
+  EXPECT_EQ(T[3].Text, "back\\slash");
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  std::vector<Token> T =
+      lex("( ) { } , ; . @ := + - * / % == != < <= > >= && || !");
+  std::vector<TokenKind> K = kinds(T);
+  std::vector<TokenKind> Expected = {
+      TokenKind::LParen,  TokenKind::RParen,    TokenKind::LBrace,
+      TokenKind::RBrace,  TokenKind::Comma,     TokenKind::Semi,
+      TokenKind::Dot,     TokenKind::At,        TokenKind::Assign,
+      TokenKind::Plus,    TokenKind::Minus,     TokenKind::Star,
+      TokenKind::Slash,   TokenKind::Percent,   TokenKind::EqEq,
+      TokenKind::BangEq,  TokenKind::Less,      TokenKind::LessEq,
+      TokenKind::Greater, TokenKind::GreaterEq, TokenKind::AmpAmp,
+      TokenKind::PipePipe, TokenKind::Bang,     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  std::vector<Token> T = lex("a // comment until eol\nb // another");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  std::vector<Token> T = lex("ab\n  cd");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Col, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, ErrorsReportedAndRecovered) {
+  lex("a ? b", /*ExpectErrors=*/true);       // unknown char
+  lex("\"unterminated", /*ExpectErrors=*/true);
+  lex("a : b", /*ExpectErrors=*/true);       // ':' without '='
+  lex("a = b", /*ExpectErrors=*/true);       // '=' instead of ':=' or '=='
+  lex("a & b", /*ExpectErrors=*/true);
+  lex("a | b", /*ExpectErrors=*/true);
+}

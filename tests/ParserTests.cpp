@@ -1,0 +1,217 @@
+//===- tests/ParserTests.cpp - Mica parser & resolver ----------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+/// Parses a single-method module and renders the body.
+std::string parseBody(const std::string &Body,
+                      bool ExpectErrors = false) {
+  SymbolTable Syms;
+  Diagnostics Diags;
+  Module M;
+  bool Ok = Parser::parseSource("method t() { " + Body + " }", Syms, Diags,
+                                M);
+  EXPECT_EQ(Ok, !ExpectErrors) << Diags.toString();
+  if (M.Methods.size() != 1)
+    return "<no method>";
+  return printExpr(M.Methods[0].Body.get(), Syms);
+}
+
+} // namespace
+
+TEST(Parser, Literals) {
+  EXPECT_EQ(parseBody("42;"), "(seq (int 42))");
+  EXPECT_EQ(parseBody("-42;"), "(seq (int -42))");
+  EXPECT_EQ(parseBody("true; false; nil;"),
+            "(seq (bool true) (bool false) (nil))");
+  EXPECT_EQ(parseBody("\"hi\";"), "(seq (str \"hi\"))");
+}
+
+TEST(Parser, OperatorPrecedence) {
+  EXPECT_EQ(parseBody("1 + 2 * 3;"),
+            "(seq (send + (int 1) (send * (int 2) (int 3))))");
+  EXPECT_EQ(parseBody("(1 + 2) * 3;"),
+            "(seq (send * (send + (int 1) (int 2)) (int 3)))");
+  EXPECT_EQ(parseBody("1 - 2 - 3;"),
+            "(seq (send - (send - (int 1) (int 2)) (int 3)))");
+  EXPECT_EQ(parseBody("1 < 2 + 3;"),
+            "(seq (send < (int 1) (send + (int 2) (int 3))))");
+}
+
+TEST(Parser, ShortCircuitDesugarsToIf) {
+  EXPECT_EQ(parseBody("true && false;"),
+            "(seq (if (bool true) (bool false) (bool false)))");
+  EXPECT_EQ(parseBody("true || false;"),
+            "(seq (if (bool true) (bool true) (bool false)))");
+}
+
+TEST(Parser, UnaryDesugarsToSends) {
+  EXPECT_EQ(parseBody("!true;"), "(seq (send not (bool true)))");
+  EXPECT_EQ(parseBody("let x := 1; -x;"),
+            "(seq (let x (int 1)) (send neg (var x)))");
+}
+
+TEST(Parser, DotSyntaxSendAndSlot) {
+  EXPECT_EQ(parseBody("let r := 1; r.m(2);"),
+            "(seq (let r (int 1)) (send m (var r) (int 2)))");
+  EXPECT_EQ(parseBody("let r := 1; r.field;"),
+            "(seq (let r (int 1)) (get (var r) field))");
+  EXPECT_EQ(parseBody("let r := 1; r.field := 2;"),
+            "(seq (let r (int 1)) (set (var r) field (int 2)))");
+}
+
+TEST(Parser, ControlFlow) {
+  EXPECT_EQ(parseBody("if (true) { 1; } else { 2; }"),
+            "(seq (if (bool true) (seq (int 1)) (seq (int 2))))");
+  EXPECT_EQ(parseBody("if (true) { 1; } else if (false) { 2; }"),
+            "(seq (if (bool true) (seq (int 1)) "
+            "(if (bool false) (seq (int 2)))))");
+  EXPECT_EQ(parseBody("while (true) { 1; }"),
+            "(seq (while (bool true) (seq (int 1))))");
+  EXPECT_EQ(parseBody("return 3;"), "(seq (return (int 3)))");
+  EXPECT_EQ(parseBody("return;"), "(seq (return))");
+}
+
+TEST(Parser, ClosuresAndCalls) {
+  EXPECT_EQ(parseBody("fn(x) { x; };"), "(seq (fn (x) (seq (var x))))");
+  EXPECT_EQ(parseBody("(fn(x) { x; })(1);"),
+            "(seq (call (fn (x) (seq (var x))) (int 1)))");
+}
+
+TEST(Parser, NewWithInitializers) {
+  SymbolTable Syms;
+  Diagnostics Diags;
+  Module M;
+  ASSERT_TRUE(Parser::parseSource(
+      "class P { slot x; slot y; } method t() { new P { x := 1, y := 2 }; }",
+      Syms, Diags, M));
+  ASSERT_EQ(M.Classes.size(), 1u);
+  EXPECT_EQ(M.Classes[0].Slots.size(), 2u);
+  EXPECT_EQ(printExpr(M.Methods[0].Body.get(), Syms),
+            "(seq (new P (x (int 1)) (y (int 2))))");
+}
+
+TEST(Parser, ClassDeclarations) {
+  SymbolTable Syms;
+  Diagnostics Diags;
+  Module M;
+  ASSERT_TRUE(Parser::parseSource(
+      "class A; class B isa A; class C isa A, B { slot s; }", Syms, Diags,
+      M));
+  ASSERT_EQ(M.Classes.size(), 3u);
+  EXPECT_TRUE(M.Classes[0].Parents.empty());
+  EXPECT_EQ(M.Classes[1].Parents.size(), 1u);
+  EXPECT_EQ(M.Classes[2].Parents.size(), 2u);
+}
+
+TEST(Parser, MethodSpecializers) {
+  SymbolTable Syms;
+  Diagnostics Diags;
+  Module M;
+  ASSERT_TRUE(Parser::parseSource(
+      "class A; method m(x@A, y, z@A) { x; }", Syms, Diags, M));
+  ASSERT_EQ(M.Methods.size(), 1u);
+  const MethodDecl &MD = M.Methods[0];
+  ASSERT_EQ(MD.Params.size(), 3u);
+  EXPECT_TRUE(MD.Params[0].SpecializerName.isValid());
+  EXPECT_FALSE(MD.Params[1].SpecializerName.isValid());
+  EXPECT_TRUE(MD.Params[2].SpecializerName.isValid());
+}
+
+TEST(Parser, SyntaxErrors) {
+  parseBody("let := 3;", /*ExpectErrors=*/true);
+  parseBody("1 +;", /*ExpectErrors=*/true);
+  parseBody("if true { 1; }", /*ExpectErrors=*/true);
+  parseBody("1 := 2;", /*ExpectErrors=*/true); // bad assignment target
+}
+
+//===----------------------------------------------------------------------===//
+// Resolver behavior (via Program::resolve)
+//===----------------------------------------------------------------------===//
+
+TEST(Resolver, BareCallOnBoundNameBecomesClosureCall) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    method apply1(f, x) { f(x); }
+    method main(n@Int) { apply1(fn(k) { k + 1; }, n); }
+  )"});
+  ASSERT_TRUE(P);
+  // apply1's body must hold a ClosureCall, not a Send named 'f'.
+  Symbol FName = P->Syms.find("apply1");
+  GenericId G = P->lookupGeneric(FName, 2);
+  ASSERT_TRUE(G.isValid());
+  const MethodInfo &M = P->method(P->generic(G).Methods[0]);
+  std::string Printed = printExpr(M.Body.get(), P->Syms);
+  EXPECT_EQ(Printed, "(seq (call (var f) (var x)))");
+}
+
+TEST(Resolver, UnknownVariableIsAnError) {
+  auto P = std::make_unique<Program>();
+  P->addBuiltins();
+  Diagnostics Diags;
+  ASSERT_TRUE(P->addSource("method t() { zork; }", Diags));
+  EXPECT_FALSE(P->resolve(Diags));
+  EXPECT_NE(Diags.toString().find("unknown variable"), std::string::npos);
+}
+
+TEST(Resolver, UnknownMessageIsAnError) {
+  auto P = std::make_unique<Program>();
+  P->addBuiltins();
+  Diagnostics Diags;
+  ASSERT_TRUE(P->addSource("method t() { frobnicate(1, 2); }", Diags));
+  EXPECT_FALSE(P->resolve(Diags));
+  EXPECT_NE(Diags.toString().find("unknown message"), std::string::npos);
+}
+
+TEST(Resolver, ArityDistinguishesGenerics) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    method f(x) { x; }
+    method f(x, y) { y; }
+    method main(n@Int) { f(n); f(n, n); }
+  )"});
+  ASSERT_TRUE(P);
+  Symbol F = P->Syms.find("f");
+  EXPECT_TRUE(P->lookupGeneric(F, 1).isValid());
+  EXPECT_TRUE(P->lookupGeneric(F, 2).isValid());
+  EXPECT_NE(P->lookupGeneric(F, 1), P->lookupGeneric(F, 2));
+}
+
+TEST(Resolver, CallSitesAreNumberedDensely) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    method f(x@Int) { x + 1; }
+    method main(n@Int) { f(n) + f(n + 2); }
+  )"});
+  ASSERT_TRUE(P);
+  ASSERT_GT(P->numCallSites(), 0u);
+  for (unsigned I = 0; I != P->numCallSites(); ++I) {
+    const CallSiteInfo &Site = P->callSite(CallSiteId(I));
+    EXPECT_EQ(Site.Id, CallSiteId(I));
+    ASSERT_NE(Site.Send, nullptr);
+    EXPECT_EQ(Site.Send->Site, CallSiteId(I));
+    EXPECT_TRUE(Site.Owner.isValid());
+  }
+}
+
+// (kept at end to mirror the other error tests above)
+
+TEST(Resolver, SlotNameCheckedOnNew) {
+  auto P = std::make_unique<Program>();
+  P->addBuiltins();
+  Diagnostics Diags;
+  ASSERT_TRUE(P->addSource(
+      "class P { slot x; } method t() { new P { wrong := 1 }; }", Diags));
+  EXPECT_FALSE(P->resolve(Diags));
+  EXPECT_NE(Diags.toString().find("has no slot"), std::string::npos);
+}

@@ -1,0 +1,141 @@
+//===- tests/PassThroughTests.cpp - PassThroughArgs analysis ---------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PassThroughArgs.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+/// The call sites of generic \p Name within the program.
+std::vector<const CallSiteInfo *> sitesOf(const Program &P,
+                                          const std::string &Name) {
+  std::vector<const CallSiteInfo *> Out;
+  Symbol S = P.Syms.find(Name);
+  for (unsigned I = 0; I != P.numCallSites(); ++I) {
+    const CallSiteInfo &Site = P.callSite(CallSiteId(I));
+    if (Site.Send->GenericName == S)
+      Out.push_back(&Site);
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(PassThrough, DirectFormalsDetected) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    method callee(x@A, y@A) { x; }
+    method caller(a@A, b@A) { callee(b, a); }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  PassThroughAnalysis PT(*P);
+  auto Sites = sitesOf(*P, "callee");
+  ASSERT_EQ(Sites.size(), 1u);
+  // caller formal 1 (b) flows to callee actual 0; formal 0 (a) to actual 1.
+  std::vector<PassThroughPair> Expected = {{1, 0}, {0, 1}};
+  auto Pairs = PT.at(Sites[0]->Id);
+  std::sort(Pairs.begin(), Pairs.end(),
+            [](auto &A, auto &B) { return A.second < B.second; });
+  EXPECT_EQ(Pairs, Expected);
+}
+
+TEST(PassThrough, NonFormalArgumentsExcluded) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    method callee(x, y) { x; }
+    method caller(a@A) { callee(a + 0, 3); }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  PassThroughAnalysis PT(*P);
+  auto Sites = sitesOf(*P, "callee");
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_TRUE(PT.at(Sites[0]->Id).empty());
+}
+
+TEST(PassThrough, AssignedFormalIsNotPassThrough) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    method callee(x) { x; }
+    method caller(a@A) { a := new A; callee(a); }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  PassThroughAnalysis PT(*P);
+  auto Sites = sitesOf(*P, "callee");
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_TRUE(PT.at(Sites[0]->Id).empty());
+
+  GenericId G = P->lookupGeneric(P->Syms.find("caller"), 1);
+  MethodId Caller = P->generic(G).Methods[0];
+  EXPECT_FALSE(PT.isStableFormal(Caller, 0));
+}
+
+TEST(PassThrough, ShadowedFormalIsNotPassThrough) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A;
+    method callee(x) { x; }
+    method caller(a@A) { let a := 5; callee(a); }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  PassThroughAnalysis PT(*P);
+  auto Sites = sitesOf(*P, "callee");
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_TRUE(PT.at(Sites[0]->Id).empty());
+}
+
+TEST(PassThrough, FormalUsedInsideClosureIsPassThrough) {
+  // The Figure 1 situation: set2.includes(elem) inside the closure passed
+  // to do — set2 is a pass-through of overlaps' second formal.
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class S;
+    method inc(s@S, e) { e; }
+    method iter(s@S, body) { body(1); }
+    method over(s1@S, s2@S) {
+      iter(s1, fn(elem) { inc(s2, elem); });
+      false;
+    }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  PassThroughAnalysis PT(*P);
+  auto IncSites = sitesOf(*P, "inc");
+  ASSERT_EQ(IncSites.size(), 1u);
+  // over's formal 1 (s2) flows to inc's actual 0; elem is a closure param,
+  // not a formal of over.
+  std::vector<PassThroughPair> Expected = {{1, 0}};
+  EXPECT_EQ(PT.at(IncSites[0]->Id), Expected);
+
+  // The iter(s1, closure) site passes formal 0 through as actual 0.
+  auto IterSites = sitesOf(*P, "iter");
+  ASSERT_EQ(IterSites.size(), 1u);
+  std::vector<PassThroughPair> Expected2 = {{0, 0}};
+  EXPECT_EQ(PT.at(IterSites[0]->Id), Expected2);
+}
+
+TEST(PassThrough, ClosureParamShadowingFormalExcluded) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class S;
+    method callee(x) { x; }
+    method m(a@S, body) { body(fn(a) { callee(a); }); }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+  PassThroughAnalysis PT(*P);
+  auto Sites = sitesOf(*P, "callee");
+  ASSERT_EQ(Sites.size(), 1u);
+  // `a` at the callee site is the closure parameter, which shadows the
+  // formal; conservatively not a pass-through.
+  EXPECT_TRUE(PT.at(Sites[0]->Id).empty());
+}

@@ -1,0 +1,164 @@
+//===- tests/ProfileTests.cpp - Call graph and profile database ------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileDb.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+TEST(CallGraph, AddAndQueryArcs) {
+  CallGraph CG;
+  EXPECT_TRUE(CG.empty());
+  CG.addHits(CallSiteId(1), MethodId(10), MethodId(20), 5);
+  CG.addHits(CallSiteId(1), MethodId(10), MethodId(21), 2);
+  CG.addHits(CallSiteId(2), MethodId(11), MethodId(20), 7);
+  CG.addHits(CallSiteId(1), MethodId(10), MethodId(20), 3); // accumulate
+
+  EXPECT_EQ(CG.numArcs(), 3u);
+  EXPECT_EQ(CG.totalWeight(), 17u);
+
+  std::vector<Arc> Arcs = CG.arcs();
+  ASSERT_EQ(Arcs.size(), 3u);
+  // Deterministic order: by site then callee.
+  EXPECT_EQ(Arcs[0].Site, CallSiteId(1));
+  EXPECT_EQ(Arcs[0].Callee, MethodId(20));
+  EXPECT_EQ(Arcs[0].Weight, 8u);
+  EXPECT_EQ(Arcs[1].Callee, MethodId(21));
+  EXPECT_EQ(Arcs[2].Site, CallSiteId(2));
+
+  EXPECT_EQ(CG.arcsFrom(MethodId(10)).size(), 2u);
+  EXPECT_EQ(CG.arcsTo(MethodId(20)).size(), 2u);
+  EXPECT_EQ(CG.arcsAt(CallSiteId(1)).size(), 2u);
+}
+
+TEST(CallGraph, Merge) {
+  CallGraph A, B;
+  A.addHits(CallSiteId(0), MethodId(1), MethodId(2), 10);
+  B.addHits(CallSiteId(0), MethodId(1), MethodId(2), 5);
+  B.addHits(CallSiteId(3), MethodId(1), MethodId(4), 1);
+  A.merge(B);
+  EXPECT_EQ(A.totalWeight(), 16u);
+  EXPECT_EQ(A.numArcs(), 2u);
+}
+
+TEST(ProfileDb, SerializeRoundTrip) {
+  ProfileDb Db;
+  CallGraph &G1 = Db.forProgram("richards");
+  G1.addHits(CallSiteId(5), MethodId(2), MethodId(9), 1234);
+  G1.addHits(CallSiteId(6), MethodId(2), MethodId(10), 77);
+  CallGraph &G2 = Db.forProgram("instsched");
+  G2.addHits(CallSiteId(1), MethodId(0), MethodId(1), 42);
+
+  std::string Text = Db.serialize();
+  ProfileDb Loaded;
+  ASSERT_TRUE(Loaded.deserialize(Text));
+  EXPECT_EQ(Loaded.numPrograms(), 2u);
+  ASSERT_TRUE(Loaded.hasProgram("richards"));
+  EXPECT_EQ(Loaded.forProgram("richards").totalWeight(), 1311u);
+  EXPECT_EQ(Loaded.forProgram("instsched").totalWeight(), 42u);
+  // Round-tripping again is byte-identical (canonical ordering).
+  EXPECT_EQ(Loaded.serialize(), Text);
+}
+
+TEST(ProfileDb, RejectsMalformedInput) {
+  ProfileDb Db;
+  EXPECT_FALSE(Db.deserialize("not a profile"));
+  EXPECT_FALSE(Db.deserialize("selspec-profile v1\narc 1 2 3 4\n"))
+      << "arc before program header";
+  EXPECT_FALSE(Db.deserialize("selspec-profile v1\nbogus\n"));
+  EXPECT_TRUE(Db.deserialize("selspec-profile v1\n"));
+}
+
+TEST(ProfileDb, FileRoundTrip) {
+  ProfileDb Db;
+  Db.forProgram("p").addHits(CallSiteId(0), MethodId(0), MethodId(1), 3);
+  std::string Path = testing::TempDir() + "/selspec_profile_test.txt";
+  ASSERT_TRUE(Db.saveToFile(Path));
+  ProfileDb Loaded;
+  ASSERT_TRUE(Loaded.loadFromFile(Path));
+  EXPECT_EQ(Loaded.forProgram("p").totalWeight(), 3u);
+  EXPECT_FALSE(Loaded.loadFromFile("/nonexistent/dir/file.txt"));
+}
+
+namespace {
+
+const char *PolySource = R"(
+  class A; class B isa A;
+  method tag(x@A) { 1; }
+  method tag(x@B) { 2; }
+  method pick(n@Int) { if (n % 3 == 0) { new A; } else { new B; } }
+  method main(n@Int) {
+    let i := 0;
+    let total := 0;
+    while (i < n) { total := total + tag(pick(i)); i := i + 1; }
+    print(total);
+  }
+)";
+
+} // namespace
+
+TEST(Profiling, CollectsWeightedArcsFromRun) {
+  std::unique_ptr<Program> P = buildProgram({PolySource});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  CallGraph CG;
+  runMain(*CP, 30, nullptr, &CG);
+
+  ASSERT_FALSE(CG.empty());
+  // The tag(pick(i)) site must show two callees with weights 10 / 20.
+  uint64_t WeightA = 0, WeightB = 0;
+  for (const Arc &A : CG.arcs()) {
+    std::string Label = P->methodLabel(A.Callee);
+    if (Label == "tag(A)")
+      WeightA += A.Weight;
+    if (Label == "tag(B)")
+      WeightB += A.Weight;
+  }
+  EXPECT_EQ(WeightA, 10u);
+  EXPECT_EQ(WeightB, 20u);
+}
+
+TEST(Profiling, DeterministicAcrossIdenticalRuns) {
+  std::unique_ptr<Program> P = buildProgram({PolySource});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  CallGraph CG1, CG2;
+  runMain(*CP, 25, nullptr, &CG1);
+  {
+    // Fresh interpreter, same input.
+    std::unique_ptr<CompiledProgram> CP2 = compileProgram(*P, Config::Base);
+    runMain(*CP2, 25, nullptr, &CG2);
+  }
+  ProfileDb D1, D2;
+  D1.forProgram("p").merge(CG1);
+  D2.forProgram("p").merge(CG2);
+  EXPECT_EQ(D1.serialize(), D2.serialize());
+}
+
+TEST(Profiling, ArcStructureStableAcrossInputs) {
+  // Section 3.7.2: the *shape* of the profile (which callees each site
+  // reaches) is stable across inputs, even though weights differ.
+  std::unique_ptr<Program> P = buildProgram({PolySource});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  CallGraph Train, Test;
+  runMain(*CP, 30, nullptr, &Train);
+  {
+    std::unique_ptr<CompiledProgram> CP2 = compileProgram(*P, Config::Base);
+    runMain(*CP2, 90, nullptr, &Test);
+  }
+  auto Shape = [](const CallGraph &CG) {
+    std::vector<std::pair<uint32_t, uint32_t>> Out;
+    for (const Arc &A : CG.arcs())
+      Out.emplace_back(A.Site.value(), A.Callee.value());
+    return Out;
+  };
+  EXPECT_EQ(Shape(Train), Shape(Test));
+}

@@ -1,0 +1,385 @@
+//===- tests/PropertyTests.cpp - Parameterized invariant sweeps ------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style sweeps (TEST_P):
+///  - semantic preservation: every configuration produces the same program
+///    output on the same input;
+///  - dispatch counts never increase from Base to CHA/Selective;
+///  - version selection always returns a containing, minimal version;
+///  - ClassSet obeys lattice laws on pseudo-random instances.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+struct ProgramCase {
+  const char *Name;
+  const char *Source;
+  bool NeedsStdlib;
+};
+
+// A small corpus of semantically-interesting programs.
+const ProgramCase Corpus[] = {
+    {"polymorphic_loop", R"(
+      class A; class B isa A; class C isa B;
+      method val(x@A) { 1; }
+      method val(x@B) { 2; }
+      method val(x@C) { 4; }
+      method pick(i@Int) {
+        if (i % 3 == 0) { new A; }
+        else if (i % 3 == 1) { new B; }
+        else { new C; }
+      }
+      method main(n@Int) {
+        let total := 0;
+        let i := 0;
+        while (i < n) { total := total + val(pick(i)); i := i + 1; }
+        print(total);
+      }
+    )",
+     false},
+    {"closures_and_nlr", R"(
+      method upTo(n@Int, body) {
+        let i := 0;
+        while (i < n) { body(i); i := i + 1; }
+      }
+      method sumUntil(n@Int, stop@Int) {
+        let total := 0;
+        upTo(n, fn(i) {
+          if (i == stop) { return total; }
+          total := total + i;
+        });
+        total;
+      }
+      method main(n@Int) { print(sumUntil(n, n / 2)); }
+    )",
+     false},
+    {"multimethods", R"(
+      class Num; class Zero isa Num; class Pos isa Num;
+      method addK(a@Zero, b@Zero) { 0; }
+      method addK(a@Zero, b@Pos) { 1; }
+      method addK(a@Pos, b@Zero) { 1; }
+      method addK(a@Pos, b@Pos) { 2; }
+      method lift(i@Int) { if (i == 0) { new Zero; } else { new Pos; } }
+      method main(n@Int) {
+        let total := 0;
+        let i := 0;
+        while (i < n) {
+          total := total + addK(lift(i % 2), lift((i + 1) % 2));
+          i := i + 1;
+        }
+        print(total);
+      }
+    )",
+     false},
+    {"recursion", R"(
+      method fib(n@Int) {
+        if (n < 2) { n; } else { fib(n - 1) + fib(n - 2); }
+      }
+      method main(n@Int) { print(fib(n % 18)); }
+    )",
+     false},
+    {"sets", R"(
+      method main(n@Int) {
+        let a := listSetNew();
+        let b := bitSetNew(128);
+        let i := 0;
+        while (i < n) {
+          add(a, i * 13 % 60);
+          add(b, i * 7 % 60);
+          i := i + 1;
+        }
+        print(overlaps(a, b));
+        print(setSize(a) + setSize(b));
+        let c := hashSetNew(13);
+        unionInto(a, b, c);
+        print(setSize(c));
+      }
+    )",
+     true},
+    {"strings_and_arrays", R"(
+      method join(v@Vector, sep@String) {
+        let out := "";
+        let first := true;
+        do(v, fn(s) {
+          if (first) { first := false; } else { out := out + sep; }
+          out := out + s;
+        });
+        out;
+      }
+      method main(n@Int) {
+        let v := vectorNew();
+        let i := 0;
+        while (i < n % 7 + 2) { add(v, className(i)); i := i + 1; }
+        print(join(v, "-"));
+      }
+    )",
+     true},
+};
+
+class SemanticsAcrossConfigs
+    : public testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+} // namespace
+
+TEST_P(SemanticsAcrossConfigs, AllConfigsProduceIdenticalOutput) {
+  const ProgramCase &Case = Corpus[std::get<0>(GetParam())];
+  int64_t Input = std::get<1>(GetParam());
+
+  std::string Err;
+  std::unique_ptr<Workbench> W =
+      Workbench::fromSources({Case.Source}, Err, Case.NeedsStdlib);
+  ASSERT_TRUE(W) << Case.Name << ": " << Err;
+  ASSERT_TRUE(W->collectProfile(Input, Err)) << Case.Name << ": " << Err;
+
+  SelectiveOptions Sel;
+  Sel.SpecializationThreshold = 4;
+
+  std::optional<ConfigResult> Base =
+      W->runConfig(Config::Base, Input, Err);
+  ASSERT_TRUE(Base) << Case.Name << ": " << Err;
+
+  for (Config C : {Config::Cust, Config::CustMM, Config::CHA,
+                   Config::Selective}) {
+    std::optional<ConfigResult> R = W->runConfig(C, Input, Err, Sel);
+    ASSERT_TRUE(R) << Case.Name << "/" << configName(C) << ": " << Err;
+    EXPECT_EQ(R->Output, Base->Output)
+        << Case.Name << " under " << configName(C);
+    // Customization, CHA and selective specialization remove dispatches;
+    // none of these programs hits the pathological below-threshold
+    // static-to-select conversion, so Base is an upper bound throughout.
+    EXPECT_LE(R->Run.totalDispatches(), Base->Run.totalDispatches())
+        << Case.Name << " under " << configName(C);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SemanticsAcrossConfigs,
+    testing::Combine(testing::Range(0, 6),
+                     testing::Values<int64_t>(0, 1, 7, 23, 64)),
+    [](const testing::TestParamInfo<std::tuple<int, int64_t>> &Info) {
+      return std::string(Corpus[std::get<0>(Info.param)].Name) + "_n" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+//===----------------------------------------------------------------------===//
+// Version selection invariants
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class VersionSelection : public testing::TestWithParam<Config> {};
+
+} // namespace
+
+TEST_P(VersionSelection, SelectedVersionContainsAndIsMinimal) {
+  Config C = GetParam();
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class S; class T1 isa S; class T2 isa S; class T3 isa T1;
+    method f(a@S, b@S) { 1; }
+    method main(n@Int) { n; }
+  )"});
+  ASSERT_TRUE(P);
+
+  // Build a profile that gives Selective something to chew on.
+  CallGraph CG;
+  std::unique_ptr<CompiledProgram> CP =
+      compileProgram(*P, C, C == Config::Selective ? &CG : nullptr);
+
+  MethodId F;
+  for (unsigned MI = 0; MI != P->numMethods(); ++MI)
+    if (P->methodLabel(MethodId(MI)) == "f(S,S)")
+      F = MethodId(MI);
+  ASSERT_TRUE(F.isValid());
+
+  std::vector<ClassId> Names;
+  for (const char *N : {"S", "T1", "T2", "T3"})
+    Names.push_back(P->Classes.lookup(P->Syms.find(N)));
+
+  for (ClassId A : Names) {
+    for (ClassId B : Names) {
+      int V = CP->selectVersion(F, {A, B});
+      ASSERT_GE(V, 0) << "no version for (" << A.value() << ','
+                      << B.value() << ") under " << configName(C);
+      const CompiledMethod &CM = CP->version(static_cast<uint32_t>(V));
+      EXPECT_TRUE(tupleContains(CM.Tuple, {A, B}));
+      // Minimality: no other version containing the tuple is strictly
+      // more specific than the chosen one.
+      for (uint32_t Other : CP->versionsOf(F)) {
+        const CompiledMethod &OM = CP->version(Other);
+        if (Other != CM.Index && tupleContains(OM.Tuple, {A, B})) {
+          EXPECT_TRUE(tupleSubsetOf(CM.Tuple, OM.Tuple) ||
+                      !tupleSubsetOf(OM.Tuple, CM.Tuple));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, VersionSelection,
+                         testing::Values(Config::Base, Config::Cust,
+                                         Config::CustMM, Config::CHA,
+                                         Config::Selective),
+                         [](const testing::TestParamInfo<Config> &Info) {
+                           std::string N = configName(Info.param);
+                           for (char &Ch : N)
+                             if (Ch == '-')
+                               Ch = '_';
+                           return N;
+                         });
+
+//===----------------------------------------------------------------------===//
+// ClassSet lattice laws on pseudo-random instances
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ClassSetLaws : public testing::TestWithParam<unsigned> {};
+
+ClassSet randomSet(unsigned Universe, uint64_t &State) {
+  ClassSet S(Universe);
+  for (unsigned I = 0; I != Universe; ++I) {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((State >> 33) & 1)
+      S.insert(ClassId(I));
+  }
+  return S;
+}
+
+} // namespace
+
+TEST_P(ClassSetLaws, UnionIntersectionLaws) {
+  unsigned Seed = GetParam();
+  uint64_t State = Seed * 2654435761u + 1;
+  unsigned Universe = 5 + Seed * 13 % 150;
+
+  ClassSet A = randomSet(Universe, State);
+  ClassSet B = randomSet(Universe, State);
+  ClassSet C = randomSet(Universe, State);
+
+  // Commutativity and associativity.
+  EXPECT_EQ(A | B, B | A);
+  EXPECT_EQ(A & B, B & A);
+  EXPECT_EQ((A | B) | C, A | (B | C));
+  EXPECT_EQ((A & B) & C, A & (B & C));
+  // Absorption and distribution.
+  EXPECT_EQ(A & (A | B), A);
+  EXPECT_EQ(A | (A & B), A);
+  EXPECT_EQ(A & (B | C), (A & B) | (A & C));
+  // Subset relations.
+  EXPECT_TRUE((A & B).isSubsetOf(A));
+  EXPECT_TRUE(A.isSubsetOf(A | B));
+  // Difference laws.
+  ClassSet D = A;
+  D.subtract(B);
+  EXPECT_FALSE(D.intersects(B));
+  EXPECT_EQ(D | (A & B), A);
+  // Counting.
+  EXPECT_EQ((A | B).count() + (A & B).count(), A.count() + B.count());
+  // intersects() agrees with the intersection's emptiness.
+  EXPECT_EQ(A.intersects(B), !(A & B).isEmpty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassSetLaws, testing::Range(0u, 24u));
+
+//===----------------------------------------------------------------------===//
+// Extension flags preserve semantics too
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ExtensionSemantics : public testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(ExtensionSemantics, FeedbackAndReturnClassesPreserveOutput) {
+  const ProgramCase &Case = Corpus[GetParam()];
+  std::string Err;
+  std::unique_ptr<Workbench> W =
+      Workbench::fromSources({Case.Source}, Err, Case.NeedsStdlib);
+  ASSERT_TRUE(W) << Case.Name << ": " << Err;
+  ASSERT_TRUE(W->collectProfile(64, Err)) << Err;
+
+  std::optional<ConfigResult> Base = W->runConfig(Config::Base, 64, Err);
+  ASSERT_TRUE(Base) << Err;
+
+  for (bool Feedback : {false, true}) {
+    for (bool RetCls : {false, true}) {
+      OptimizerOptions Opt;
+      Opt.EnableTypeFeedback = Feedback;
+      Opt.UseReturnClasses = RetCls;
+      for (Config C : {Config::CHA, Config::Selective}) {
+        std::optional<ConfigResult> R =
+            W->runConfig(C, 64, Err, {}, Opt);
+        ASSERT_TRUE(R) << Case.Name << '/' << configName(C) << ": " << Err;
+        EXPECT_EQ(R->Output, Base->Output)
+            << Case.Name << '/' << configName(C) << " feedback=" << Feedback
+            << " retcls=" << RetCls;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ExtensionSemantics, testing::Range(0, 6),
+                         [](const testing::TestParamInfo<int> &Info) {
+                           return Corpus[Info.param].Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Front-end robustness: mangled inputs never crash
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ParserRobustness : public testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(ParserRobustness, TruncatedAndMutatedSourcesDoNotCrash) {
+  unsigned Seed = GetParam();
+  const std::string Source = Corpus[Seed % 4].Source;
+
+  // Truncation at a pseudo-random point.
+  uint64_t State = Seed * 0x9E3779B97F4A7C15ULL + 1;
+  auto Next = [&]() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 33;
+  };
+  std::string Truncated = Source.substr(0, Next() % Source.size());
+  {
+    auto P = std::make_unique<Program>();
+    P->addBuiltins();
+    Diagnostics Diags;
+    // Must terminate and either succeed or report diagnostics — never
+    // crash.  (addSource may legitimately succeed on a clean prefix.)
+    if (P->addSource(Truncated, Diags))
+      P->resolve(Diags);
+  }
+
+  // Character mutation (printable ASCII substitutions at ~2% of bytes).
+  std::string Mutated = Source;
+  for (char &C : Mutated)
+    if (Next() % 50 == 0)
+      C = static_cast<char>(' ' + Next() % 95);
+  {
+    auto P = std::make_unique<Program>();
+    P->addBuiltins();
+    Diagnostics Diags;
+    if (P->addSource(Mutated, Diags))
+      P->resolve(Diags);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness, testing::Range(0u, 32u));

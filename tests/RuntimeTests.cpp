@@ -1,0 +1,125 @@
+//===- tests/RuntimeTests.cpp - Values, environments, heap -----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+#include "runtime/Value.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+TEST(Value, KindsAndAccessors) {
+  Value N = Value::nil();
+  EXPECT_TRUE(N.isNil());
+  EXPECT_EQ(N.classOf(), builtin::Nil);
+
+  Value I = Value::ofInt(-42);
+  EXPECT_TRUE(I.isInt());
+  EXPECT_EQ(I.asInt(), -42);
+  EXPECT_EQ(I.classOf(), builtin::Int);
+
+  Value B = Value::ofBool(true);
+  EXPECT_TRUE(B.isBool());
+  EXPECT_TRUE(B.asBool());
+  EXPECT_EQ(B.classOf(), builtin::Bool);
+}
+
+TEST(Value, IdentitySemantics) {
+  Heap H;
+  EXPECT_TRUE(Value::nil().identicalTo(Value::nil()));
+  EXPECT_TRUE(Value::ofInt(7).identicalTo(Value::ofInt(7)));
+  EXPECT_FALSE(Value::ofInt(7).identicalTo(Value::ofInt(8)));
+  EXPECT_FALSE(Value::ofInt(0).identicalTo(Value::ofBool(false)))
+      << "different kinds never compare identical";
+
+  Obj *S1 = H.newString("x");
+  Obj *S2 = H.newString("x");
+  EXPECT_TRUE(Value::ofObj(S1).identicalTo(Value::ofObj(S1)));
+  EXPECT_FALSE(Value::ofObj(S1).identicalTo(Value::ofObj(S2)))
+      << "equal-content strings are distinct objects under identity";
+}
+
+TEST(Value, ObjectClassOf) {
+  Heap H;
+  EXPECT_EQ(Value::ofObj(H.newString("s")).classOf(), builtin::String);
+  EXPECT_EQ(Value::ofObj(H.newArray(3)).classOf(), builtin::Array);
+  EXPECT_EQ(Value::ofObj(H.newInstance(ClassId(9), 2)).classOf(),
+            ClassId(9));
+}
+
+TEST(Env, ChainedLookupAndShadowing) {
+  Symbol X(1), Y(2);
+  EnvPtr Outer = std::make_shared<Env>();
+  Outer->define(X, Value::ofInt(1));
+  EnvPtr Inner = std::make_shared<Env>(Outer);
+  Inner->define(Y, Value::ofInt(2));
+
+  ASSERT_NE(Inner->lookup(X), nullptr);
+  EXPECT_EQ(Inner->lookup(X)->asInt(), 1);
+  ASSERT_NE(Inner->lookup(Y), nullptr);
+  EXPECT_EQ(Outer->lookup(Y), nullptr) << "parent cannot see child scope";
+
+  Inner->define(X, Value::ofInt(10));
+  EXPECT_EQ(Inner->lookup(X)->asInt(), 10) << "inner shadows";
+  EXPECT_EQ(Outer->lookup(X)->asInt(), 1) << "outer untouched";
+
+  // Writing through lookup mutates the binding in place.
+  *Outer->lookup(X) = Value::ofInt(5);
+  EXPECT_EQ(Outer->lookup(X)->asInt(), 5);
+}
+
+TEST(Env, RedefinitionInSameScopeUsesLatest) {
+  Symbol X(1);
+  Env E;
+  E.define(X, Value::ofInt(1));
+  E.define(X, Value::ofInt(2));
+  EXPECT_EQ(E.lookup(X)->asInt(), 2);
+}
+
+TEST(Heap, TracksAllocations) {
+  Heap H;
+  EXPECT_EQ(H.numAllocated(), 0u);
+  H.newString("a");
+  H.newArray(4);
+  H.newInstance(ClassId(3), 1);
+  EXPECT_EQ(H.numAllocated(), 3u);
+}
+
+TEST(Heap, ArrayAndInstancePayloads) {
+  Heap H;
+  Obj *A = H.newArray(3);
+  EXPECT_EQ(A->payload(), Obj::Payload::Array);
+  ASSERT_EQ(A->Slots.size(), 3u);
+  EXPECT_TRUE(A->Slots[0].isNil());
+  A->Slots[1] = Value::ofInt(7);
+  EXPECT_EQ(A->Slots[1].asInt(), 7);
+
+  Obj *I = H.newInstance(ClassId(2), 2);
+  EXPECT_EQ(I->payload(), Obj::Payload::Instance);
+  EXPECT_EQ(I->Slots.size(), 2u);
+}
+
+TEST(Interp, ValueToStringRendersAllKinds) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class Box { slot v; }
+    method main(n@Int) {
+      let a := array(2);
+      atPut(a, 0, 1);
+      atPut(a, 1, "two");
+      print(a);
+      print(new Box);
+      print(fn(x) { x; });
+    }
+  )"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  std::string Out;
+  runMain(*CP, 0, &Out);
+  EXPECT_EQ(Out, "[1, two]\n<Box>\n<closure>\n");
+}

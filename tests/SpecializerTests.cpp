@@ -1,0 +1,388 @@
+//===- tests/SpecializerTests.cpp - Figure 4 algorithm units ---------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "specialize/SelectiveSpecializer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+MethodId findMethod(const Program &P, const std::string &Label) {
+  for (unsigned MI = 0; MI != P.numMethods(); ++MI)
+    if (P.methodLabel(MethodId(MI)) == Label)
+      return MethodId(MI);
+  ADD_FAILURE() << "no method labeled " << Label;
+  return MethodId();
+}
+
+/// Finds the unique call site within \p Owner whose generic is \p Generic.
+CallSiteId findSite(const Program &P, MethodId Owner,
+                    const std::string &Generic) {
+  Symbol G = P.Syms.find(Generic);
+  CallSiteId Found;
+  for (unsigned I = 0; I != P.numCallSites(); ++I) {
+    const CallSiteInfo &Site = P.callSite(CallSiteId(I));
+    if (Site.Owner == Owner && Site.Send->GenericName == G) {
+      EXPECT_FALSE(Found.isValid()) << "multiple '" << Generic << "' sites";
+      Found = Site.Id;
+    }
+  }
+  EXPECT_TRUE(Found.isValid()) << "no '" << Generic << "' site";
+  return Found;
+}
+
+ClassSet namedSet(const Program &P,
+                  std::initializer_list<const char *> Names) {
+  ClassSet S(P.Classes.size());
+  for (const char *N : Names)
+    S.insert(P.Classes.lookup(P.Syms.find(N)));
+  return S;
+}
+
+/// A small caller/callee pair with a polymorphic pass-through callee.
+const char *CalleeSource = R"(
+  class A; class B isa A; class C isa A;
+  method work(x@B) { 1; }
+  method work(x@C) { 2; }
+  method driver(a@A) { work(a); }
+  method main(n@Int) { n; }
+)";
+
+struct Built {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<ApplicableClassesAnalysis> AC;
+  std::unique_ptr<PassThroughAnalysis> PT;
+  CallGraph CG;
+};
+
+Built build(const char *Source) {
+  Built B;
+  B.P = buildProgram({Source});
+  if (B.P) {
+    B.AC = std::make_unique<ApplicableClassesAnalysis>(*B.P);
+    B.PT = std::make_unique<PassThroughAnalysis>(*B.P);
+  }
+  return B;
+}
+
+} // namespace
+
+TEST(Specializer, NeededInfoForArcMapsCalleeBack) {
+  Built B = build(CalleeSource);
+  ASSERT_TRUE(B.P);
+  MethodId Driver = findMethod(*B.P, "driver(A)");
+  MethodId WorkB = findMethod(*B.P, "work(B)");
+  CallSiteId Site = findSite(*B.P, Driver, "work");
+  B.CG.addHits(Site, Driver, WorkB, 5000);
+
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG);
+  Arc A = B.CG.arcs()[0];
+
+  SpecTuple Needed = S.neededInfoForArc(A);
+  ASSERT_EQ(Needed.size(), 1u);
+  // driver's formal restricted to work(B)'s applicable classes.
+  EXPECT_EQ(Needed[0], namedSet(*B.P, {"B"}));
+  EXPECT_TRUE(S.isSpecializableArc(A));
+}
+
+TEST(Specializer, ArcWithoutPassThroughNotSpecializable) {
+  Built B = build(R"(
+    class A; class B isa A; class C isa A;
+    method work(x@B) { 1; }
+    method work(x@C) { 2; }
+    method driver(a@A) { work(pickIt(a)); }
+    method pickIt(a@A) { a; }
+    method main(n@Int) { n; }
+  )");
+  ASSERT_TRUE(B.P);
+  MethodId Driver = findMethod(*B.P, "driver(A)");
+  CallSiteId Site = findSite(*B.P, Driver, "work");
+  B.CG.addHits(Site, Driver, findMethod(*B.P, "work(B)"), 5000);
+
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG);
+  EXPECT_FALSE(S.isSpecializableArc(B.CG.arcs()[0]));
+}
+
+TEST(Specializer, MonomorphicSiteNotSpecializable) {
+  // With a single work implementation the site statically binds under
+  // CHA, so specializing the caller gains nothing.
+  Built B = build(R"(
+    class A; class B isa A;
+    method work(x@A) { 1; }
+    method driver(a@A) { work(a); }
+    method main(n@Int) { n; }
+  )");
+  ASSERT_TRUE(B.P);
+  MethodId Driver = findMethod(*B.P, "driver(A)");
+  CallSiteId Site = findSite(*B.P, Driver, "work");
+  B.CG.addHits(Site, Driver, findMethod(*B.P, "work(A)"), 5000);
+
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG);
+  EXPECT_FALSE(S.isSpecializableArc(B.CG.arcs()[0]));
+}
+
+TEST(Specializer, ThresholdGatesSpecialization) {
+  for (uint64_t Weight : {500u, 5000u}) {
+    Built B = build(CalleeSource);
+    ASSERT_TRUE(B.P);
+    MethodId Driver = findMethod(*B.P, "driver(A)");
+    CallSiteId Site = findSite(*B.P, Driver, "work");
+    B.CG.addHits(Site, Driver, findMethod(*B.P, "work(B)"), Weight);
+
+    SelectiveOptions Opts;
+    Opts.SpecializationThreshold = 1000; // the paper's default
+    SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG, Opts);
+    S.run();
+    size_t NumVersions = S.specializations()[Driver.value()].size();
+    if (Weight > 1000)
+      EXPECT_EQ(NumVersions, 2u) << "general + specialized";
+    else
+      EXPECT_EQ(NumVersions, 1u) << "below threshold: general only";
+  }
+}
+
+TEST(Specializer, CombinationCoversAllPlausibleTuples) {
+  // Section 3.2's combination rule: adding <C> to {<A>, <A∩B>} yields
+  // <A∩C> and <A∩B∩C> as well.  Two independent binary partitions of two
+  // formals must therefore produce 3x3 = 9 versions (the paper's m4).
+  Built B = build(R"(
+    class A; class B isa A; class C isa A;
+    method f(x@B, u@A) { 1; }
+    method f(x@C, u@A) { 2; }
+    method g(x@A, u@B) { 1; }
+    method g(x@A, u@C) { 2; }
+    method target(p@A, q@A) { f(p, q); g(p, q); }
+    method main(n@Int) { n; }
+  )");
+  ASSERT_TRUE(B.P);
+  MethodId Target = findMethod(*B.P, "target(A,A)");
+  CallSiteId FSite = findSite(*B.P, Target, "f");
+  CallSiteId GSite = findSite(*B.P, Target, "g");
+  B.CG.addHits(FSite, Target, findMethod(*B.P, "f(B,A)"), 2000);
+  B.CG.addHits(FSite, Target, findMethod(*B.P, "f(C,A)"), 2000);
+  B.CG.addHits(GSite, Target, findMethod(*B.P, "g(A,B)"), 2000);
+  B.CG.addHits(GSite, Target, findMethod(*B.P, "g(A,C)"), 2000);
+
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG);
+  S.run();
+  const std::vector<SpecTuple> &Specs = S.specializations()[Target.value()];
+  EXPECT_EQ(Specs.size(), 9u);
+
+  // All tuples are pairwise distinct and non-empty.
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    EXPECT_TRUE(tupleNonEmpty(Specs[I]));
+    for (size_t J = I + 1; J != Specs.size(); ++J)
+      EXPECT_FALSE(tupleEquals(Specs[I], Specs[J]));
+  }
+}
+
+TEST(Specializer, EmptyIntersectionsDropped) {
+  // Two disjoint restrictions of the same formal must not combine.
+  Built B = build(CalleeSource);
+  ASSERT_TRUE(B.P);
+  MethodId Driver = findMethod(*B.P, "driver(A)");
+  CallSiteId Site = findSite(*B.P, Driver, "work");
+  B.CG.addHits(Site, Driver, findMethod(*B.P, "work(B)"), 2000);
+  B.CG.addHits(Site, Driver, findMethod(*B.P, "work(C)"), 2000);
+
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG);
+  S.run();
+  // general, <{B}>, <{C}> — but NOT <{B}∩{C}> = <∅>.
+  EXPECT_EQ(S.specializations()[Driver.value()].size(), 3u);
+}
+
+TEST(Specializer, CascadeSpecializesStaticallyBoundCaller) {
+  Built B = build(R"(
+    class A; class B isa A; class C isa A;
+    method work(x@B) { 1; }
+    method work(x@C) { 2; }
+    method mid(a@A) { work(a); }
+    method top(a@A) { mid(a); }
+    method main(n@Int) { n; }
+  )");
+  ASSERT_TRUE(B.P);
+  MethodId Mid = findMethod(*B.P, "mid(A)");
+  MethodId Top = findMethod(*B.P, "top(A)");
+  CallSiteId WorkSite = findSite(*B.P, Mid, "work");
+  CallSiteId MidSite = findSite(*B.P, Top, "mid");
+  B.CG.addHits(WorkSite, Mid, findMethod(*B.P, "work(B)"), 9000);
+  B.CG.addHits(MidSite, Top, Mid, 9000);
+
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG);
+  S.run();
+  // mid specialized for <{B}>; the statically-bound top->mid arc cascades
+  // the same specialization into top.
+  EXPECT_EQ(S.specializations()[Mid.value()].size(), 2u);
+  EXPECT_EQ(S.specializations()[Top.value()].size(), 2u);
+  EXPECT_GE(S.stats().CascadedSpecializations, 1u);
+
+  // Without cascading, top keeps only its general version.
+  SelectiveOptions NoCascade;
+  NoCascade.CascadeSpecializations = false;
+  SelectiveSpecializer S2(*B.P, *B.AC, *B.PT, B.CG, NoCascade);
+  S2.run();
+  EXPECT_EQ(S2.specializations()[Top.value()].size(), 1u);
+}
+
+TEST(Specializer, CascadeFollowsChainsUpward) {
+  // Ripples run through several statically-bound pass-through frames.
+  Built B = build(R"(
+    class A; class B isa A; class C isa A;
+    method work(x@B) { 1; }
+    method work(x@C) { 2; }
+    method d1(a@A) { work(a); }
+    method d2(a@A) { d1(a); }
+    method d3(a@A) { d2(a); }
+    method main(n@Int) { n; }
+  )");
+  ASSERT_TRUE(B.P);
+  MethodId D1 = findMethod(*B.P, "d1(A)");
+  MethodId D2 = findMethod(*B.P, "d2(A)");
+  MethodId D3 = findMethod(*B.P, "d3(A)");
+  B.CG.addHits(findSite(*B.P, D1, "work"), D1,
+               findMethod(*B.P, "work(B)"), 9000);
+  B.CG.addHits(findSite(*B.P, D2, "d1"), D2, D1, 9000);
+  B.CG.addHits(findSite(*B.P, D3, "d2"), D3, D2, 9000);
+
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG);
+  S.run();
+  EXPECT_EQ(S.specializations()[D1.value()].size(), 2u);
+  EXPECT_EQ(S.specializations()[D2.value()].size(), 2u);
+  EXPECT_EQ(S.specializations()[D3.value()].size(), 2u);
+}
+
+TEST(Specializer, RecursiveCyclesTerminate) {
+  Built B = build(R"(
+    class A; class B isa A; class C isa A;
+    method work(x@B) { 1; }
+    method work(x@C) { 2; }
+    method loopy(a@A, n@Int) {
+      work(a);
+      if (n > 0) { loopy(a, n - 1); }
+    }
+    method main(n@Int) { n; }
+  )");
+  ASSERT_TRUE(B.P);
+  MethodId Loopy = findMethod(*B.P, "loopy(A,Int)");
+  B.CG.addHits(findSite(*B.P, Loopy, "work"), Loopy,
+               findMethod(*B.P, "work(B)"), 9000);
+  B.CG.addHits(findSite(*B.P, Loopy, "loopy"), Loopy, Loopy, 9000);
+
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG);
+  S.run(); // must not loop forever
+  EXPECT_GE(S.specializations()[Loopy.value()].size(), 2u);
+}
+
+TEST(Specializer, SpaceBudgetHeuristic) {
+  // Section 3.4 alternative: highest-weight arcs win under a budget.
+  Built B = build(R"(
+    class A; class B isa A; class C isa A;
+    method work(x@B) { 1; }
+    method work(x@C) { 2; }
+    method hot(a@A) { work(a); }
+    method cold(a@A) { work(a); }
+    method main(n@Int) { n; }
+  )");
+  ASSERT_TRUE(B.P);
+  MethodId Hot = findMethod(*B.P, "hot(A)");
+  MethodId Cold = findMethod(*B.P, "cold(A)");
+  B.CG.addHits(findSite(*B.P, Hot, "work"), Hot,
+               findMethod(*B.P, "work(B)"), 100000);
+  B.CG.addHits(findSite(*B.P, Cold, "work"), Cold,
+               findMethod(*B.P, "work(C)"), 10);
+
+  SelectiveOptions Opts;
+  Opts.SpaceBudgetVersions = 1;
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG, Opts);
+  S.run();
+  EXPECT_EQ(S.specializations()[Hot.value()].size(), 2u)
+      << "budget goes to the hottest arc";
+  EXPECT_EQ(S.specializations()[Cold.value()].size(), 1u);
+}
+
+TEST(Specializer, BlowupGuardCapsVersions) {
+  Built B = build(CalleeSource);
+  ASSERT_TRUE(B.P);
+  MethodId Driver = findMethod(*B.P, "driver(A)");
+  CallSiteId Site = findSite(*B.P, Driver, "work");
+  B.CG.addHits(Site, Driver, findMethod(*B.P, "work(B)"), 2000);
+  B.CG.addHits(Site, Driver, findMethod(*B.P, "work(C)"), 2000);
+
+  SelectiveOptions Opts;
+  Opts.MaxVersionsPerMethod = 2;
+  SelectiveSpecializer S(*B.P, *B.AC, *B.PT, B.CG, Opts);
+  S.run();
+  EXPECT_LE(S.specializations()[Driver.value()].size(), 2u);
+  EXPECT_GE(S.stats().BlowupGuardHits, 1u);
+}
+
+TEST(Specializer, BenefitCostOrderPrefersMultiSiteWins) {
+  // Under a budget of one version, the benefit/cost order must pick the
+  // caller whose single specialization binds TWO hot sites over the
+  // caller where it binds one slightly-hotter site.
+  Built B = build(R"(
+    class A; class B isa A; class C isa A;
+    method w1(x@B) { 1; }
+    method w1(x@C) { 2; }
+    method w2(x@B) { 3; }
+    method w2(x@C) { 4; }
+    method double(a@A) { w1(a); w2(a); }
+    // Padded so both candidates have comparable body sizes and the score
+    // difference comes from the number of sites bound, not body size.
+    method single(a@A) { let pad := 1 + 2 + 3 + 4; w1(a) + pad; }
+    method main(n@Int) { n; }
+  )");
+  ASSERT_TRUE(B.P);
+  MethodId Double = findMethod(*B.P, "double(A)");
+  MethodId Single = findMethod(*B.P, "single(A)");
+  B.CG.addHits(findSite(*B.P, Double, "w1"), Double,
+               findMethod(*B.P, "w1(B)"), 3000);
+  B.CG.addHits(findSite(*B.P, Double, "w2"), Double,
+               findMethod(*B.P, "w2(B)"), 3000);
+  B.CG.addHits(findSite(*B.P, Single, "w1"), Single,
+               findMethod(*B.P, "w1(B)"), 4000);
+
+  // Raw weight order picks `single` (hottest arc: 4000)...
+  SelectiveOptions ByWeight;
+  ByWeight.SpaceBudgetVersions = 1;
+  SelectiveSpecializer S1(*B.P, *B.AC, *B.PT, B.CG, ByWeight);
+  S1.run();
+  EXPECT_EQ(S1.specializations()[Single.value()].size(), 2u);
+  EXPECT_EQ(S1.specializations()[Double.value()].size(), 1u);
+
+  // ...benefit/cost order picks `double` (6000 weight bound at once).
+  SelectiveOptions ByBenefit = ByWeight;
+  ByBenefit.UseBenefitCostOrder = true;
+  SelectiveSpecializer S2(*B.P, *B.AC, *B.PT, B.CG, ByBenefit);
+  S2.run();
+  EXPECT_EQ(S2.specializations()[Double.value()].size(), 2u);
+  EXPECT_EQ(S2.specializations()[Single.value()].size(), 1u);
+}
+
+TEST(SpecTuple, AlgebraBasics) {
+  SpecTuple A = {ClassSet::all(8), ClassSet::single(8, ClassId(1))};
+  SpecTuple B = {ClassSet::single(8, ClassId(2)), ClassSet::all(8)};
+  EXPECT_TRUE(tupleIntersects(A, B));
+  SpecTuple I = tupleIntersect(A, B);
+  EXPECT_TRUE(tupleNonEmpty(I));
+  EXPECT_TRUE(tupleSubsetOf(I, A));
+  EXPECT_TRUE(tupleSubsetOf(I, B));
+  EXPECT_FALSE(tupleSubsetOf(A, I));
+  EXPECT_FALSE(tupleEquals(A, B));
+  EXPECT_TRUE(tupleEquals(A, A));
+  EXPECT_TRUE(tupleContains(A, {ClassId(5), ClassId(1)}));
+  EXPECT_FALSE(tupleContains(A, {ClassId(5), ClassId(2)}));
+
+  SpecTuple C = {ClassSet::single(8, ClassId(3)),
+                 ClassSet::single(8, ClassId(4))};
+  EXPECT_FALSE(tupleIntersects(A, C));
+  EXPECT_FALSE(tupleNonEmpty(tupleIntersect(A, C)));
+}

@@ -1,0 +1,213 @@
+//===- tests/StdlibTests.cpp - Mica standard library behavior --------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Black-box tests of mica/stdlib.mica, run through the full pipeline
+/// under the Base configuration (other configurations are covered by the
+/// output-equivalence property tests).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+/// Runs `method main(n@Int) { <Body> }` with the stdlib, input 0.
+std::string runStd(const std::string &Body) {
+  std::string Err;
+  std::unique_ptr<Workbench> W = Workbench::fromSources(
+      {"method main(n@Int) { " + Body + " }"}, Err, /*WithStdlib=*/true);
+  if (!W) {
+    ADD_FAILURE() << Err;
+    return "<error>";
+  }
+  std::optional<ConfigResult> R = W->runConfig(Config::Base, 0, Err);
+  if (!R) {
+    ADD_FAILURE() << Err;
+    return "<error>";
+  }
+  return R->Output;
+}
+
+} // namespace
+
+TEST(Stdlib, MathHelpers) {
+  EXPECT_EQ(runStd("print(min(3, 5)); print(max(3, 5)); print(abs(-7)); "
+                   "print(abs(7));"),
+            "3\n5\n7\n7\n");
+}
+
+TEST(Stdlib, RngIsDeterministicAndBounded) {
+  EXPECT_EQ(runStd(R"(
+    let r1 := rngNew(42);
+    let r2 := rngNew(42);
+    let same := true;
+    let inRange := true;
+    let i := 0;
+    while (i < 200) {
+      let a := nextInt(r1, 17);
+      let b := nextInt(r2, 17);
+      if (a != b) { same := false; }
+      if (a < 0 || a >= 17) { inRange := false; }
+      i := i + 1;
+    }
+    print(same); print(inRange);
+  )"),
+            "true\ntrue\n");
+}
+
+TEST(Stdlib, VectorGrowsAndIterates) {
+  EXPECT_EQ(runStd(R"(
+    let v := vectorNew();
+    print(isEmpty(v));
+    let i := 0;
+    while (i < 100) { add(v, i * i); i := i + 1; }
+    print(size(v));
+    print(at(v, 0)); print(at(v, 99));
+    atPut(v, 50, -1);
+    print(at(v, 50));
+    let total := 0;
+    do(v, fn(x) { total := total + 1; });
+    print(total);
+    print(contains(v, 81)); print(contains(v, -1)); print(contains(v, 7));
+  )"),
+            "true\n100\n0\n9801\n-1\n100\ntrue\ntrue\nfalse\n");
+}
+
+TEST(Stdlib, VectorStackOperations) {
+  EXPECT_EQ(runStd(R"(
+    let v := vectorNew();
+    add(v, 1); add(v, 2); add(v, 3);
+    print(last(v));
+    print(removeLast(v));
+    print(size(v));
+    clear(v);
+    print(isEmpty(v));
+  )"),
+            "3\n3\n2\ntrue\n");
+}
+
+TEST(Stdlib, QueuesFifoAcrossRepresentations) {
+  for (const char *Ctor : {"ringQueueNew(16)", "stackQueueNew()"}) {
+    std::string Out = runStd(std::string(R"(
+      let q := )") + Ctor + R"(;
+      print(isEmpty(q));
+      enqueue(q, 1); enqueue(q, 2); enqueue(q, 3);
+      print(size(q));
+      print(dequeue(q)); print(dequeue(q));
+      enqueue(q, 4);
+      print(dequeue(q)); print(dequeue(q));
+      print(isEmpty(q));
+    )");
+    EXPECT_EQ(Out, "true\n3\n1\n2\n3\n4\ntrue\n") << Ctor;
+  }
+}
+
+TEST(Stdlib, DrainIntoMovesEverythingAcrossRepresentations) {
+  EXPECT_EQ(runStd(R"(
+    let a := stackQueueNew();
+    let b := ringQueueNew(8);
+    enqueue(a, 10); enqueue(a, 20); enqueue(a, 30);
+    drainInto(a, b);
+    print(isEmpty(a)); print(size(b));
+    print(dequeue(b)); print(dequeue(b)); print(dequeue(b));
+  )"),
+            "true\n3\n10\n20\n30\n");
+}
+
+TEST(Stdlib, QueueOverflowAndUnderflowAbort) {
+  std::string Err;
+  std::unique_ptr<Workbench> W = Workbench::fromSources(
+      {"method main(n@Int) { dequeue(ringQueueNew(4)); }"}, Err, true);
+  ASSERT_TRUE(W) << Err;
+  EXPECT_EQ(W->runConfig(Config::Base, 0, Err), std::nullopt);
+  EXPECT_NE(Err.find("underflow"), std::string::npos);
+}
+
+TEST(Stdlib, SetRepresentationsAgree) {
+  // All three representations must expose identical set semantics.
+  for (const char *Ctor :
+       {"listSetNew()", "hashSetNew(7)", "bitSetNew(100)"}) {
+    std::string Out = runStd(std::string("let s := ") + Ctor + R"(;
+      print(setSize(s));
+      add(s, 3); add(s, 50); add(s, 3);   // duplicates ignored
+      print(setSize(s));
+      print(includes(s, 3)); print(includes(s, 50)); print(includes(s, 4));
+      let total := 0;
+      do(s, fn(e) { total := total + e; });
+      print(total);
+    )");
+    EXPECT_EQ(Out, "0\n2\ntrue\ntrue\nfalse\n53\n") << Ctor;
+  }
+}
+
+TEST(Stdlib, OverlapsAcrossAllRepresentationPairs) {
+  EXPECT_EQ(runStd(R"(
+    let reps := vectorNew();
+    add(reps, listSetNew()); add(reps, hashSetNew(5)); add(reps, bitSetNew(64));
+    do(reps, fn(s) { add(s, 7); add(s, 21); });
+    let disjoint := vectorNew();
+    add(disjoint, listSetNew()); add(disjoint, hashSetNew(5));
+    add(disjoint, bitSetNew(64));
+    do(disjoint, fn(s) { add(s, 8); });
+    let allOverlap := true;
+    let noneOverlap := false;
+    do(reps, fn(a) {
+      do(reps, fn(b) { if (!overlaps(a, b)) { allOverlap := false; } });
+      do(disjoint, fn(b) { if (overlaps(a, b)) { noneOverlap := true; } });
+    });
+    print(allOverlap); print(noneOverlap);
+  )"),
+            "true\nfalse\n");
+}
+
+TEST(Stdlib, UnionAndIntersection) {
+  EXPECT_EQ(runStd(R"(
+    let a := listSetNew(); add(a, 1); add(a, 2); add(a, 3);
+    let b := bitSetNew(10); add(b, 2); add(b, 3); add(b, 4);
+    let u := hashSetNew(7);
+    unionInto(a, b, u);
+    print(setSize(u));
+    let i := listSetNew();
+    intersectInto(a, b, i);
+    print(setSize(i));
+    print(includes(i, 2) && includes(i, 3));
+    print(includes(i, 1) || includes(i, 4));
+  )"),
+            "4\n2\ntrue\nfalse\n");
+}
+
+TEST(Stdlib, BitSetRangeChecking) {
+  std::string Err;
+  std::unique_ptr<Workbench> W = Workbench::fromSources(
+      {"method main(n@Int) { add(bitSetNew(4), 9); }"}, Err, true);
+  ASSERT_TRUE(W) << Err;
+  EXPECT_EQ(W->runConfig(Config::Base, 0, Err), std::nullopt);
+  EXPECT_NE(Err.find("out of range"), std::string::npos);
+
+  // includes() out of range is just false, not an error.
+  EXPECT_EQ(runStd("print(includes(bitSetNew(4), 9)); "
+                   "print(includes(bitSetNew(4), -1));"),
+            "false\nfalse\n");
+}
+
+TEST(Stdlib, DefaultIncludesUsedByListSetHonorsEquality) {
+  // ListSet uses the generic do/== default, so string elements compare by
+  // identity (Any ==) — two equal-content strings are different objects.
+  EXPECT_EQ(runStd(R"(
+    let s := listSetNew();
+    let str := "x";
+    add(s, str);
+    print(includes(s, str));
+    print(setSize(s));
+  )"),
+            "true\n1\n");
+}

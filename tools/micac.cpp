@@ -1,0 +1,362 @@
+//===- tools/micac.cpp - Mica compiler/runner CLI ---------------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver for the whole pipeline:
+///
+///   micac check   <files...>                parse + resolve only
+///   micac run     <files...> [options]      compile under one config & run
+///   micac report  <files...> [options]      compare all five configurations
+///   micac profile <files...> [options]      collect a profile, save the DB
+///   micac plan    <files...> [options]      emit specialization directives
+///   micac dump    <files...> [options]      print optimized method bodies
+///
+/// Options:
+///   --input N           main() argument for the measured run   [10]
+///   --profile-input N   main() argument for the training run   [= input]
+///   --config NAME       base|cust|cust-mm|cha|selective        [selective]
+///   --threshold T       SpecializationThreshold                [1000]
+///   --no-cascade        disable cascading specializations
+///   --no-stdlib         do not prepend mica/stdlib.mica
+///   --feedback          enable profile-guided type feedback
+///   --return-classes    enable interprocedural return-class analysis
+///   --stats             print run statistics
+///   --db FILE           profile-database path (profile subcommand) [profile.db]
+///   --directives FILE   run: execute a saved directives file instead of
+///                       planning; plan: where to write the directives
+///
+/// File arguments are looked up in the working directory first, then in
+/// the repository's mica/ directory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "lang/AstPrinter.h"
+#include "driver/Report.h"
+#include "profile/ProfileDb.h"
+#include "specialize/Directives.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace selspec;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::vector<std::string> Files;
+  int64_t Input = 10;
+  int64_t ProfileInput = -1; // default: same as Input
+  Config Configuration = Config::Selective;
+  SelectiveOptions Sel;
+  OptimizerOptions Opt;
+  bool WithStdlib = true;
+  bool Stats = false;
+  std::string DbPath = "profile.db";
+  std::string DirectivesPath;
+};
+
+[[noreturn]] void usage(const char *Message = nullptr) {
+  if (Message)
+    std::cerr << "micac: " << Message << "\n\n";
+  std::cerr <<
+      "usage: micac <check|run|report|profile> <files...> [options]\n"
+      "  --input N  --profile-input N  --config NAME  --threshold T\n"
+      "  --no-cascade  --no-stdlib  --feedback  --return-classes\n"
+      "  --stats  --db FILE\n";
+  std::exit(2);
+}
+
+bool parseConfig(const std::string &Name, Config &Out) {
+  if (Name == "base") Out = Config::Base;
+  else if (Name == "cust") Out = Config::Cust;
+  else if (Name == "cust-mm" || Name == "custmm") Out = Config::CustMM;
+  else if (Name == "cha") Out = Config::CHA;
+  else if (Name == "selective") Out = Config::Selective;
+  else return false;
+  return true;
+}
+
+CliOptions parseArgs(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage();
+  CliOptions O;
+  O.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextValue = [&]() -> std::string {
+      if (I + 1 >= Argc)
+        usage(("missing value after " + A).c_str());
+      return Argv[++I];
+    };
+    if (A == "--input")
+      O.Input = std::stoll(NextValue());
+    else if (A == "--profile-input")
+      O.ProfileInput = std::stoll(NextValue());
+    else if (A == "--config") {
+      if (!parseConfig(NextValue(), O.Configuration))
+        usage("unknown --config value");
+    } else if (A == "--threshold")
+      O.Sel.SpecializationThreshold = std::stoull(NextValue());
+    else if (A == "--no-cascade")
+      O.Sel.CascadeSpecializations = false;
+    else if (A == "--no-stdlib")
+      O.WithStdlib = false;
+    else if (A == "--feedback")
+      O.Opt.EnableTypeFeedback = true;
+    else if (A == "--return-classes")
+      O.Opt.UseReturnClasses = true;
+    else if (A == "--stats")
+      O.Stats = true;
+    else if (A == "--db")
+      O.DbPath = NextValue();
+    else if (A == "--directives")
+      O.DirectivesPath = NextValue();
+    else if (!A.empty() && A[0] == '-')
+      usage(("unknown option " + A).c_str());
+    else
+      O.Files.push_back(A);
+  }
+  if (O.Files.empty())
+    usage("no input files");
+  if (O.ProfileInput < 0)
+    O.ProfileInput = O.Input;
+  return O;
+}
+
+/// Reads a file from the working directory, falling back to mica/.
+std::optional<std::string> readSource(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (IS) {
+    std::ostringstream Buf;
+    Buf << IS.rdbuf();
+    return Buf.str();
+  }
+  return Workbench::readMicaFile(Path);
+}
+
+std::unique_ptr<Workbench> load(const CliOptions &O) {
+  std::vector<std::string> Sources;
+  for (const std::string &F : O.Files) {
+    std::optional<std::string> Src = readSource(F);
+    if (!Src) {
+      std::cerr << "micac: cannot read '" << F << "'\n";
+      std::exit(1);
+    }
+    Sources.push_back(std::move(*Src));
+  }
+  std::string Err;
+  std::unique_ptr<Workbench> W =
+      Workbench::fromSources(Sources, Err, O.WithStdlib);
+  if (!W) {
+    std::cerr << Err;
+    std::exit(1);
+  }
+  return W;
+}
+
+void printStats(const ConfigResult &R) {
+  const RunStats &S = R.Run;
+  std::cout << "-- stats (" << configName(R.Configuration) << ")\n"
+            << "   dispatches:        " << TextTable::count(S.totalDispatches())
+            << " (dynamic " << TextTable::count(S.DynamicDispatches)
+            << ", selects " << TextTable::count(S.VersionSelects) << ")\n"
+            << "   static calls:      " << TextTable::count(S.StaticCalls)
+            << "\n   inlined prims:     " << TextTable::count(S.InlinePrims)
+            << "\n   predicted hit/miss: " << TextTable::count(S.PredictedHits)
+            << "/" << TextTable::count(S.PredictedMisses)
+            << "\n   feedback hit/miss:  " << TextTable::count(S.FeedbackHits)
+            << "/" << TextTable::count(S.FeedbackMisses)
+            << "\n   closures new/call: " << TextTable::count(S.ClosuresCreated)
+            << "/" << TextTable::count(S.ClosureCalls)
+            << "\n   cycles:            " << TextTable::count(S.Cycles)
+            << "\n   compiled routines: " << TextTable::count(R.CompiledRoutines)
+            << " (invoked " << TextTable::count(R.InvokedRoutines) << ")\n";
+}
+
+int cmdCheck(const CliOptions &O) {
+  std::unique_ptr<Workbench> W = load(O);
+  std::cout << "ok: " << W->program().numUserMethods() << " methods, "
+            << W->program().Classes.size() << " classes, "
+            << W->program().numCallSites() << " call sites, "
+            << W->sourceLines() << " lines\n";
+  return 0;
+}
+
+int cmdRun(const CliOptions &O) {
+  std::unique_ptr<Workbench> W = load(O);
+  std::string Err;
+
+  // Replaying a saved directives file skips planning (Section 4's
+  // "the compiler then executes the directives").
+  if (!O.DirectivesPath.empty()) {
+    std::ifstream IS(O.DirectivesPath);
+    if (!IS) {
+      std::cerr << "micac: cannot read '" << O.DirectivesPath << "'\n";
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << IS.rdbuf();
+    SpecializationPlan Plan;
+    if (!deserializeDirectives(Buf.str(), W->program(),
+                               W->applicableClasses(), Plan, Err)) {
+      std::cerr << "micac: " << Err << '\n';
+      return 1;
+    }
+    Optimizer Opt(W->program(), W->applicableClasses(), O.Opt);
+    std::unique_ptr<CompiledProgram> CP = Opt.compile(Plan);
+    std::ostringstream Out;
+    RunOptions RO;
+    RO.Output = &Out;
+    Interpreter I(*CP, RO);
+    if (!I.callMain(O.Input)) {
+      std::cerr << "micac: " << I.errorMessage() << '\n';
+      return 1;
+    }
+    std::cout << Out.str();
+    return 0;
+  }
+
+  if (O.Configuration == Config::Selective ||
+      O.Opt.EnableTypeFeedback) {
+    if (!W->collectProfile(O.ProfileInput, Err)) {
+      std::cerr << "micac: " << Err << '\n';
+      return 1;
+    }
+  }
+  std::optional<ConfigResult> R =
+      W->runConfig(O.Configuration, O.Input, Err, O.Sel, O.Opt);
+  if (!R) {
+    std::cerr << "micac: " << Err << '\n';
+    return 1;
+  }
+  std::cout << R->Output;
+  if (O.Stats)
+    printStats(*R);
+  return 0;
+}
+
+int cmdDump(const CliOptions &O) {
+  std::unique_ptr<Workbench> W = load(O);
+  std::string Err;
+  if (O.Configuration == Config::Selective ||
+      O.Opt.EnableTypeFeedback) {
+    if (!W->collectProfile(O.ProfileInput, Err)) {
+      std::cerr << "micac: " << Err << '\n';
+      return 1;
+    }
+  }
+  std::unique_ptr<CompiledProgram> CP =
+      W->compileOnly(O.Configuration, O.Sel, O.Opt);
+  const Program &P = W->program();
+  for (const CompiledMethod &CM : CP->versions()) {
+    if (!CM.Body)
+      continue;
+    std::cout << "-- " << P.methodLabel(CM.Source) << " #" << CM.Index
+              << "  tuple=" << tupleToString(CM.Tuple, P.Classes, P.Syms)
+              << "  size=" << CM.CodeSize << '\n'
+              << printExpr(CM.Body.get(), P.Syms) << "\n\n";
+  }
+  return 0;
+}
+
+int cmdPlan(const CliOptions &O) {
+  std::unique_ptr<Workbench> W = load(O);
+  std::string Err;
+  if (!W->collectProfile(O.ProfileInput, Err)) {
+    std::cerr << "micac: " << Err << '\n';
+    return 1;
+  }
+  SpecializationPlan Plan =
+      makePlan(O.Configuration, W->program(), W->applicableClasses(),
+               W->passThrough(), &W->profile(), O.Sel);
+  std::string Text = serializeDirectives(Plan, W->program());
+  if (O.DirectivesPath.empty()) {
+    std::cout << Text;
+    return 0;
+  }
+  std::ofstream OS(O.DirectivesPath);
+  if (!OS) {
+    std::cerr << "micac: cannot write '" << O.DirectivesPath << "'\n";
+    return 1;
+  }
+  OS << Text;
+  std::cout << "wrote " << Plan.totalVersions() << " version directives to "
+            << O.DirectivesPath << '\n';
+  return 0;
+}
+
+int cmdReport(const CliOptions &O) {
+  std::unique_ptr<Workbench> W = load(O);
+  std::string Err;
+  if (!W->collectProfile(O.ProfileInput, Err)) {
+    std::cerr << "micac: " << Err << '\n';
+    return 1;
+  }
+  TextTable T({"Config", "Dispatches", "Cycles", "Speedup", "Routines",
+               "Invoked"});
+  uint64_t BaseCycles = 0;
+  for (Config C : {Config::Base, Config::Cust, Config::CustMM, Config::CHA,
+                   Config::Selective}) {
+    std::optional<ConfigResult> R =
+        W->runConfig(C, O.Input, Err, O.Sel, O.Opt);
+    if (!R) {
+      std::cerr << "micac: " << Err << '\n';
+      return 1;
+    }
+    if (C == Config::Base)
+      BaseCycles = R->Run.Cycles;
+    T.addRow({configName(C), TextTable::count(R->Run.totalDispatches()),
+              TextTable::count(R->Run.Cycles),
+              TextTable::ratio(static_cast<double>(BaseCycles) /
+                               static_cast<double>(R->Run.Cycles)),
+              TextTable::count(R->CompiledRoutines),
+              TextTable::count(R->InvokedRoutines)});
+  }
+  T.print(std::cout);
+  return 0;
+}
+
+int cmdProfile(const CliOptions &O) {
+  std::unique_ptr<Workbench> W = load(O);
+  std::string Err;
+  if (!W->collectProfile(O.ProfileInput, Err)) {
+    std::cerr << "micac: " << Err << '\n';
+    return 1;
+  }
+  ProfileDb Db;
+  Db.forProgram(O.Files.front()).merge(W->profile());
+  if (!Db.saveToFile(O.DbPath)) {
+    std::cerr << "micac: cannot write '" << O.DbPath << "'\n";
+    return 1;
+  }
+  std::cout << "wrote " << W->profile().numArcs() << " arcs (total weight "
+            << TextTable::count(W->profile().totalWeight()) << ") to "
+            << O.DbPath << '\n';
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions O = parseArgs(Argc, Argv);
+  if (O.Command == "check")
+    return cmdCheck(O);
+  if (O.Command == "run")
+    return cmdRun(O);
+  if (O.Command == "report")
+    return cmdReport(O);
+  if (O.Command == "profile")
+    return cmdProfile(O);
+  if (O.Command == "plan")
+    return cmdPlan(O);
+  if (O.Command == "dump")
+    return cmdDump(O);
+  usage(("unknown command '" + O.Command + "'").c_str());
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_base_opts.dir/ablation_base_opts.cpp.o"
+  "CMakeFiles/ablation_base_opts.dir/ablation_base_opts.cpp.o.d"
+  "ablation_base_opts"
+  "ablation_base_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_base_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_compilation.dir/dynamic_compilation.cpp.o"
+  "CMakeFiles/dynamic_compilation.dir/dynamic_compilation.cpp.o.d"
+  "dynamic_compilation"
+  "dynamic_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

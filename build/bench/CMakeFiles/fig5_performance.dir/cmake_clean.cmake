@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_performance.dir/fig5_performance.cpp.o"
+  "CMakeFiles/fig5_performance.dir/fig5_performance.cpp.o.d"
+  "fig5_performance"
+  "fig5_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_code_space.dir/fig6_code_space.cpp.o"
+  "CMakeFiles/fig6_code_space.dir/fig6_code_space.cpp.o.d"
+  "fig6_code_space"
+  "fig6_code_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_code_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

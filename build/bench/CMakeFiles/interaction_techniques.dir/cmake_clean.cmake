@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interaction_techniques.dir/interaction_techniques.cpp.o"
+  "CMakeFiles/interaction_techniques.dir/interaction_techniques.cpp.o.d"
+  "interaction_techniques"
+  "interaction_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interaction_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dispatch.dir/micro_dispatch.cpp.o"
+  "CMakeFiles/micro_dispatch.dir/micro_dispatch.cpp.o.d"
+  "micro_dispatch"
+  "micro_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selspec_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/selspec_bench_common.dir/BenchCommon.cpp.o.d"
+  "libselspec_bench_common.a"
+  "libselspec_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selspec_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

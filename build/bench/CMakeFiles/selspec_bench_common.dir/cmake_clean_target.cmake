@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libselspec_bench_common.a"
+)

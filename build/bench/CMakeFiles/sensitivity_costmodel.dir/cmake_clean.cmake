@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_costmodel.dir/sensitivity_costmodel.cpp.o"
+  "CMakeFiles/sensitivity_costmodel.dir/sensitivity_costmodel.cpp.o.d"
+  "sensitivity_costmodel"
+  "sensitivity_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

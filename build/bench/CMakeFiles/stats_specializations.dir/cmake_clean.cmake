@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_specializations.dir/stats_specializations.cpp.o"
+  "CMakeFiles/stats_specializations.dir/stats_specializations.cpp.o.d"
+  "stats_specializations"
+  "stats_specializations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_specializations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

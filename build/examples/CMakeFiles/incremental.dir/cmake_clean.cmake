@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental.dir/incremental.cpp.o"
+  "CMakeFiles/incremental.dir/incremental.cpp.o.d"
+  "incremental"
+  "incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

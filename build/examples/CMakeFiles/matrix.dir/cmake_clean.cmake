@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix.dir/matrix.cpp.o"
+  "CMakeFiles/matrix.dir/matrix.cpp.o.d"
+  "matrix"
+  "matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ApplicableClasses.cpp" "src/CMakeFiles/selspec.dir/analysis/ApplicableClasses.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/analysis/ApplicableClasses.cpp.o.d"
+  "/root/repo/src/analysis/PassThroughArgs.cpp" "src/CMakeFiles/selspec.dir/analysis/PassThroughArgs.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/analysis/PassThroughArgs.cpp.o.d"
+  "/root/repo/src/analysis/ReturnClasses.cpp" "src/CMakeFiles/selspec.dir/analysis/ReturnClasses.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/analysis/ReturnClasses.cpp.o.d"
+  "/root/repo/src/analysis/StaticBinding.cpp" "src/CMakeFiles/selspec.dir/analysis/StaticBinding.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/analysis/StaticBinding.cpp.o.d"
+  "/root/repo/src/depgraph/DependencyGraph.cpp" "src/CMakeFiles/selspec.dir/depgraph/DependencyGraph.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/depgraph/DependencyGraph.cpp.o.d"
+  "/root/repo/src/driver/Pipeline.cpp" "src/CMakeFiles/selspec.dir/driver/Pipeline.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/driver/Pipeline.cpp.o.d"
+  "/root/repo/src/driver/Report.cpp" "src/CMakeFiles/selspec.dir/driver/Report.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/driver/Report.cpp.o.d"
+  "/root/repo/src/hierarchy/Builtins.cpp" "src/CMakeFiles/selspec.dir/hierarchy/Builtins.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/hierarchy/Builtins.cpp.o.d"
+  "/root/repo/src/hierarchy/ClassHierarchy.cpp" "src/CMakeFiles/selspec.dir/hierarchy/ClassHierarchy.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/hierarchy/ClassHierarchy.cpp.o.d"
+  "/root/repo/src/hierarchy/Program.cpp" "src/CMakeFiles/selspec.dir/hierarchy/Program.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/hierarchy/Program.cpp.o.d"
+  "/root/repo/src/interp/CostModel.cpp" "src/CMakeFiles/selspec.dir/interp/CostModel.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/interp/CostModel.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/selspec.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/lang/Ast.cpp" "src/CMakeFiles/selspec.dir/lang/Ast.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/lang/Ast.cpp.o.d"
+  "/root/repo/src/lang/AstPrinter.cpp" "src/CMakeFiles/selspec.dir/lang/AstPrinter.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/lang/AstPrinter.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/CMakeFiles/selspec.dir/lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/lang/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/selspec.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/lang/Resolver.cpp" "src/CMakeFiles/selspec.dir/lang/Resolver.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/lang/Resolver.cpp.o.d"
+  "/root/repo/src/opt/ClassAnalysis.cpp" "src/CMakeFiles/selspec.dir/opt/ClassAnalysis.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/opt/ClassAnalysis.cpp.o.d"
+  "/root/repo/src/opt/CompiledProgram.cpp" "src/CMakeFiles/selspec.dir/opt/CompiledProgram.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/opt/CompiledProgram.cpp.o.d"
+  "/root/repo/src/opt/Inliner.cpp" "src/CMakeFiles/selspec.dir/opt/Inliner.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/opt/Inliner.cpp.o.d"
+  "/root/repo/src/opt/Optimizer.cpp" "src/CMakeFiles/selspec.dir/opt/Optimizer.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/opt/Optimizer.cpp.o.d"
+  "/root/repo/src/profile/CallGraph.cpp" "src/CMakeFiles/selspec.dir/profile/CallGraph.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/profile/CallGraph.cpp.o.d"
+  "/root/repo/src/profile/ProfileDb.cpp" "src/CMakeFiles/selspec.dir/profile/ProfileDb.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/profile/ProfileDb.cpp.o.d"
+  "/root/repo/src/runtime/DispatchTable.cpp" "src/CMakeFiles/selspec.dir/runtime/DispatchTable.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/runtime/DispatchTable.cpp.o.d"
+  "/root/repo/src/runtime/Dispatcher.cpp" "src/CMakeFiles/selspec.dir/runtime/Dispatcher.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/runtime/Dispatcher.cpp.o.d"
+  "/root/repo/src/runtime/Value.cpp" "src/CMakeFiles/selspec.dir/runtime/Value.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/runtime/Value.cpp.o.d"
+  "/root/repo/src/specialize/Directives.cpp" "src/CMakeFiles/selspec.dir/specialize/Directives.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/specialize/Directives.cpp.o.d"
+  "/root/repo/src/specialize/SelectiveSpecializer.cpp" "src/CMakeFiles/selspec.dir/specialize/SelectiveSpecializer.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/specialize/SelectiveSpecializer.cpp.o.d"
+  "/root/repo/src/specialize/SpecTuple.cpp" "src/CMakeFiles/selspec.dir/specialize/SpecTuple.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/specialize/SpecTuple.cpp.o.d"
+  "/root/repo/src/specialize/Strategies.cpp" "src/CMakeFiles/selspec.dir/specialize/Strategies.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/specialize/Strategies.cpp.o.d"
+  "/root/repo/src/support/ClassSet.cpp" "src/CMakeFiles/selspec.dir/support/ClassSet.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/support/ClassSet.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/selspec.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/selspec.dir/support/Diagnostics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ApplicableClassesTests.cpp" "tests/CMakeFiles/selspec_tests.dir/ApplicableClassesTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/ApplicableClassesTests.cpp.o.d"
+  "/root/repo/tests/BenchmarkProgramTests.cpp" "tests/CMakeFiles/selspec_tests.dir/BenchmarkProgramTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/BenchmarkProgramTests.cpp.o.d"
+  "/root/repo/tests/DepGraphTests.cpp" "tests/CMakeFiles/selspec_tests.dir/DepGraphTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/DepGraphTests.cpp.o.d"
+  "/root/repo/tests/DirectivesTests.cpp" "tests/CMakeFiles/selspec_tests.dir/DirectivesTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/DirectivesTests.cpp.o.d"
+  "/root/repo/tests/ExtensionsTests.cpp" "tests/CMakeFiles/selspec_tests.dir/ExtensionsTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/ExtensionsTests.cpp.o.d"
+  "/root/repo/tests/HierarchyTests.cpp" "tests/CMakeFiles/selspec_tests.dir/HierarchyTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/HierarchyTests.cpp.o.d"
+  "/root/repo/tests/InlinerTests.cpp" "tests/CMakeFiles/selspec_tests.dir/InlinerTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/InlinerTests.cpp.o.d"
+  "/root/repo/tests/InterpreterTests.cpp" "tests/CMakeFiles/selspec_tests.dir/InterpreterTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/InterpreterTests.cpp.o.d"
+  "/root/repo/tests/LexerTests.cpp" "tests/CMakeFiles/selspec_tests.dir/LexerTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/LexerTests.cpp.o.d"
+  "/root/repo/tests/OptAnalysisTests.cpp" "tests/CMakeFiles/selspec_tests.dir/OptAnalysisTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/OptAnalysisTests.cpp.o.d"
+  "/root/repo/tests/OptimizerTests.cpp" "tests/CMakeFiles/selspec_tests.dir/OptimizerTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/OptimizerTests.cpp.o.d"
+  "/root/repo/tests/PaperExampleTests.cpp" "tests/CMakeFiles/selspec_tests.dir/PaperExampleTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/PaperExampleTests.cpp.o.d"
+  "/root/repo/tests/ParserTests.cpp" "tests/CMakeFiles/selspec_tests.dir/ParserTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/ParserTests.cpp.o.d"
+  "/root/repo/tests/PassThroughTests.cpp" "tests/CMakeFiles/selspec_tests.dir/PassThroughTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/PassThroughTests.cpp.o.d"
+  "/root/repo/tests/PipelineTests.cpp" "tests/CMakeFiles/selspec_tests.dir/PipelineTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/PipelineTests.cpp.o.d"
+  "/root/repo/tests/ProfileTests.cpp" "tests/CMakeFiles/selspec_tests.dir/ProfileTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/ProfileTests.cpp.o.d"
+  "/root/repo/tests/PropertyTests.cpp" "tests/CMakeFiles/selspec_tests.dir/PropertyTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/PropertyTests.cpp.o.d"
+  "/root/repo/tests/RuntimeTests.cpp" "tests/CMakeFiles/selspec_tests.dir/RuntimeTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/RuntimeTests.cpp.o.d"
+  "/root/repo/tests/SpecializerTests.cpp" "tests/CMakeFiles/selspec_tests.dir/SpecializerTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/SpecializerTests.cpp.o.d"
+  "/root/repo/tests/StdlibTests.cpp" "tests/CMakeFiles/selspec_tests.dir/StdlibTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/StdlibTests.cpp.o.d"
+  "/root/repo/tests/StrategiesTests.cpp" "tests/CMakeFiles/selspec_tests.dir/StrategiesTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/StrategiesTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/selspec_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/selspec_tests.dir/SupportTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selspec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

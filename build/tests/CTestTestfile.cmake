@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/selspec_tests[1]_include.cmake")
+add_test(micac_check "/root/repo/build/tools/micac" "check" "richards.mica")
+set_tests_properties(micac_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(micac_run_selective "/root/repo/build/tools/micac" "run" "richards.mica" "--input" "3" "--stats")
+set_tests_properties(micac_run_selective PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(micac_report "/root/repo/build/tools/micac" "report" "instsched.mica" "--input" "4" "--profile-input" "3")
+set_tests_properties(micac_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(micac_plan "/root/repo/build/tools/micac" "plan" "instsched.mica" "--input" "4" "--threshold" "50")
+set_tests_properties(micac_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;38;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(micac_bad_file "/root/repo/build/tools/micac" "check" "no_such.mica")
+set_tests_properties(micac_bad_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_paper "/root/repo/build/examples/paper_example")
+set_tests_properties(example_paper PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_matrix "/root/repo/build/examples/matrix")
+set_tests_properties(example_matrix PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;46;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_incremental "/root/repo/build/examples/incremental")
+set_tests_properties(example_incremental PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;47;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(micac_dump "/root/repo/build/tools/micac" "dump" "instsched.mica" "--config" "cha" "--input" "4")
+set_tests_properties(micac_dump PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(micac_directives_roundtrip "sh" "-c" "/root/repo/build/tools/micac plan richards.mica --input 50 --threshold 100 --directives rich.dir && /root/repo/build/tools/micac run richards.mica --input 5 --directives rich.dir")
+set_tests_properties(micac_directives_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;50;add_test;/root/repo/tests/CMakeLists.txt;0;")

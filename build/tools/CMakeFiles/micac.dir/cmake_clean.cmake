@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micac.dir/micac.cpp.o"
+  "CMakeFiles/micac.dir/micac.cpp.o.d"
+  "micac"
+  "micac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

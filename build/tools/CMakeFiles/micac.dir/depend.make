@@ -1,0 +1,2 @@
+# Empty dependencies file for micac.
+# This may be replaced when dependencies are built.

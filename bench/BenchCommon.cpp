@@ -7,6 +7,7 @@
 #include "BenchCommon.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 using namespace selspec;
@@ -63,7 +64,45 @@ SuiteResult selspec::bench::runSuiteProgram(const BenchProgram &Program,
     }
     R.ByConfig.push_back(std::move(*CR));
   }
+  writeBenchJson(R);
   return R;
+}
+
+bool selspec::bench::writeBenchJson(const SuiteResult &R) {
+  std::string Path = "BENCH_" + R.Program.Name + ".json";
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::cerr << "warning: cannot write " << Path << '\n';
+    return false;
+  }
+  OS << "{\n"
+     << "  \"benchmark\": \"" << R.Program.Name << "\",\n"
+     << "  \"train_input\": " << R.Program.TrainInput << ",\n"
+     << "  \"test_input\": " << R.Program.TestInput << ",\n"
+     << "  \"source_lines\": " << R.SourceLines << ",\n"
+     << "  \"configs\": [\n";
+  for (size_t I = 0; I != R.ByConfig.size(); ++I) {
+    const ConfigResult &CR = R.ByConfig[I];
+    const RunStats &S = CR.Run;
+    OS << "    {\n"
+       << "      \"config\": \"" << configName(CR.Configuration) << "\",\n"
+       << "      \"dispatches\": " << S.totalDispatches() << ",\n"
+       << "      \"dynamic_dispatches\": " << S.DynamicDispatches << ",\n"
+       << "      \"version_selects\": " << S.VersionSelects << ",\n"
+       << "      \"static_calls\": " << S.StaticCalls << ",\n"
+       << "      \"inline_prims\": " << S.InlinePrims << ",\n"
+       << "      \"method_invocations\": " << S.MethodInvocations << ",\n"
+       << "      \"closure_calls\": " << S.ClosureCalls << ",\n"
+       << "      \"nodes_evaluated\": " << S.NodesEvaluated << ",\n"
+       << "      \"cycles\": " << S.Cycles << ",\n"
+       << "      \"wall_ns\": " << CR.WallNanos << ",\n"
+       << "      \"compiled_routines\": " << CR.CompiledRoutines << ",\n"
+       << "      \"invoked_routines\": " << CR.InvokedRoutines << ",\n"
+       << "      \"code_size\": " << CR.CodeSize << "\n"
+       << "    }" << (I + 1 == R.ByConfig.size() ? "" : ",") << "\n";
+  }
+  OS << "  ]\n}\n";
+  return true;
 }
 
 SuiteResult selspec::bench::runSuiteProgram(const BenchProgram &Program,

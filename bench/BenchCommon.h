@@ -62,6 +62,13 @@ SuiteResult runSuiteProgram(const BenchProgram &Program,
                             const std::vector<Config> &Configs,
                             const SelectiveOptions &Sel);
 
+/// Writes BENCH_<name>.json in the working directory: one record per
+/// configuration with the dispatch counters, modeled cycles and measured
+/// wall-clock, for machine consumption (the files are gitignored).
+/// Returns false (after a warning on stderr) if the file cannot be
+/// written; benches proceed regardless.
+bool writeBenchJson(const SuiteResult &R);
+
 /// Prints the standard bench header.
 void printHeader(const std::string &Title, const std::string &PaperRef);
 

@@ -6,6 +6,9 @@
 
 #include "driver/Pipeline.h"
 
+#include "support/PhaseTimer.h"
+
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
@@ -33,20 +36,29 @@ bool Workbench::init(const std::vector<std::string> &Sources,
   P = std::make_unique<Program>();
   P->addBuiltins();
   Diagnostics Diags;
-  for (const std::string &Src : Sources) {
-    SourceLines += static_cast<unsigned>(
-        std::count(Src.begin(), Src.end(), '\n'));
-    if (!P->addSource(Src, Diags)) {
+  {
+    PhaseTimer::Scope Timing("parse");
+    for (const std::string &Src : Sources) {
+      SourceLines += static_cast<unsigned>(
+          std::count(Src.begin(), Src.end(), '\n'));
+      if (!P->addSource(Src, Diags)) {
+        ErrorOut = Diags.toString();
+        return false;
+      }
+    }
+  }
+  {
+    PhaseTimer::Scope Timing("resolve");
+    if (!P->resolve(Diags)) {
       ErrorOut = Diags.toString();
       return false;
     }
   }
-  if (!P->resolve(Diags)) {
-    ErrorOut = Diags.toString();
-    return false;
+  {
+    PhaseTimer::Scope Timing("cha");
+    AC = std::make_unique<ApplicableClassesAnalysis>(*P);
+    PT = std::make_unique<PassThroughAnalysis>(*P);
   }
-  AC = std::make_unique<ApplicableClassesAnalysis>(*P);
-  PT = std::make_unique<PassThroughAnalysis>(*P);
   return true;
 }
 
@@ -93,6 +105,7 @@ bool Workbench::collectProfile(int64_t Input, std::string &ErrorOut) {
   RunOptions Opts;
   Opts.Profile = &Profile;
   Interpreter I(*CP, Opts);
+  PhaseTimer::Scope Timing("profile");
   if (!I.callMain(Input)) {
     ErrorOut = "profile run failed: " + I.errorMessage();
     return false;
@@ -136,7 +149,17 @@ Workbench::runConfig(Config C, int64_t Input, std::string &ErrorOut,
   RunOptions Opts;
   Opts.Output = &Output;
   Interpreter I(*CP, Opts, Costs);
-  if (!I.callMain(Input)) {
+  bool Ok;
+  {
+    PhaseTimer::Scope Timing("run");
+    auto Start = std::chrono::steady_clock::now();
+    Ok = I.callMain(Input);
+    R.WallNanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+  if (!Ok) {
     ErrorOut = std::string(configName(C)) +
                " run failed: " + I.errorMessage();
     return std::nullopt;

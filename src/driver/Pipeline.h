@@ -37,6 +37,9 @@ struct ConfigResult {
   Config Configuration = Config::Base;
   /// Execution counters of the measured run.
   RunStats Run;
+  /// Wall-clock time of the measured run (interpreter dispatch included),
+  /// as opposed to the modeled Run.Cycles.
+  uint64_t WallNanos = 0;
   /// Figure 6 numbers.
   unsigned CompiledRoutines = 0; ///< static system: all generated versions
   unsigned InvokedRoutines = 0;  ///< dynamic system: invoked versions only

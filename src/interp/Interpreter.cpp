@@ -69,6 +69,21 @@ Value Interpreter::fail(Control &C, const std::string &Message) {
   return Value::nil();
 }
 
+Value Interpreter::failPrimType(Control &C, PrimOp Op, const char *Expected) {
+  return fail(C, std::string("primitive '") + primOpName(Op) + "' expects " +
+                     Expected);
+}
+
+Value Interpreter::failBounds(Control &C, int64_t Index, size_t Size) {
+  return fail(C, "array index " + std::to_string(Index) +
+                     " out of bounds (size " + std::to_string(Size) + ")");
+}
+
+Value Interpreter::failNoSlot(Control &C, ClassId Cls, Symbol SlotName) {
+  return fail(C, "class '" + P.Syms.name(P.Classes.info(Cls).Name) +
+                     "' has no slot '" + P.Syms.name(SlotName) + "'");
+}
+
 bool Interpreter::chargeNode(Control &C) {
   ++Stats.NodesEvaluated;
   Stats.Cycles += Costs.NodeCost;
@@ -85,21 +100,31 @@ void Interpreter::recordArc(CallSiteId Site, MethodId Callee) {
   Opts.Profile->addHits(Site, P.callSite(Site).Owner, Callee);
 }
 
-bool Interpreter::evalArgs(const std::vector<ExprPtr> &ArgExprs,
-                           const EnvPtr &CurEnv, Control &C,
-                           std::vector<Value> &Out) {
-  Out.reserve(ArgExprs.size());
+namespace {
+/// Truncates the shared argument stack back to a recorded depth on scope
+/// exit, covering every return path (including failures).
+struct ArgStackScope {
+  std::vector<Value> &S;
+  size_t Base;
+  ~ArgStackScope() { S.resize(Base); }
+};
+} // namespace
+
+bool Interpreter::evalArgs(const std::vector<ExprPtr> &ArgExprs, Frame &F,
+                           Control &C) {
   for (const ExprPtr &A : ArgExprs) {
-    Out.push_back(eval(A.get(), CurEnv, C));
+    Value V = eval(A.get(), F, C);
     if (C.active())
       return false;
+    ArgStack.push_back(V);
   }
   return true;
 }
 
-Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
+Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
   if (!chargeNode(C))
     return Value::nil();
+  ++Stats.NodeMix[static_cast<size_t>(E->getKind())];
 
   switch (E->getKind()) {
   case Expr::Kind::IntLit:
@@ -113,40 +138,65 @@ Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
 
   case Expr::Kind::VarRef: {
     const auto *V = cast<VarRefExpr>(E);
-    if (Value *Slot = CurEnv->lookup(V->Name))
-      return *Slot;
-    return fail(C, "internal: unbound variable '" + P.Syms.name(V->Name) +
+    switch (V->Slot.Loc) {
+    case VarLoc::Slot:
+      return F.slot(V->Slot.Index);
+    case VarLoc::Cell:
+      assert(F.cell(V->Slot.Index) && "read of a cell before its let ran");
+      return F.cell(V->Slot.Index)->V;
+    case VarLoc::Capture:
+      return F.capture(V->Slot.Index)->V;
+    case VarLoc::Unresolved:
+      break;
+    }
+    return fail(C, "internal: unresolved variable '" + P.Syms.name(V->Name) +
                        "'");
   }
 
   case Expr::Kind::AssignVar: {
     const auto *A = cast<AssignVarExpr>(E);
-    Value V = eval(A->Value.get(), CurEnv, C);
+    Value V = eval(A->Value.get(), F, C);
     if (C.active())
       return Value::nil();
-    if (Value *Slot = CurEnv->lookup(A->Name)) {
-      *Slot = V;
+    switch (A->Slot.Loc) {
+    case VarLoc::Slot:
+      F.slot(A->Slot.Index) = V;
       return V;
+    case VarLoc::Cell:
+      assert(F.cell(A->Slot.Index) && "write to a cell before its let ran");
+      F.cell(A->Slot.Index)->V = V;
+      return V;
+    case VarLoc::Capture:
+      F.capture(A->Slot.Index)->V = V;
+      return V;
+    case VarLoc::Unresolved:
+      break;
     }
-    return fail(C, "internal: assignment to unbound variable '" +
+    return fail(C, "internal: assignment to unresolved variable '" +
                        P.Syms.name(A->Name) + "'");
   }
 
   case Expr::Kind::Let: {
     const auto *L = cast<LetExpr>(E);
-    Value V = eval(L->Init.get(), CurEnv, C);
+    Value V = eval(L->Init.get(), F, C);
     if (C.active())
       return Value::nil();
-    CurEnv->define(L->Name, V);
+    // A let executes once per enclosing activation *visit*: a let inside a
+    // loop body re-executes each iteration, and a captured one must then
+    // produce a fresh cell so closures made in different iterations don't
+    // share state (matching the old per-Seq Env scopes).
+    if (L->Slot.Loc == VarLoc::Cell)
+      F.cell(L->Slot.Index) = std::make_shared<Cell>(Cell{V});
+    else
+      F.slot(L->Slot.Index) = V;
     return Value::nil();
   }
 
   case Expr::Kind::Seq: {
     const auto *S = cast<SeqExpr>(E);
-    EnvPtr Scope = std::make_shared<Env>(CurEnv);
     Value Last = Value::nil();
     for (const ExprPtr &Elem : S->Elems) {
-      Last = eval(Elem.get(), Scope, C);
+      Last = eval(Elem.get(), F, C);
       if (C.active())
         return Value::nil();
     }
@@ -155,62 +205,66 @@ Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
 
   case Expr::Kind::If: {
     const auto *I = cast<IfExpr>(E);
-    Value Cond = eval(I->Cond.get(), CurEnv, C);
+    Value Cond = eval(I->Cond.get(), F, C);
     if (C.active())
       return Value::nil();
     if (!Cond.isBool())
       return fail(C, "if condition is not a boolean");
     if (Cond.asBool())
-      return eval(I->Then.get(), CurEnv, C);
+      return eval(I->Then.get(), F, C);
     if (I->Else)
-      return eval(I->Else.get(), CurEnv, C);
+      return eval(I->Else.get(), F, C);
     return Value::nil();
   }
 
   case Expr::Kind::While: {
     const auto *W = cast<WhileExpr>(E);
     for (;;) {
-      Value Cond = eval(W->Cond.get(), CurEnv, C);
+      Value Cond = eval(W->Cond.get(), F, C);
       if (C.active())
         return Value::nil();
       if (!Cond.isBool())
         return fail(C, "while condition is not a boolean");
       if (!Cond.asBool())
         return Value::nil();
-      eval(W->Body.get(), CurEnv, C);
+      eval(W->Body.get(), F, C);
       if (C.active())
         return Value::nil();
     }
   }
 
   case Expr::Kind::Send:
-    return evalSend(cast<SendExpr>(E), CurEnv, C);
+    return evalSend(cast<SendExpr>(E), F, C);
 
   case Expr::Kind::ClosureCall: {
     const auto *Call = cast<ClosureCallExpr>(E);
-    Value Callee = eval(Call->Callee.get(), CurEnv, C);
+    Value Callee = eval(Call->Callee.get(), F, C);
     if (C.active())
       return Value::nil();
-    std::vector<Value> Args;
-    if (!evalArgs(Call->Args, CurEnv, C, Args))
+    const size_t ArgsBase = ArgStack.size();
+    ArgStackScope ArgsScope{ArgStack, ArgsBase};
+    if (!evalArgs(Call->Args, F, C))
       return Value::nil();
     if (!Callee.isObject() ||
         Callee.asObject()->payload() != Obj::Payload::Closure)
       return fail(C, "called value is not a closure");
     Obj *Closure = Callee.asObject();
-    if (Closure->Lit->Params.size() != Args.size())
+    const ClosureLitExpr *Lit = Closure->Lit;
+    const size_t NumArgs = ArgStack.size() - ArgsBase;
+    if (Lit->Params.size() != NumArgs)
       return fail(C, "closure called with wrong number of arguments");
 
     ++Stats.ClosureCalls;
     Stats.Cycles += Costs.ClosureCallCost;
 
-    EnvPtr Scope = std::make_shared<Env>(Closure->Captured);
-    for (size_t I = 0; I != Args.size(); ++I)
-      Scope->define(Closure->Lit->Params[I], Args[I]);
+    FrameGuard G(Frames, Lit->Layout, &Closure->Captured);
+    Frame &Inner = G.frame();
+    for (size_t I = 0; I != NumArgs; ++I)
+      Inner.bindParam(Lit->Layout.Params[I], ArgStack[ArgsBase + I]);
 
     uint64_t SavedHome = CurrentHome;
     CurrentHome = Closure->HomeActivation;
-    Value Result = eval(Closure->Lit->Body.get(), Scope, C);
+    Value Result = eval(Lit->Body.get(), Inner, C);
     CurrentHome = SavedHome;
     return Result;
   }
@@ -219,7 +273,14 @@ Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
     const auto *Lit = cast<ClosureLitExpr>(E);
     ++Stats.ClosuresCreated;
     Stats.Cycles += Costs.ClosureCreateCost;
-    return Value::ofObj(TheHeap.newClosure(Lit, CurEnv, CurrentHome));
+    std::vector<CellPtr> Captured;
+    Captured.reserve(Lit->Captures.size());
+    for (const CaptureSpec &CS : Lit->Captures)
+      Captured.push_back(CS.Source == CaptureSpec::From::EnclosingCell
+                             ? F.cell(CS.Index)
+                             : F.capture(CS.Index));
+    return Value::ofObj(
+        TheHeap.newClosure(Lit, std::move(Captured), CurrentHome));
   }
 
   case Expr::Kind::New: {
@@ -230,7 +291,7 @@ Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
     Obj *O = TheHeap.newInstance(
         N->Class, static_cast<unsigned>(Info.Layout.size()));
     for (const auto &[SlotName, Init] : N->Inits) {
-      Value V = eval(Init.get(), CurEnv, C);
+      Value V = eval(Init.get(), F, C);
       if (C.active())
         return Value::nil();
       int Idx = P.Classes.slotIndex(N->Class, SlotName);
@@ -242,7 +303,7 @@ Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
 
   case Expr::Kind::SlotGet: {
     const auto *G = cast<SlotGetExpr>(E);
-    Value ObjV = eval(G->Object.get(), CurEnv, C);
+    Value ObjV = eval(G->Object.get(), F, C);
     if (C.active())
       return Value::nil();
     if (!ObjV.isObject() ||
@@ -252,19 +313,17 @@ Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
     Obj *O = ObjV.asObject();
     int Idx = P.Classes.slotIndex(O->getClass(), G->SlotName);
     if (Idx < 0)
-      return fail(C, "class '" +
-                         P.Syms.name(P.Classes.info(O->getClass()).Name) +
-                         "' has no slot '" + P.Syms.name(G->SlotName) + "'");
+      return failNoSlot(C, O->getClass(), G->SlotName);
     Stats.Cycles += Costs.SlotCost;
     return O->Slots[Idx];
   }
 
   case Expr::Kind::SlotSet: {
     const auto *S = cast<SlotSetExpr>(E);
-    Value ObjV = eval(S->Object.get(), CurEnv, C);
+    Value ObjV = eval(S->Object.get(), F, C);
     if (C.active())
       return Value::nil();
-    Value V = eval(S->Value.get(), CurEnv, C);
+    Value V = eval(S->Value.get(), F, C);
     if (C.active())
       return Value::nil();
     if (!ObjV.isObject() ||
@@ -273,9 +332,7 @@ Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
     Obj *O = ObjV.asObject();
     int Idx = P.Classes.slotIndex(O->getClass(), S->SlotName);
     if (Idx < 0)
-      return fail(C, "class '" +
-                         P.Syms.name(P.Classes.info(O->getClass()).Name) +
-                         "' has no slot '" + P.Syms.name(S->SlotName) + "'");
+      return failNoSlot(C, O->getClass(), S->SlotName);
     Stats.Cycles += Costs.SlotCost;
     O->Slots[Idx] = V;
     return V;
@@ -285,7 +342,7 @@ Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
     const auto *R = cast<ReturnExpr>(E);
     Value V = Value::nil();
     if (R->Value) {
-      V = eval(R->Value.get(), CurEnv, C);
+      V = eval(R->Value.get(), F, C);
       if (C.active())
         return Value::nil();
     }
@@ -297,27 +354,29 @@ Value Interpreter::eval(const Expr *E, const EnvPtr &CurEnv, Control &C) {
   }
 
   case Expr::Kind::Inlined:
-    return evalInlined(cast<InlinedExpr>(E), CurEnv, C);
+    return evalInlined(cast<InlinedExpr>(E), F, C);
   }
   return fail(C, "internal: unknown expression kind");
 }
 
-Value Interpreter::evalInlined(const InlinedExpr *In, const EnvPtr &CurEnv,
-                               Control &C) {
-  // Binding initializers evaluate in the outer environment (call-by-value
-  // argument evaluation), then the body runs in a fresh scope.
-  std::vector<Value> Inits;
-  Inits.reserve(In->Bindings.size());
-  for (const auto &[Name, Init] : In->Bindings) {
-    Inits.push_back(eval(Init.get(), CurEnv, C));
+Value Interpreter::evalInlined(const InlinedExpr *In, Frame &F, Control &C) {
+  // Inlined bindings live in the caller's frame.  Interleaving each store
+  // with its initializer is safe even though the old code evaluated all
+  // initializers first: every binding occurrence has its own slot, so an
+  // initializer can never observe an earlier binding's store (references
+  // inside initializers were resolved before these bindings were declared).
+  for (size_t I = 0; I != In->Bindings.size(); ++I) {
+    Value V = eval(In->Bindings[I].second.get(), F, C);
     if (C.active())
       return Value::nil();
+    const SlotRef &Where = In->BindingSlots[I];
+    if (Where.Loc == VarLoc::Cell)
+      F.cell(Where.Index) = std::make_shared<Cell>(Cell{V});
+    else
+      F.slot(Where.Index) = V;
   }
-  EnvPtr Scope = std::make_shared<Env>(CurEnv);
-  for (size_t I = 0; I != In->Bindings.size(); ++I)
-    Scope->define(In->Bindings[I].first, Inits[I]);
 
-  Value Result = eval(In->Body.get(), Scope, C);
+  Value Result = eval(In->Body.get(), F, C);
   // Catch returns targeting this inline boundary within our activation.
   if (C.K == Control::Kind::Return && C.Activation == CurrentHome &&
       C.Boundary == In->Boundary) {
@@ -328,32 +387,36 @@ Value Interpreter::evalInlined(const InlinedExpr *In, const EnvPtr &CurEnv,
 }
 
 Value Interpreter::invokeMethod(MethodId M, int VersionIndex,
-                                std::vector<Value> &&Args, Control &C) {
+                                size_t ArgsBase, Control &C) {
   if (VersionIndex < 0)
     return fail(C, "internal: no compiled version matches arguments of " +
                        P.methodLabel(M));
   return invokeVersion(CP.version(static_cast<uint32_t>(VersionIndex)),
-                       std::move(Args), C);
+                       ArgsBase, C);
 }
 
-Value Interpreter::invokeVersion(CompiledMethod &CM,
-                                 std::vector<Value> &&Args, Control &C) {
+Value Interpreter::invokeVersion(CompiledMethod &CM, size_t ArgsBase,
+                                 Control &C) {
   const MethodInfo &M = P.method(CM.Source);
   CM.Invoked = true;
 
   if (M.isBuiltin())
-    return invokePrim(M.Prim, Args, C);
+    return invokePrim(M.Prim, ArgStack.data() + ArgsBase, C);
 
   ++Stats.MethodInvocations;
   uint64_t Activation = NextActivation++;
-  EnvPtr Scope = std::make_shared<Env>();
-  for (size_t I = 0; I != Args.size(); ++I)
-    Scope->define(M.ParamNames[I], Args[I]);
+  FrameGuard G(Frames, CM.Layout, nullptr);
+  Frame &F = G.frame();
+  const size_t NumArgs = ArgStack.size() - ArgsBase;
+  assert(CM.Layout.Params.size() == NumArgs &&
+         "dispatcher arity mismatch");
+  for (size_t I = 0; I != NumArgs; ++I)
+    F.bindParam(CM.Layout.Params[I], ArgStack[ArgsBase + I]);
 
   uint64_t SavedHome = CurrentHome;
   CurrentHome = Activation;
   CallStack.push_back(CM.Source);
-  Value Result = eval(CM.Body.get(), Scope, C);
+  Value Result = eval(CM.Body.get(), F, C);
   CallStack.pop_back();
   CurrentHome = SavedHome;
 
@@ -365,14 +428,13 @@ Value Interpreter::invokeVersion(CompiledMethod &CM,
   return Result;
 }
 
-Value Interpreter::dispatchCall(const SendExpr *S, std::vector<Value> &&Args,
+Value Interpreter::dispatchCall(const SendExpr *S, size_t ArgsBase,
                                 Control &C) {
-  std::vector<ClassId> Classes;
-  Classes.reserve(Args.size());
-  for (const Value &V : Args)
-    Classes.push_back(V.classOf());
+  ClassScratch.clear();
+  for (size_t I = ArgsBase; I != ArgStack.size(); ++I)
+    ClassScratch.push_back(ArgStack[I].classOf());
 
-  MethodId Target = Disp.lookup(S->Generic, Classes, S->Site);
+  MethodId Target = Disp.lookup(S->Generic, ClassScratch, S->Site);
   if (!Target.isValid())
     return fail(C, "message '" + P.genericLabel(S->Generic) +
                        "' not understood or ambiguous");
@@ -380,26 +442,26 @@ Value Interpreter::dispatchCall(const SendExpr *S, std::vector<Value> &&Args,
   recordArc(S->Site, Target);
   ++Stats.DynamicDispatches;
   Stats.Cycles += Costs.DynamicDispatchCost;
-  return invokeMethod(Target, CP.selectVersion(Target, Classes),
-                      std::move(Args), C);
+  return invokeMethod(Target, CP.selectVersion(Target, ClassScratch),
+                      ArgsBase, C);
 }
 
-Value Interpreter::evalSend(const SendExpr *S, const EnvPtr &CurEnv,
-                            Control &C) {
-  std::vector<Value> Args;
-  if (!evalArgs(S->Args, CurEnv, C, Args))
+Value Interpreter::evalSend(const SendExpr *S, Frame &F, Control &C) {
+  const size_t ArgsBase = ArgStack.size();
+  ArgStackScope ArgsScope{ArgStack, ArgsBase};
+  if (!evalArgs(S->Args, F, C))
     return Value::nil();
 
   switch (S->Binding.Kind) {
   case SendBindKind::Dynamic:
-    return dispatchCall(S, std::move(Args), C);
+    return dispatchCall(S, ArgsBase, C);
 
   case SendBindKind::Static: {
     CompiledMethod &CM = CP.version(S->Binding.TargetVersion);
     if (Opts.ValidateBindings) {
       std::vector<ClassId> Classes;
-      for (const Value &V : Args)
-        Classes.push_back(V.classOf());
+      for (size_t I = ArgsBase; I != ArgStack.size(); ++I)
+        Classes.push_back(ArgStack[I].classOf());
       MethodId Real = P.dispatch(S->Generic, Classes);
       if (Real != CM.Source)
         return fail(C, "static binding violation at site " +
@@ -413,16 +475,15 @@ Value Interpreter::evalSend(const SendExpr *S, const EnvPtr &CurEnv,
     recordArc(S->Site, CM.Source);
     ++Stats.StaticCalls;
     Stats.Cycles += Costs.StaticCallCost;
-    return invokeVersion(CM, std::move(Args), C);
+    return invokeVersion(CM, ArgsBase, C);
   }
 
   case SendBindKind::StaticSelect: {
-    std::vector<ClassId> Classes;
-    Classes.reserve(Args.size());
-    for (const Value &V : Args)
-      Classes.push_back(V.classOf());
+    ClassScratch.clear();
+    for (size_t I = ArgsBase; I != ArgStack.size(); ++I)
+      ClassScratch.push_back(ArgStack[I].classOf());
     if (Opts.ValidateBindings) {
-      MethodId Real = P.dispatch(S->Generic, Classes);
+      MethodId Real = P.dispatch(S->Generic, ClassScratch);
       if (Real != S->Binding.Target)
         return fail(C, "static-select binding violation at site " +
                            std::to_string(S->Site.value()));
@@ -431,16 +492,16 @@ Value Interpreter::evalSend(const SendExpr *S, const EnvPtr &CurEnv,
     ++Stats.VersionSelects;
     Stats.Cycles += Costs.VersionSelectCost;
     return invokeMethod(S->Binding.Target,
-                        CP.selectVersion(S->Binding.Target, Classes),
-                        std::move(Args), C);
+                        CP.selectVersion(S->Binding.Target, ClassScratch),
+                        ArgsBase, C);
   }
 
   case SendBindKind::InlinePrim: {
     const MethodInfo &M = P.method(S->Binding.Target);
     if (Opts.ValidateBindings) {
       std::vector<ClassId> Classes;
-      for (const Value &V : Args)
-        Classes.push_back(V.classOf());
+      for (size_t I = ArgsBase; I != ArgStack.size(); ++I)
+        Classes.push_back(ArgStack[I].classOf());
       if (P.dispatch(S->Generic, Classes) != S->Binding.Target)
         return fail(C, "inline-prim binding violation at site " +
                            std::to_string(S->Site.value()));
@@ -448,18 +509,17 @@ Value Interpreter::evalSend(const SendExpr *S, const EnvPtr &CurEnv,
     recordArc(S->Site, S->Binding.Target);
     ++Stats.InlinePrims;
     Stats.Cycles += Costs.InlinePrimCost;
-    return invokePrim(M.Prim, Args, C);
+    return invokePrim(M.Prim, ArgStack.data() + ArgsBase, C);
   }
 
   case SendBindKind::FeedbackGuard: {
-    std::vector<ClassId> Classes;
-    Classes.reserve(Args.size());
-    for (const Value &V : Args)
-      Classes.push_back(V.classOf());
+    ClassScratch.clear();
+    for (size_t I = ArgsBase; I != ArgStack.size(); ++I)
+      ClassScratch.push_back(ArgStack[I].classOf());
     // The modeled machine executes an inline-cache class test; this
     // implementation realizes the test via the dispatcher.
     Stats.Cycles += Costs.PredictTestCost;
-    MethodId Real = Disp.lookup(S->Generic, Classes, S->Site);
+    MethodId Real = Disp.lookup(S->Generic, ClassScratch, S->Site);
     if (!Real.isValid())
       return fail(C, "message '" + P.genericLabel(S->Generic) +
                          "' not understood or ambiguous");
@@ -469,43 +529,42 @@ Value Interpreter::evalSend(const SendExpr *S, const EnvPtr &CurEnv,
       const MethodInfo &M = P.method(Real);
       if (M.isBuiltin()) {
         Stats.Cycles += Costs.InlinePrimCost;
-        return invokePrim(M.Prim, Args, C);
+        return invokePrim(M.Prim, ArgStack.data() + ArgsBase, C);
       }
       Stats.Cycles += Costs.StaticCallCost;
-      return invokeMethod(Real, CP.selectVersion(Real, Classes),
-                          std::move(Args), C);
+      return invokeMethod(Real, CP.selectVersion(Real, ClassScratch),
+                          ArgsBase, C);
     }
     ++Stats.FeedbackMisses;
     ++Stats.DynamicDispatches;
     Stats.Cycles += Costs.DynamicDispatchCost;
-    return invokeMethod(Real, CP.selectVersion(Real, Classes),
-                        std::move(Args), C);
+    return invokeMethod(Real, CP.selectVersion(Real, ClassScratch),
+                        ArgsBase, C);
   }
 
   case SendBindKind::Predicted: {
     Stats.Cycles += Costs.PredictTestCost;
     bool Hit = true;
-    for (const Value &V : Args)
-      Hit &= V.classOf() == S->Binding.PredictedClass;
+    for (size_t I = ArgsBase; I != ArgStack.size(); ++I)
+      Hit &= ArgStack[I].classOf() == S->Binding.PredictedClass;
     if (Hit) {
       recordArc(S->Site, S->Binding.Target);
       ++Stats.PredictedHits;
       Stats.Cycles += Costs.InlinePrimCost;
-      return invokePrim(P.method(S->Binding.Target).Prim, Args, C);
+      return invokePrim(P.method(S->Binding.Target).Prim,
+                        ArgStack.data() + ArgsBase, C);
     }
     ++Stats.PredictedMisses;
-    return dispatchCall(S, std::move(Args), C);
+    return dispatchCall(S, ArgsBase, C);
   }
   }
   return fail(C, "internal: unknown binding kind");
 }
 
-Value Interpreter::invokePrim(PrimOp Op, const std::vector<Value> &Args,
-                              Control &C) {
+Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
   auto WantInt = [&](const Value &V, int64_t &Out) {
     if (!V.isInt()) {
-      fail(C, std::string("primitive '") + primOpName(Op) +
-                  "' expects an integer");
+      failPrimType(C, Op, "an integer");
       return false;
     }
     Out = V.asInt();
@@ -513,8 +572,7 @@ Value Interpreter::invokePrim(PrimOp Op, const std::vector<Value> &Args,
   };
   auto WantStr = [&](const Value &V, const std::string *&Out) {
     if (!V.isObject() || V.asObject()->payload() != Obj::Payload::Str) {
-      fail(C, std::string("primitive '") + primOpName(Op) +
-                  "' expects a string");
+      failPrimType(C, Op, "a string");
       return false;
     }
     Out = &V.asObject()->Str;
@@ -522,8 +580,7 @@ Value Interpreter::invokePrim(PrimOp Op, const std::vector<Value> &Args,
   };
   auto WantArray = [&](const Value &V, Obj *&Out) {
     if (!V.isObject() || V.asObject()->payload() != Obj::Payload::Array) {
-      fail(C, std::string("primitive '") + primOpName(Op) +
-                  "' expects an array");
+      failPrimType(C, Op, "an array");
       return false;
     }
     Out = V.asObject();
@@ -634,18 +691,14 @@ Value Interpreter::invokePrim(PrimOp Op, const std::vector<Value> &Args,
     if (!WantArray(Args[0], Arr) || !WantInt(Args[1], A))
       return Value::nil();
     if (A < 0 || static_cast<size_t>(A) >= Arr->Slots.size())
-      return fail(C, "array index " + std::to_string(A) +
-                         " out of bounds (size " +
-                         std::to_string(Arr->Slots.size()) + ")");
+      return failBounds(C, A, Arr->Slots.size());
     Stats.Cycles += Costs.SlotCost;
     return Arr->Slots[static_cast<size_t>(A)];
   case PrimOp::ArrayPut:
     if (!WantArray(Args[0], Arr) || !WantInt(Args[1], A))
       return Value::nil();
     if (A < 0 || static_cast<size_t>(A) >= Arr->Slots.size())
-      return fail(C, "array index " + std::to_string(A) +
-                         " out of bounds (size " +
-                         std::to_string(Arr->Slots.size()) + ")");
+      return failBounds(C, A, Arr->Slots.size());
     Stats.Cycles += Costs.SlotCost;
     Arr->Slots[static_cast<size_t>(A)] = Args[2];
     return Args[2];
@@ -689,9 +742,13 @@ Value Interpreter::callGeneric(const std::string &Name,
     return Value::nil();
   }
 
+  const size_t ArgsBase = ArgStack.size();
+  ArgStackScope ArgsScope{ArgStack, ArgsBase};
+  for (const Value &V : Args)
+    ArgStack.push_back(V);
   Control C;
   Value Result = invokeMethod(Target, CP.selectVersion(Target, Classes),
-                              std::move(Args), C);
+                              ArgsBase, C);
   if (C.K == Control::Kind::Error)
     return Value::nil();
   if (C.K == Control::Kind::Return) {

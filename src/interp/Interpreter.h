@@ -27,9 +27,11 @@
 #include "opt/CompiledProgram.h"
 #include "profile/CallGraph.h"
 #include "runtime/Dispatcher.h"
+#include "runtime/Frame.h"
 #include "runtime/Heap.h"
 #include "runtime/Value.h"
 
+#include <array>
 #include <iosfwd>
 #include <string>
 
@@ -52,6 +54,8 @@ struct RunStats {
   uint64_t NodesEvaluated = 0;
   /// Modeled execution time.
   uint64_t Cycles = 0;
+  /// Executed-node histogram by AST kind (the `--time-report` node mix).
+  std::array<uint64_t, Expr::NumKinds> NodeMix{};
 
   /// The paper's "number of dynamic dispatches": full dispatches plus
   /// run-time version selections (statically-bound calls that had to be
@@ -105,21 +109,34 @@ private:
     bool active() const { return K != Kind::None; }
   };
 
-  Value eval(const Expr *E, const EnvPtr &CurEnv, Control &C);
-  Value evalSend(const SendExpr *S, const EnvPtr &CurEnv, Control &C);
-  Value evalInlined(const InlinedExpr *In, const EnvPtr &CurEnv, Control &C);
-  Value invokeMethod(MethodId M, int VersionIndex,
-                     std::vector<Value> &&Args, Control &C);
-  Value invokeVersion(CompiledMethod &CM, std::vector<Value> &&Args,
-                      Control &C);
-  Value invokePrim(PrimOp Op, const std::vector<Value> &Args, Control &C);
-  Value dispatchCall(const SendExpr *S, std::vector<Value> &&Args,
+  Value eval(const Expr *E, Frame &F, Control &C);
+  Value evalSend(const SendExpr *S, Frame &F, Control &C);
+  Value evalInlined(const InlinedExpr *In, Frame &F, Control &C);
+  // Call arguments travel on a shared stack (ArgStack): a caller records
+  // the current depth (ArgsBase), evaluates its arguments on top, and the
+  // callee consumes exactly the entries above ArgsBase.  Entries are
+  // indexed, never held by reference across eval, because nested sends
+  // push (and may reallocate) above them.
+  Value invokeMethod(MethodId M, int VersionIndex, size_t ArgsBase,
                      Control &C);
-  bool evalArgs(const std::vector<ExprPtr> &ArgExprs, const EnvPtr &CurEnv,
-                Control &C, std::vector<Value> &Out);
+  Value invokeVersion(CompiledMethod &CM, size_t ArgsBase, Control &C);
+  /// \p Args points at the callee's arguments on ArgStack; primitives
+  /// never re-enter eval, so the pointer stays valid throughout.
+  Value invokePrim(PrimOp Op, const Value *Args, Control &C);
+  Value dispatchCall(const SendExpr *S, size_t ArgsBase, Control &C);
+  bool evalArgs(const std::vector<ExprPtr> &ArgExprs, Frame &F, Control &C);
   void recordArc(CallSiteId Site, MethodId Callee);
   Value fail(Control &C, const std::string &Message);
   bool chargeNode(Control &C);
+
+  // Out-of-line failure constructors: the hot paths branch to these and
+  // the message strings are only built once a failure is certain.
+  [[gnu::cold]] [[gnu::noinline]] Value failPrimType(Control &C, PrimOp Op,
+                                                     const char *Expected);
+  [[gnu::cold]] [[gnu::noinline]] Value failBounds(Control &C, int64_t Index,
+                                                   size_t Size);
+  [[gnu::cold]] [[gnu::noinline]] Value failNoSlot(Control &C, ClassId Cls,
+                                                   Symbol SlotName);
 
   CompiledProgram &CP;
   const Program &P;
@@ -127,6 +144,12 @@ private:
   CostModel Costs;
   Dispatcher Disp;
   Heap TheHeap;
+  FramePool Frames;
+  /// Shared argument stack; see the invokeMethod comment for discipline.
+  std::vector<Value> ArgStack;
+  /// Scratch for per-dispatch class tuples; each use finishes before any
+  /// recursive eval, so a single reused buffer is safe.
+  std::vector<ClassId> ClassScratch;
   RunStats Stats;
   std::string Error;
   uint64_t NextActivation = 1;

@@ -10,6 +10,30 @@ using namespace selspec;
 
 Expr::~Expr() = default;
 
+const char *selspec::exprKindName(Expr::Kind K) {
+  switch (K) {
+  case Expr::Kind::IntLit:      return "IntLit";
+  case Expr::Kind::BoolLit:     return "BoolLit";
+  case Expr::Kind::StrLit:      return "StrLit";
+  case Expr::Kind::NilLit:      return "NilLit";
+  case Expr::Kind::VarRef:      return "VarRef";
+  case Expr::Kind::AssignVar:   return "AssignVar";
+  case Expr::Kind::Let:         return "Let";
+  case Expr::Kind::Seq:         return "Seq";
+  case Expr::Kind::If:          return "If";
+  case Expr::Kind::While:       return "While";
+  case Expr::Kind::Send:        return "Send";
+  case Expr::Kind::ClosureCall: return "ClosureCall";
+  case Expr::Kind::ClosureLit:  return "ClosureLit";
+  case Expr::Kind::New:         return "New";
+  case Expr::Kind::SlotGet:     return "SlotGet";
+  case Expr::Kind::SlotSet:     return "SlotSet";
+  case Expr::Kind::Return:      return "Return";
+  case Expr::Kind::Inlined:     return "Inlined";
+  }
+  return "?";
+}
+
 static std::vector<ExprPtr> cloneVec(const std::vector<ExprPtr> &Elems) {
   std::vector<ExprPtr> Out;
   Out.reserve(Elems.size());
@@ -36,16 +60,22 @@ ExprPtr Expr::clone() const {
     return std::make_unique<NilLitExpr>(getLoc());
   case Kind::VarRef: {
     const auto *E = cast<VarRefExpr>(this);
-    return std::make_unique<VarRefExpr>(E->Name, getLoc());
+    auto N = std::make_unique<VarRefExpr>(E->Name, getLoc());
+    N->Slot = E->Slot;
+    return N;
   }
   case Kind::AssignVar: {
     const auto *E = cast<AssignVarExpr>(this);
-    return std::make_unique<AssignVarExpr>(E->Name, E->Value->clone(),
-                                           getLoc());
+    auto N = std::make_unique<AssignVarExpr>(E->Name, E->Value->clone(),
+                                             getLoc());
+    N->Slot = E->Slot;
+    return N;
   }
   case Kind::Let: {
     const auto *E = cast<LetExpr>(this);
-    return std::make_unique<LetExpr>(E->Name, E->Init->clone(), getLoc());
+    auto N = std::make_unique<LetExpr>(E->Name, E->Init->clone(), getLoc());
+    N->Slot = E->Slot;
+    return N;
   }
   case Kind::Seq: {
     const auto *E = cast<SeqExpr>(this);
@@ -79,8 +109,11 @@ ExprPtr Expr::clone() const {
   }
   case Kind::ClosureLit: {
     const auto *E = cast<ClosureLitExpr>(this);
-    return std::make_unique<ClosureLitExpr>(E->Params, E->Body->clone(),
-                                            getLoc());
+    auto N = std::make_unique<ClosureLitExpr>(E->Params, E->Body->clone(),
+                                              getLoc());
+    N->Layout = E->Layout;
+    N->Captures = E->Captures;
+    return N;
   }
   case Kind::New: {
     const auto *E = cast<NewExpr>(this);
@@ -120,6 +153,7 @@ ExprPtr Expr::clone() const {
                                            E->Body->clone(), E->Boundary,
                                            getLoc());
     N->OriginSite = E->OriginSite;
+    N->BindingSlots = E->BindingSlots;
     return N;
   }
   }

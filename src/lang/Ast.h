@@ -62,11 +62,17 @@ public:
   Kind getKind() const { return TheKind; }
   SourceLoc getLoc() const { return Loc; }
 
+  /// Number of Kind enumerators (histogram array sizing).
+  static constexpr unsigned NumKinds =
+      static_cast<unsigned>(Kind::Inlined) + 1;
+
   /// Deep-copies the subtree (used by the inliner, which must never share
   /// nodes between compiled method versions).
   ExprPtr clone() const;
 
-  ~Expr();
+  // Virtual: subtrees are owned and deleted through ExprPtr (unique_ptr
+  // to this base class).
+  virtual ~Expr();
 
 protected:
   Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
@@ -107,12 +113,69 @@ public:
   static bool classof(const Expr *E) { return E->getKind() == Kind::NilLit; }
 };
 
+//===----------------------------------------------------------------------===//
+// Slot resolution metadata
+//
+// The SlotResolver pass (run once per compiled method version, after the
+// optimizer has finished rewriting the body) replaces run-time name lookup
+// with frame coordinates.  Every binding occurrence (formal, let, inlined
+// binding, closure parameter) is assigned either a plain value slot in its
+// function's flat frame or — when some nested closure captures it — a
+// heap cell, so that mutation through the cell stays visible to every
+// closure sharing it (capture-by-reference semantics).
+//===----------------------------------------------------------------------===//
+
+/// Where a statically resolved variable lives at run time.
+enum class VarLoc : uint8_t {
+  /// Slot resolution has not run on this subtree.
+  Unresolved,
+  /// Plain value slot in the current frame.
+  Slot,
+  /// Capture cell owned by the current frame (a captured local).
+  Cell,
+  /// Cell reaching the current frame through the closure's capture list.
+  Capture,
+};
+
+/// A resolved variable coordinate: location kind + index in that space.
+struct SlotRef {
+  VarLoc Loc = VarLoc::Unresolved;
+  uint32_t Index = 0;
+
+  bool isResolved() const { return Loc != VarLoc::Unresolved; }
+};
+
+/// How a closure obtains one captured cell when it is created.
+struct CaptureSpec {
+  enum class From : uint8_t {
+    /// Cell slot of the frame creating the closure.
+    EnclosingCell,
+    /// Capture list of the frame creating the closure (transitive).
+    EnclosingCapture,
+  };
+  From Source = From::EnclosingCell;
+  uint32_t Index = 0;
+};
+
+/// Run-time frame requirements of one executable body (a compiled method
+/// version or a closure literal): how many plain slots and capture cells
+/// to allocate, and where each formal parameter lands.
+struct FrameLayout {
+  uint32_t NumSlots = 0;
+  uint32_t NumCells = 0;
+  /// One coordinate per formal (Loc is Slot or Cell).
+  std::vector<SlotRef> Params;
+  bool Resolved = false;
+};
+
 /// Reference to a lexically-bound variable (formal, let or closure param).
 class VarRefExpr : public Expr {
 public:
   VarRefExpr(Symbol Name, SourceLoc Loc)
       : Expr(Kind::VarRef, Loc), Name(Name) {}
   Symbol Name;
+  /// Frame coordinate, assigned by the SlotResolver.
+  SlotRef Slot;
   static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
 };
 
@@ -123,6 +186,8 @@ public:
       : Expr(Kind::AssignVar, Loc), Name(Name), Value(std::move(Value)) {}
   Symbol Name;
   ExprPtr Value;
+  /// Frame coordinate, assigned by the SlotResolver.
+  SlotRef Slot;
   static bool classof(const Expr *E) {
     return E->getKind() == Kind::AssignVar;
   }
@@ -136,6 +201,11 @@ public:
       : Expr(Kind::Let, Loc), Name(Name), Init(std::move(Init)) {}
   Symbol Name;
   ExprPtr Init;
+  /// Where the binding lives (Slot, or Cell when closure-captured),
+  /// assigned by the SlotResolver.  A Cell-located let allocates a fresh
+  /// cell on every execution so that each loop iteration's captures stay
+  /// distinct, exactly as the per-iteration scopes of the old Env chain.
+  SlotRef Slot;
   static bool classof(const Expr *E) { return E->getKind() == Kind::Let; }
 };
 
@@ -254,6 +324,11 @@ public:
         Body(std::move(Body)) {}
   std::vector<Symbol> Params;
   ExprPtr Body;
+  /// Frame requirements of the closure body, assigned by the SlotResolver.
+  FrameLayout Layout;
+  /// Cells to grab from the creating frame, in capture-index order;
+  /// assigned by the SlotResolver.
+  std::vector<CaptureSpec> Captures;
   static bool classof(const Expr *E) {
     return E->getKind() == Kind::ClosureLit;
   }
@@ -325,6 +400,9 @@ public:
   /// The call site this inlined body replaced (for attribution in
   /// statistics); may be invalid for closure-call inlining.
   CallSiteId OriginSite;
+  /// One frame coordinate per binding (parallel to Bindings), assigned by
+  /// the SlotResolver.  The bindings live in the *enclosing* frame.
+  std::vector<SlotRef> BindingSlots;
   static bool classof(const Expr *E) { return E->getKind() == Kind::Inlined; }
 };
 
@@ -362,6 +440,10 @@ struct Module {
   std::vector<ClassDecl> Classes;
   std::vector<MethodDecl> Methods;
 };
+
+/// Readable name of an expression kind ("VarRef", "Send", ...), for the
+/// interpreter's execution-mix histogram and diagnostics.
+const char *exprKindName(Expr::Kind K);
 
 /// Calls \p F on each direct child expression of \p E (non-null ones).
 template <typename Fn> void forEachChild(const Expr *E, Fn &&F) {

@@ -1,0 +1,50 @@
+//===- lang/SlotResolver.h - Static frame-slot assignment ------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SlotResolver turns name-based variable access into indexed frame
+/// access.  It walks one executable body (a compiled method version after
+/// the optimizer finished rewriting it — bodies may contain InlinedExprs
+/// and renamed locals by then) and
+///
+///  - assigns every binding occurrence (formal, let, inlined binding,
+///    closure parameter) a coordinate in its function's flat frame: a
+///    plain value slot, or a heap capture cell when any nested closure
+///    refers to it (capture-by-reference must stay visible);
+///  - annotates every VarRef/AssignVar with that coordinate (Slot, Cell,
+///    or Capture — an index into the closure's capture list when the
+///    binding belongs to an enclosing function);
+///  - computes each closure literal's FrameLayout and its capture list
+///    (which enclosing cells to grab at closure-creation time, Lua
+///    upvalue style, flattened across intermediate closures);
+///  - returns the method-level FrameLayout (frame size + formal
+///    coordinates) that the interpreter uses to allocate activation
+///    frames.
+///
+/// The pass is purely static: it cannot change which nodes the
+/// interpreter evaluates, so RunStats counters (dispatches, version
+/// selects, static calls, invocations, nodes) are invariant under it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_LANG_SLOTRESOLVER_H
+#define SELSPEC_LANG_SLOTRESOLVER_H
+
+#include "lang/Ast.h"
+
+namespace selspec {
+
+class SlotResolver {
+public:
+  /// Resolves every variable of \p Body — a function whose formals are
+  /// \p Params — to frame coordinates, filling the slot annotations of
+  /// the tree in place.  Returns the body's own frame layout.
+  static FrameLayout resolve(const std::vector<Symbol> &Params, Expr *Body);
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_LANG_SLOTRESOLVER_H

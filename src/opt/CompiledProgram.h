@@ -16,6 +16,7 @@
 #ifndef SELSPEC_OPT_COMPILEDPROGRAM_H
 #define SELSPEC_OPT_COMPILEDPROGRAM_H
 
+#include "lang/Ast.h"
 #include "specialize/SpecTuple.h"
 
 #include <memory>
@@ -33,6 +34,10 @@ struct CompiledMethod {
   SpecTuple Tuple;
   /// Optimized body (null for builtins).
   ExprPtr Body;
+  /// Frame layout of Body, computed by the SlotResolver after all
+  /// optimizer rewrites; the interpreter sizes this version's activation
+  /// frames from it.  Unresolved for builtins.
+  FrameLayout Layout;
   /// Code-space estimate (optimized AST nodes + dispatch stubs).
   unsigned CodeSize = 0;
   /// Set when the interpreter invokes this version (dynamic-compilation

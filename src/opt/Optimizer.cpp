@@ -8,6 +8,8 @@
 
 #include "analysis/StaticBinding.h"
 #include "hierarchy/Builtins.h"
+#include "lang/SlotResolver.h"
+#include "support/PhaseTimer.h"
 
 #include <algorithm>
 
@@ -132,6 +134,7 @@ static ClassSet returnSetOr(const ReturnClassAnalysis *RC, MethodId M,
 
 std::unique_ptr<CompiledProgram>
 Optimizer::compile(const SpecializationPlan &Plan) {
+  PhaseTimer::Scope Timing("optimize");
   auto CP = std::make_unique<CompiledProgram>(P, Plan.Configuration,
                                               Plan.UseCHA);
 
@@ -210,6 +213,9 @@ void Optimizer::compileVersion(CompiledProgram &CP, uint32_t Index) {
     eliminateDeadCode(Body.get(), Body.get());
 
   CM.CodeSize = estimateCodeSize(Body.get());
+  // Slot-resolve last: inlining and the rewrites above are all done, so
+  // the layout reflects exactly the body the interpreter will execute.
+  CM.Layout = SlotResolver::resolve(M.ParamNames, Body.get());
   CM.Body = std::move(Body);
   CurInliner.reset();
 }

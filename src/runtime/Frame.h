@@ -1,0 +1,124 @@
+//===- runtime/Frame.h - Flat activation frames ----------------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Activation frames for the slot-resolved interpreter.  A Frame is a
+/// flat array of value slots plus an array of capture cells, sized by the
+/// FrameLayout the SlotResolver computed for the executing body; variable
+/// access is a single index, never a name search.
+///
+/// Frames never escape their activation (only cells do, via closures), so
+/// they are pooled: FramePool keeps retired frames, and their vectors
+/// retain capacity across reuse, making frame setup allocation-free in
+/// the steady state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_RUNTIME_FRAME_H
+#define SELSPEC_RUNTIME_FRAME_H
+
+#include "lang/Ast.h"
+#include "runtime/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace selspec {
+
+/// One activation's storage: plain slots, owned capture cells, and a view
+/// of the executing closure's captured cells (null for method frames).
+///
+/// Every slot/cell read is dominated by the write of its binding within
+/// the same activation (the SlotResolver resolves references lexically,
+/// and a `let` always executes before any reference to it), so reused
+/// frames need no clearing of the value slots.
+class Frame {
+public:
+  /// Prepares the frame for a body with layout \p L, executing with
+  /// \p CapturedCells (null unless the body is a closure's).
+  void configure(const FrameLayout &L,
+                 const std::vector<CellPtr> *CapturedCells) {
+    assert(L.Resolved && "body was not slot-resolved");
+    Slots.resize(L.NumSlots);
+    Cells.assign(L.NumCells, nullptr); // drop cells kept from a prior use
+    Captures = CapturedCells;
+  }
+
+  Value &slot(uint32_t I) {
+    assert(I < Slots.size() && "slot index out of range");
+    return Slots[I];
+  }
+  CellPtr &cell(uint32_t I) {
+    assert(I < Cells.size() && "cell index out of range");
+    return Cells[I];
+  }
+  const CellPtr &capture(uint32_t I) const {
+    assert(Captures && I < Captures->size() && "capture index out of range");
+    return (*Captures)[I];
+  }
+
+  /// Binds formal \p Where (from a FrameLayout's Params) to \p V.
+  void bindParam(const SlotRef &Where, Value V) {
+    if (Where.Loc == VarLoc::Cell)
+      Cells[Where.Index] = std::make_shared<Cell>(Cell{V});
+    else
+      Slots[Where.Index] = V;
+  }
+
+private:
+  std::vector<Value> Slots;
+  std::vector<CellPtr> Cells;
+  const std::vector<CellPtr> *Captures = nullptr;
+};
+
+/// A LIFO free list of frames.  Acquire/release nest with the call stack,
+/// so the pool stays as deep as the deepest activation chain only.
+class FramePool {
+public:
+  Frame *acquire(const FrameLayout &L,
+                 const std::vector<CellPtr> *CapturedCells) {
+    Frame *F;
+    if (Free.empty()) {
+      Storage.push_back(std::make_unique<Frame>());
+      F = Storage.back().get();
+    } else {
+      F = Free.back();
+      Free.pop_back();
+    }
+    F->configure(L, CapturedCells);
+    return F;
+  }
+
+  void release(Frame *F) { Free.push_back(F); }
+
+  /// Frames ever created (equals the deepest concurrent activation count).
+  size_t depthHighWater() const { return Storage.size(); }
+
+private:
+  std::vector<std::unique_ptr<Frame>> Storage;
+  std::vector<Frame *> Free;
+};
+
+/// RAII frame acquisition for one activation.
+class FrameGuard {
+public:
+  FrameGuard(FramePool &Pool, const FrameLayout &L,
+             const std::vector<CellPtr> *CapturedCells)
+      : Pool(Pool), F(Pool.acquire(L, CapturedCells)) {}
+  ~FrameGuard() { Pool.release(F); }
+  FrameGuard(const FrameGuard &) = delete;
+  FrameGuard &operator=(const FrameGuard &) = delete;
+
+  Frame &frame() { return *F; }
+
+private:
+  FramePool &Pool;
+  Frame *F;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_RUNTIME_FRAME_H

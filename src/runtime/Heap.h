@@ -30,7 +30,7 @@ public:
     return track(std::make_unique<Obj>(std::move(S)));
   }
   Obj *newArray(size_t N) { return track(std::make_unique<Obj>(N)); }
-  Obj *newClosure(const ClosureLitExpr *Lit, EnvPtr Captured,
+  Obj *newClosure(const ClosureLitExpr *Lit, std::vector<CellPtr> Captured,
                   uint64_t HomeActivation) {
     return track(
         std::make_unique<Obj>(Lit, std::move(Captured), HomeActivation));

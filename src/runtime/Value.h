@@ -6,8 +6,10 @@
 ///
 /// \file
 /// Tagged runtime values.  Ints, bools and nil are immediate; strings,
-/// arrays, class instances and closures are heap objects (Obj).  Lexical
-/// environments (Env) also live here because closures capture them.
+/// arrays, class instances and closures are heap objects (Obj).  Capture
+/// cells (Cell) also live here because closures hold them: a local that
+/// some closure captures is boxed into a shared heap cell so that
+/// assignments stay visible to every closure sharing it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -87,32 +89,17 @@ private:
   };
 };
 
-/// A lexical environment: a chain of scopes, each holding (name, value)
-/// bindings.  Closures keep their defining Env alive via shared_ptr.
-class Env {
-public:
-  explicit Env(std::shared_ptr<Env> Parent = nullptr)
-      : Parent(std::move(Parent)) {}
-
-  void define(Symbol Name, Value V) { Bindings.emplace_back(Name, V); }
-
-  /// Innermost binding of \p Name, or null.
-  Value *lookup(Symbol Name) {
-    for (Env *E = this; E; E = E->Parent.get())
-      for (auto It = E->Bindings.rbegin(); It != E->Bindings.rend(); ++It)
-        if (It->first == Name)
-          return &It->second;
-    return nullptr;
-  }
-
-  const std::shared_ptr<Env> &parent() const { return Parent; }
-
-private:
-  std::shared_ptr<Env> Parent;
-  std::vector<std::pair<Symbol, Value>> Bindings;
+/// A heap-allocated box for a closure-captured variable.  The declaring
+/// frame and every capturing closure share the cell, so assignments by
+/// any of them are visible to all (the old Env chain's in-place binding
+/// mutation, now paid only for the bindings that actually need it).
+struct Cell {
+  Value V;
 };
 
-using EnvPtr = std::shared_ptr<Env>;
+/// Cells are shared between frames and closures; shared_ptr keeps a cell
+/// alive for exactly as long as anything can still reach it.
+using CellPtr = std::shared_ptr<Cell>;
 
 /// A heap object: class instance, string, array or closure.
 class Obj {
@@ -131,8 +118,9 @@ public:
   explicit Obj(size_t N)
       : Slots(N), Class(builtin::Array), P(Payload::Array) {}
 
-  /// Closure over \p Lit with captured environment and home activation.
-  Obj(const ClosureLitExpr *Lit, EnvPtr Captured, uint64_t HomeActivation)
+  /// Closure over \p Lit with captured cells and home activation.
+  Obj(const ClosureLitExpr *Lit, std::vector<CellPtr> Captured,
+      uint64_t HomeActivation)
       : Lit(Lit), Captured(std::move(Captured)),
         HomeActivation(HomeActivation), Class(builtin::Closure),
         P(Payload::Closure) {}
@@ -144,9 +132,10 @@ public:
   std::vector<Value> Slots;
   std::string Str;
 
-  // Closure payload.
+  // Closure payload: the literal, the captured cells (indexed by the
+  // literal's capture list) and the home activation for non-local return.
   const ClosureLitExpr *Lit = nullptr;
-  EnvPtr Captured;
+  std::vector<CellPtr> Captured;
   uint64_t HomeActivation = 0;
 
 private:

@@ -6,6 +6,8 @@
 
 #include "specialize/Strategies.h"
 
+#include "support/PhaseTimer.h"
+
 using namespace selspec;
 
 namespace {
@@ -101,6 +103,7 @@ SpecializationPlan selspec::makePlan(Config C, const Program &P,
                                      const PassThroughAnalysis &PT,
                                      const CallGraph *CG,
                                      const SelectiveOptions &Options) {
+  PhaseTimer::Scope Timing("plan");
   SpecializationPlan Plan;
   Plan.Configuration = C;
   Plan.VersionsByMethod.resize(P.numMethods());

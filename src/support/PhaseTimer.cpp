@@ -1,0 +1,46 @@
+//===- support/PhaseTimer.cpp - Pipeline phase timing ----------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PhaseTimer.h"
+
+#include <iomanip>
+#include <ostream>
+
+using namespace selspec;
+
+PhaseTimer &PhaseTimer::global() {
+  static PhaseTimer T;
+  return T;
+}
+
+void PhaseTimer::record(const char *Phase, uint64_t Nanos) {
+  for (Entry &E : Entries)
+    if (E.Phase == Phase) {
+      E.Nanos += Nanos;
+      ++E.Count;
+      return;
+    }
+  Entries.push_back({Phase, Nanos, 1});
+}
+
+void PhaseTimer::print(std::ostream &OS) const {
+  OS << "-- phase times\n";
+  if (Entries.empty()) {
+    OS << "   (no phases recorded)\n";
+    return;
+  }
+  size_t Width = 0;
+  for (const Entry &E : Entries)
+    Width = std::max(Width, E.Phase.size());
+  for (const Entry &E : Entries) {
+    OS << "   " << std::left << std::setw(static_cast<int>(Width) + 2)
+       << E.Phase << std::right << std::fixed << std::setprecision(3)
+       << std::setw(12) << static_cast<double>(E.Nanos) / 1e6 << " ms";
+    if (E.Count > 1)
+      OS << "  (" << E.Count << " scopes)";
+    OS << '\n';
+  }
+}

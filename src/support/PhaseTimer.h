@@ -1,0 +1,89 @@
+//===- support/PhaseTimer.h - Pipeline phase timing ------------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock accounting for the compilation/execution pipeline.  Each
+/// phase (parse, resolve, cha, profile, plan, specialize, optimize,
+/// slot-resolve, run) is accumulated by name under an RAII Scope; the
+/// process-wide instance is off by default and enabled by the drivers'
+/// `--time-report`, so measured runs pay at most two clock reads per
+/// scope and nothing when disabled.
+///
+/// Scopes may nest (e.g. "specialize" runs inside "plan", "slot-resolve"
+/// inside "optimize"); the report is a flat table, so nested phases are
+/// included in their parents' totals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SUPPORT_PHASETIMER_H
+#define SELSPEC_SUPPORT_PHASETIMER_H
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace selspec {
+
+class PhaseTimer {
+public:
+  struct Entry {
+    std::string Phase;
+    uint64_t Nanos = 0;
+    uint64_t Count = 0;
+  };
+
+  /// The process-wide timer the pipeline reports into.
+  static PhaseTimer &global();
+
+  void setEnabled(bool E) { Enabled = E; }
+  bool enabled() const { return Enabled; }
+
+  /// Adds \p Nanos to \p Phase (first use registers the phase; report
+  /// order is first-recorded order).
+  void record(const char *Phase, uint64_t Nanos);
+
+  const std::vector<Entry> &entries() const { return Entries; }
+  void reset() { Entries.clear(); }
+
+  /// Renders the phase table ("-- phase times" block).
+  void print(std::ostream &OS) const;
+
+  /// RAII measurement of one phase; no-op while the timer is disabled.
+  class Scope {
+  public:
+    Scope(PhaseTimer &T, const char *Phase)
+        : T(T), Phase(Phase), Active(T.enabled()) {
+      if (Active)
+        Start = std::chrono::steady_clock::now();
+    }
+    explicit Scope(const char *Phase) : Scope(global(), Phase) {}
+    ~Scope() {
+      if (Active)
+        T.record(Phase, static_cast<uint64_t>(
+                            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - Start)
+                                .count()));
+    }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    PhaseTimer &T;
+    const char *Phase;
+    bool Active;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+private:
+  bool Enabled = false;
+  std::vector<Entry> Entries;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_SUPPORT_PHASETIMER_H

@@ -310,3 +310,88 @@ TEST(Interp, DeepStackTraceIsTruncated) {
   EXPECT_NE(I.errorMessage().find("more frame(s)"), std::string::npos)
       << I.errorMessage();
 }
+
+TEST(Interp, NestedLetShadowing) {
+  // The inner `let x` must get its own frame slot: its initializer still
+  // reads the outer x, writes inside the branch hit only the inner slot,
+  // and the outer binding is intact afterwards.  Identical under every
+  // configuration (inlining re-runs slot resolution on rewritten bodies).
+  const std::string Src = R"(
+    method main(n@Int) {
+      let x := 1;
+      if (true) {
+        let x := x + 10;
+        print(x);
+        x := 20;
+        print(x);
+      }
+      print(x);
+    })";
+  for (Config C : {Config::Base, Config::CHA, Config::Selective})
+    EXPECT_EQ(runSource(Src, C, 0), "11\n20\n1\n")
+        << "under " << configName(C);
+}
+
+TEST(Interp, SiblingClosuresShareCapturedCell) {
+  // Two closures capturing the same binding must share one cell: writes
+  // through either closure or through the declaring frame are visible
+  // everywhere (capture by reference, not by value).
+  const std::string Src = R"(
+    method call(f) { f(); }
+    method main(n@Int) {
+      let c := 0;
+      let inc := fn() { c := c + 1; };
+      let get := fn() { c; };
+      call(inc); call(inc);
+      print(call(get));
+      c := 10;
+      print(call(get));
+      call(inc);
+      print(c);
+    })";
+  for (Config C : {Config::Base, Config::CHA, Config::Selective})
+    EXPECT_EQ(runSource(Src, C, 0), "2\n10\n11\n") << "under " << configName(C);
+}
+
+TEST(Interp, LoopIterationsCaptureDistinctCells) {
+  // A `let` re-executed per loop iteration creates a fresh cell each
+  // time, so closures made in different iterations do not share state.
+  const std::string Src = R"(
+    method call(f) { f(); }
+    method main(n@Int) {
+      let a := array(3);
+      let i := 0;
+      while (i < 3) {
+        let v := i * 10;
+        atPut(a, i, fn() { v := v + 1; v; });
+        i := i + 1;
+      }
+      print(call(at(a, 1)));
+      print(call(at(a, 1)));
+      print(call(at(a, 2)));
+    })";
+  for (Config C : {Config::Base, Config::CHA, Config::Selective})
+    EXPECT_EQ(runSource(Src, C, 0), "11\n12\n21\n") << "under " << configName(C);
+}
+
+TEST(Interp, NonLocalReturnFromClosureInInlinedBody) {
+  // `helper` is small enough to be inlined into main under the optimizing
+  // configurations, so the closure is then created inside an InlinedExpr:
+  // its `return` must unwind to the rewritten inline boundary, exiting
+  // only the (conceptual) helper invocation, not main.
+  const std::string Src = R"(
+    method call1(f, x) { f(x); }
+    method helper(n) {
+      let f := fn(k) { if (k > 10) { return k; } 0; };
+      call1(f, n);
+      0 - 1;
+    }
+    method main(n@Int) {
+      print(helper(n));
+      print("after");
+    })";
+  for (Config C : {Config::Base, Config::CHA, Config::Selective}) {
+    EXPECT_EQ(runSource(Src, C, 20), "20\nafter\n") << "under " << configName(C);
+    EXPECT_EQ(runSource(Src, C, 3), "-1\nafter\n") << "under " << configName(C);
+  }
+}

@@ -1,9 +1,10 @@
-//===- tests/RuntimeTests.cpp - Values, environments, heap -----------------===//
+//===- tests/RuntimeTests.cpp - Values, frames, heap -----------------------===//
 //
 // Part of the selspec project (PLDI'95 selective specialization repro).
 //
 //===----------------------------------------------------------------------===//
 
+#include "runtime/Frame.h"
 #include "runtime/Heap.h"
 #include "runtime/Value.h"
 
@@ -53,33 +54,88 @@ TEST(Value, ObjectClassOf) {
             ClassId(9));
 }
 
-TEST(Env, ChainedLookupAndShadowing) {
-  Symbol X(1), Y(2);
-  EnvPtr Outer = std::make_shared<Env>();
-  Outer->define(X, Value::ofInt(1));
-  EnvPtr Inner = std::make_shared<Env>(Outer);
-  Inner->define(Y, Value::ofInt(2));
+namespace {
 
-  ASSERT_NE(Inner->lookup(X), nullptr);
-  EXPECT_EQ(Inner->lookup(X)->asInt(), 1);
-  ASSERT_NE(Inner->lookup(Y), nullptr);
-  EXPECT_EQ(Outer->lookup(Y), nullptr) << "parent cannot see child scope";
-
-  Inner->define(X, Value::ofInt(10));
-  EXPECT_EQ(Inner->lookup(X)->asInt(), 10) << "inner shadows";
-  EXPECT_EQ(Outer->lookup(X)->asInt(), 1) << "outer untouched";
-
-  // Writing through lookup mutates the binding in place.
-  *Outer->lookup(X) = Value::ofInt(5);
-  EXPECT_EQ(Outer->lookup(X)->asInt(), 5);
+/// A layout with \p NumSlots plain slots, \p NumCells cells and slot
+/// params 0..NumParams-1 (the shape the SlotResolver produces).
+FrameLayout makeLayout(uint32_t NumSlots, uint32_t NumCells,
+                       uint32_t NumParams = 0) {
+  FrameLayout L;
+  L.NumSlots = NumSlots;
+  L.NumCells = NumCells;
+  for (uint32_t I = 0; I != NumParams; ++I)
+    L.Params.push_back({VarLoc::Slot, I});
+  L.Resolved = true;
+  return L;
 }
 
-TEST(Env, RedefinitionInSameScopeUsesLatest) {
-  Symbol X(1);
-  Env E;
-  E.define(X, Value::ofInt(1));
-  E.define(X, Value::ofInt(2));
-  EXPECT_EQ(E.lookup(X)->asInt(), 2);
+} // namespace
+
+TEST(Frame, SlotStorageAndParamBinding) {
+  FramePool Pool;
+  FrameLayout L = makeLayout(3, 0, 2);
+  FrameGuard G(Pool, L, nullptr);
+  Frame &F = G.frame();
+
+  F.bindParam(L.Params[0], Value::ofInt(1));
+  F.bindParam(L.Params[1], Value::ofInt(2));
+  EXPECT_EQ(F.slot(0).asInt(), 1);
+  EXPECT_EQ(F.slot(1).asInt(), 2);
+
+  F.slot(2) = Value::ofInt(30);
+  EXPECT_EQ(F.slot(2).asInt(), 30);
+  F.slot(0) = Value::ofInt(10);
+  EXPECT_EQ(F.slot(0).asInt(), 10) << "assignment overwrites in place";
+}
+
+TEST(Frame, CellsAreSharedByReference) {
+  FramePool Pool;
+  FrameLayout L = makeLayout(0, 1);
+  FrameGuard G(Pool, L, nullptr);
+  Frame &F = G.frame();
+
+  EXPECT_EQ(F.cell(0), nullptr) << "cells start unbound";
+  F.cell(0) = std::make_shared<Cell>(Cell{Value::ofInt(1)});
+
+  // A closure capturing the cell sees writes made through the frame, and
+  // vice versa — the capture-by-reference contract.
+  std::vector<CellPtr> Captured{F.cell(0)};
+  F.cell(0)->V = Value::ofInt(2);
+  EXPECT_EQ(Captured[0]->V.asInt(), 2);
+  Captured[0]->V = Value::ofInt(3);
+  EXPECT_EQ(F.cell(0)->V.asInt(), 3);
+
+  // The frame that executes the closure reads the cell as a capture.
+  FrameLayout Inner = makeLayout(0, 0);
+  FrameGuard G2(Pool, Inner, &Captured);
+  EXPECT_EQ(G2.frame().capture(0)->V.asInt(), 3);
+}
+
+TEST(FramePool, ReusesFramesLifoAndClearsCells) {
+  FramePool Pool;
+  FrameLayout L = makeLayout(2, 1);
+
+  Frame *First;
+  {
+    FrameGuard G(Pool, L, nullptr);
+    First = &G.frame();
+    G.frame().cell(0) = std::make_shared<Cell>(Cell{Value::ofInt(9)});
+  }
+  EXPECT_EQ(Pool.depthHighWater(), 1u);
+  {
+    FrameGuard G(Pool, L, nullptr);
+    EXPECT_EQ(&G.frame(), First) << "released frame is reused";
+    EXPECT_EQ(G.frame().cell(0), nullptr)
+        << "reused frame must not leak the prior activation's cells";
+  }
+
+  // Nested acquisition grows the pool only as deep as the activation chain.
+  {
+    FrameGuard A(Pool, L, nullptr);
+    FrameGuard B(Pool, L, nullptr);
+    EXPECT_NE(&A.frame(), &B.frame());
+  }
+  EXPECT_EQ(Pool.depthHighWater(), 2u);
 }
 
 TEST(Heap, TracksAllocations) {

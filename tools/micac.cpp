@@ -24,6 +24,8 @@
 ///   --feedback          enable profile-guided type feedback
 ///   --return-classes    enable interprocedural return-class analysis
 ///   --stats             print run statistics
+///   --time-report       print per-phase wall-clock times and the
+///                       executed-node-kind histogram of the measured run
 ///   --db FILE           profile-database path (profile subcommand) [profile.db]
 ///   --directives FILE   run: execute a saved directives file instead of
 ///                       planning; plan: where to write the directives
@@ -38,7 +40,9 @@
 #include "driver/Report.h"
 #include "profile/ProfileDb.h"
 #include "specialize/Directives.h"
+#include "support/PhaseTimer.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -58,6 +62,7 @@ struct CliOptions {
   OptimizerOptions Opt;
   bool WithStdlib = true;
   bool Stats = false;
+  bool TimeReport = false;
   std::string DbPath = "profile.db";
   std::string DirectivesPath;
 };
@@ -69,7 +74,7 @@ struct CliOptions {
       "usage: micac <check|run|report|profile> <files...> [options]\n"
       "  --input N  --profile-input N  --config NAME  --threshold T\n"
       "  --no-cascade  --no-stdlib  --feedback  --return-classes\n"
-      "  --stats  --db FILE\n";
+      "  --stats  --time-report  --db FILE\n";
   std::exit(2);
 }
 
@@ -114,6 +119,8 @@ CliOptions parseArgs(int Argc, char **Argv) {
       O.Opt.UseReturnClasses = true;
     else if (A == "--stats")
       O.Stats = true;
+    else if (A == "--time-report")
+      O.TimeReport = true;
     else if (A == "--db")
       O.DbPath = NextValue();
     else if (A == "--directives")
@@ -180,6 +187,26 @@ void printStats(const ConfigResult &R) {
             << " (invoked " << TextTable::count(R.InvokedRoutines) << ")\n";
 }
 
+void printNodeMix(const RunStats &S) {
+  std::cout << "-- node mix (" << TextTable::count(S.NodesEvaluated)
+            << " nodes evaluated)\n";
+  std::vector<std::pair<uint64_t, unsigned>> Rows;
+  for (unsigned K = 0; K != Expr::NumKinds; ++K)
+    if (S.NodeMix[K])
+      Rows.emplace_back(S.NodeMix[K], K);
+  std::sort(Rows.rbegin(), Rows.rend());
+  for (const auto &[Count, K] : Rows) {
+    std::ostringstream Pct;
+    Pct.precision(1);
+    Pct << std::fixed
+        << 100.0 * static_cast<double>(Count) /
+               static_cast<double>(S.NodesEvaluated);
+    std::string Name = exprKindName(static_cast<Expr::Kind>(K));
+    std::cout << "   " << Name << std::string(14 - Name.size(), ' ')
+              << TextTable::count(Count) << "  (" << Pct.str() << "%)\n";
+  }
+}
+
 int cmdCheck(const CliOptions &O) {
   std::unique_ptr<Workbench> W = load(O);
   std::cout << "ok: " << W->program().numUserMethods() << " methods, "
@@ -190,6 +217,7 @@ int cmdCheck(const CliOptions &O) {
 }
 
 int cmdRun(const CliOptions &O) {
+  PhaseTimer::global().setEnabled(O.TimeReport);
   std::unique_ptr<Workbench> W = load(O);
   std::string Err;
 
@@ -239,6 +267,10 @@ int cmdRun(const CliOptions &O) {
   std::cout << R->Output;
   if (O.Stats)
     printStats(*R);
+  if (O.TimeReport) {
+    PhaseTimer::global().print(std::cout);
+    printNodeMix(R->Run);
+  }
   return 0;
 }
 
@@ -293,6 +325,7 @@ int cmdPlan(const CliOptions &O) {
 }
 
 int cmdReport(const CliOptions &O) {
+  PhaseTimer::global().setEnabled(O.TimeReport);
   std::unique_ptr<Workbench> W = load(O);
   std::string Err;
   if (!W->collectProfile(O.ProfileInput, Err)) {
@@ -320,6 +353,8 @@ int cmdReport(const CliOptions &O) {
               TextTable::count(R->InvokedRoutines)});
   }
   T.print(std::cout);
+  if (O.TimeReport)
+    PhaseTimer::global().print(std::cout);
   return 0;
 }
 

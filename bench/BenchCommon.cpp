@@ -69,6 +69,20 @@ SuiteResult selspec::bench::runSuiteProgram(const BenchProgram &Program,
 }
 
 bool selspec::bench::writeBenchJson(const SuiteResult &R) {
+  // A trapped run produced no meaningful counters; emitting its JSON would
+  // silently poison downstream comparisons.  runSuiteProgram exits on any
+  // failed run, so a trap here means a caller built the SuiteResult by
+  // hand and skipped that check — fail loudly instead of writing the file.
+  for (const ConfigResult &CR : R.ByConfig) {
+    if (CR.Trap != TrapKind::None) {
+      std::cerr << "error: " << R.Program.Name << " under "
+                << configName(CR.Configuration) << " trapped ("
+                << trapKindName(CR.Trap)
+                << "); refusing to write BENCH_" << R.Program.Name
+                << ".json\n";
+      std::exit(1);
+    }
+  }
   std::string Path = "BENCH_" + R.Program.Name + ".json";
   std::ofstream OS(Path);
   if (!OS) {
@@ -94,6 +108,7 @@ bool selspec::bench::writeBenchJson(const SuiteResult &R) {
        << "      \"method_invocations\": " << S.MethodInvocations << ",\n"
        << "      \"closure_calls\": " << S.ClosureCalls << ",\n"
        << "      \"nodes_evaluated\": " << S.NodesEvaluated << ",\n"
+       << "      \"peak_depth\": " << S.PeakDepth << ",\n"
        << "      \"cycles\": " << S.Cycles << ",\n"
        << "      \"wall_ns\": " << CR.WallNanos << ",\n"
        << "      \"compiled_routines\": " << CR.CompiledRoutines << ",\n"

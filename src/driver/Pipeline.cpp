@@ -6,6 +6,7 @@
 
 #include "driver/Pipeline.h"
 
+#include "profile/ProfileDb.h"
 #include "support/PhaseTimer.h"
 
 #include <chrono>
@@ -98,18 +99,37 @@ Workbench::fromFiles(const std::vector<std::string> &Files,
   return fromSources(Sources, ErrorOut, WithStdlib);
 }
 
+bool Workbench::loadProfileDb(const std::string &Path, const std::string &Key,
+                              Diagnostics &DiagsOut) {
+  ProfileDb Db;
+  if (!Db.loadFromFile(Path, DiagsOut))
+    return false;
+  if (!Db.hasProgram(Key)) {
+    DiagsOut.warning(SourceLoc(), "profile db '" + Path +
+                                      "' has no entry for program '" + Key +
+                                      "'");
+    return true;
+  }
+  Db.validate(Key, *P, DiagsOut);
+  Profile.merge(Db.forProgram(Key));
+  return true;
+}
+
 bool Workbench::collectProfile(int64_t Input, std::string &ErrorOut) {
   // Profiles are gathered from the Base-compiled ("instrumented")
   // executable, with arcs recorded at statically-bound sites too.
   std::unique_ptr<CompiledProgram> CP = compileOnly(Config::Base);
   RunOptions Opts;
   Opts.Profile = &Profile;
+  Opts.Limits = Limits;
   Interpreter I(*CP, Opts);
   PhaseTimer::Scope Timing("profile");
   if (!I.callMain(Input)) {
+    LastTrap = I.trap();
     ErrorOut = "profile run failed: " + I.errorMessage();
     return false;
   }
+  LastTrap.reset();
   return true;
 }
 
@@ -117,7 +137,8 @@ std::unique_ptr<CompiledProgram>
 Workbench::compileOnly(Config C, const SelectiveOptions &Sel,
                        const OptimizerOptions &OptOpts) {
   SpecializationPlan Plan =
-      makePlan(C, *P, *AC, *PT, Profile.empty() ? nullptr : &Profile, Sel);
+      makePlan(C, *P, *AC, *PT, Profile.empty() ? nullptr : &Profile, Sel,
+               &Diags);
   Optimizer Opt(*P, *AC, OptOpts, Profile.empty() ? nullptr : &Profile);
   return Opt.compile(Plan);
 }
@@ -128,11 +149,12 @@ Workbench::runConfig(Config C, int64_t Input, std::string &ErrorOut,
                      const OptimizerOptions &OptOpts,
                      const CostModel &Costs) {
   SpecializationPlan Plan =
-      makePlan(C, *P, *AC, *PT, Profile.empty() ? nullptr : &Profile, Sel);
+      makePlan(C, *P, *AC, *PT, Profile.empty() ? nullptr : &Profile, Sel,
+               &Diags);
 
   ConfigResult R;
   R.Configuration = C;
-  if (C == Config::Selective) {
+  if (C == Config::Selective && !Profile.empty()) {
     // Re-run the specializer just for its statistics (cheap).
     SelectiveSpecializer Specializer(*P, *AC, *PT, Profile, Sel);
     Specializer.run();
@@ -148,6 +170,7 @@ Workbench::runConfig(Config C, int64_t Input, std::string &ErrorOut,
   std::ostringstream Output;
   RunOptions Opts;
   Opts.Output = &Output;
+  Opts.Limits = Limits;
   Interpreter I(*CP, Opts, Costs);
   bool Ok;
   {
@@ -160,10 +183,13 @@ Workbench::runConfig(Config C, int64_t Input, std::string &ErrorOut,
             .count());
   }
   if (!Ok) {
+    LastTrap = I.trap();
+    R.Trap = LastTrap.Kind;
     ErrorOut = std::string(configName(C)) +
                " run failed: " + I.errorMessage();
     return std::nullopt;
   }
+  LastTrap.reset();
   R.Run = I.stats();
   R.InvokedRoutines = CP->numInvokedRoutines();
   R.Output = Output.str();

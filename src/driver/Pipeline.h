@@ -24,6 +24,7 @@
 #include "opt/Optimizer.h"
 #include "profile/CallGraph.h"
 #include "specialize/Strategies.h"
+#include "support/Diagnostics.h"
 
 #include <memory>
 #include <optional>
@@ -50,6 +51,9 @@ struct ConfigResult {
   std::optional<SelectiveSpecializer::Stats> Specializer;
   /// Program output of the measured run (for output-equivalence checks).
   std::string Output;
+  /// Trap kind of the measured run; None for a completed run.  Present so
+  /// downstream consumers (benches) can assert completeness explicitly.
+  TrapKind Trap = TrapKind::None;
 };
 
 class Workbench {
@@ -83,6 +87,27 @@ public:
   compileOnly(Config C, const SelectiveOptions &Sel = {},
               const OptimizerOptions &OptOpts = {});
 
+  /// Loads the profile database at \p Path and merges the graph recorded
+  /// under \p Key into this workbench's profile, validating every arc
+  /// against the resolved program first.  Unreadable or malformed files
+  /// fail (errors in \p Diags); stale arcs are dropped with warnings and a
+  /// missing \p Key entry only warns — both leave a smaller (possibly
+  /// empty) profile, which Selective then degrades on gracefully.
+  bool loadProfileDb(const std::string &Path, const std::string &Key,
+                     Diagnostics &Diags);
+
+  /// Resource guards applied to every profile and measured run.
+  void setLimits(const ResourceLimits &L) { Limits = L; }
+  const ResourceLimits &limits() const { return Limits; }
+
+  /// Structured failure of the most recent failed run (profile or
+  /// measured); Kind == None when the last run succeeded.
+  const RuntimeTrap &lastTrap() const { return LastTrap; }
+
+  /// Warnings accumulated by planning (e.g. Selective degrading to CHA
+  /// without a usable profile).  Callers may render and clear.
+  Diagnostics &diagnostics() { return Diags; }
+
   Program &program() { return *P; }
   const ApplicableClassesAnalysis &applicableClasses() const { return *AC; }
   const PassThroughAnalysis &passThrough() const { return *PT; }
@@ -104,6 +129,9 @@ private:
   std::unique_ptr<ApplicableClassesAnalysis> AC;
   std::unique_ptr<PassThroughAnalysis> PT;
   CallGraph Profile;
+  ResourceLimits Limits;
+  RuntimeTrap LastTrap;
+  Diagnostics Diags;
   unsigned SourceLines = 0;
 };
 

@@ -1,0 +1,60 @@
+//===- fuzz/ProgramGen.h - Seeded random Mica program generator -*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random Mica program generation for the crash-proofing
+/// stress harness (tools/mica-stress, tests/FuzzTests.cpp).  Generated
+/// programs are syntactically plausible but intentionally not guaranteed
+/// to resolve or run cleanly: the invariant under test is that every
+/// input yields Diagnostics, a RuntimeTrap, or a normal result — never a
+/// crash, assert, or sanitizer report.
+///
+/// Everything is seeded: the same seed always produces the same program,
+/// so a CI failure is reproducible from its logged seed alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_FUZZ_PROGRAMGEN_H
+#define SELSPEC_FUZZ_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace selspec {
+namespace fuzz {
+
+/// Small deterministic PRNG (splitmix64); intentionally not std::mt19937
+/// so the sequence is stable across standard libraries.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += UINT64_C(0x9E3779B97F4A7C15));
+    Z = (Z ^ (Z >> 30)) * UINT64_C(0xBF58476D1CE4E5B9);
+    Z = (Z ^ (Z >> 27)) * UINT64_C(0x94D049BB133111EB);
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N); N must be nonzero.
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+
+  /// True with probability Percent/100.
+  bool chance(uint32_t Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// Generates one random Mica module (classes + methods + main) from
+/// \p Seed.  Output parses cleanly for most seeds; resolution or runtime
+/// failures are expected and in-scope for the harness.
+std::string generateProgram(uint64_t Seed);
+
+} // namespace fuzz
+} // namespace selspec
+
+#endif // SELSPEC_FUZZ_PROGRAMGEN_H

@@ -170,8 +170,11 @@ bool Program::atLeastAsSpecific(MethodId A, MethodId B) const {
 }
 
 MethodId Program::dispatch(GenericId G,
-                           const std::vector<ClassId> &ArgClasses) const {
+                           const std::vector<ClassId> &ArgClasses,
+                           bool *AmbiguousOut) const {
   const GenericInfo &Info = generic(G);
+  if (AmbiguousOut)
+    *AmbiguousOut = false;
   MethodId Best;
   bool Ambiguous = false;
   for (MethodId M : Info.Methods) {
@@ -188,13 +191,19 @@ MethodId Program::dispatch(GenericId G,
       Ambiguous = true;
     }
   }
-  if (!Best.isValid() || Ambiguous)
+  if (!Best.isValid() || Ambiguous) {
+    if (AmbiguousOut)
+      *AmbiguousOut = Ambiguous;
     return MethodId();
+  }
   // With multiple inheritance a later method may be incomparable to Best
   // yet applicable; verify Best dominates all applicable methods.
   for (MethodId M : Info.Methods)
-    if (isApplicable(method(M), ArgClasses) && !atLeastAsSpecific(Best, M))
+    if (isApplicable(method(M), ArgClasses) && !atLeastAsSpecific(Best, M)) {
+      if (AmbiguousOut)
+        *AmbiguousOut = true;
       return MethodId();
+    }
   return Best;
 }
 

@@ -137,9 +137,11 @@ public:
 
   /// Dispatches generic \p G on concrete argument classes.  Returns an
   /// invalid id when no method is applicable ("message not understood") or
-  /// when no unique most-specific method exists ("ambiguous").
-  MethodId dispatch(GenericId G,
-                    const std::vector<ClassId> &ArgClasses) const;
+  /// when no unique most-specific method exists ("ambiguous"); when
+  /// \p AmbiguousOut is non-null it is set to distinguish the two failure
+  /// modes (true iff applicable methods existed but none dominated).
+  MethodId dispatch(GenericId G, const std::vector<ClassId> &ArgClasses,
+                    bool *AmbiguousOut = nullptr) const;
 
   /// "g(C1,C2)" — a readable label for reports and tests.
   std::string methodLabel(MethodId M) const;

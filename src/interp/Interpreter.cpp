@@ -9,11 +9,36 @@
 #include <ostream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 using namespace selspec;
+
+namespace {
+/// How much native stack eval may consume before the backstop trap fires:
+/// three quarters of the soft stack rlimit, capped at 6 MiB.  The cap
+/// keeps the remaining headroom (frame sizes vary ~10x between release
+/// and sanitizer builds) comfortably larger than one trap-rendering
+/// excursion even on the default 8 MiB main-thread stack.
+size_t nativeStackBudget() {
+  size_t Budget = size_t(6) << 20;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rlimit RL;
+  if (getrlimit(RLIMIT_STACK, &RL) == 0 && RL.rlim_cur != RLIM_INFINITY) {
+    size_t ThreeQuarters = static_cast<size_t>(RL.rlim_cur) / 4 * 3;
+    if (ThreeQuarters < Budget)
+      Budget = ThreeQuarters;
+  }
+#endif
+  return Budget;
+}
+} // namespace
 
 Interpreter::Interpreter(CompiledProgram &CP, RunOptions Opts,
                          CostModel Costs)
-    : CP(CP), P(CP.program()), Opts(Opts), Costs(Costs), Disp(P) {}
+    : CP(CP), P(CP.program()), Opts(Opts), Costs(Costs), Disp(P),
+      StackBudget(nativeStackBudget()) {}
 
 std::string Interpreter::valueToString(const Value &V) const {
   switch (V.kind()) {
@@ -49,46 +74,102 @@ std::string Interpreter::valueToString(const Value &V) const {
   return "?";
 }
 
-Value Interpreter::fail(Control &C, const std::string &Message) {
+Value Interpreter::fail(Control &C, TrapKind Kind, SourceLoc Loc,
+                        std::string Message) {
+  // First failure wins; anything signaled while already unwinding an
+  // error is dropped.
   if (C.K != Control::Kind::Error) {
     C.K = Control::Kind::Error;
-    Error = Message;
+    Trap.reset();
+    Trap.Kind = Kind;
+    Trap.Loc = Loc;
+    Trap.Message = std::move(Message);
     // Attach a bounded stack trace, innermost frame first.
-    const size_t MaxFrames = 12;
-    size_t Shown = 0;
     for (auto It = CallStack.rbegin(); It != CallStack.rend(); ++It) {
-      if (++Shown > MaxFrames) {
-        Error += "\n  ... " +
-                 std::to_string(CallStack.size() - MaxFrames) +
-                 " more frame(s)";
+      if (Trap.Backtrace.size() == RuntimeTrap::MaxBacktraceFrames) {
+        Trap.FramesElided =
+            CallStack.size() - RuntimeTrap::MaxBacktraceFrames;
         break;
       }
-      Error += "\n  in " + P.methodLabel(*It);
+      Trap.Backtrace.push_back(P.methodLabel(*It));
     }
+    Error = Trap.render();
   }
   return Value::nil();
 }
 
-Value Interpreter::failPrimType(Control &C, PrimOp Op, const char *Expected) {
-  return fail(C, std::string("primitive '") + primOpName(Op) + "' expects " +
-                     Expected);
+void Interpreter::failTop(TrapKind Kind, std::string Message) {
+  Trap.reset();
+  Trap.Kind = Kind;
+  Trap.Message = std::move(Message);
+  Error = Trap.render();
 }
 
-Value Interpreter::failBounds(Control &C, int64_t Index, size_t Size) {
-  return fail(C, "array index " + std::to_string(Index) +
-                     " out of bounds (size " + std::to_string(Size) + ")");
+Value Interpreter::failPrimType(Control &C, PrimOp Op, SourceLoc Loc,
+                                const char *Expected) {
+  return fail(C, TrapKind::TypeError, Loc,
+              std::string("primitive '") + primOpName(Op) + "' expects " +
+                  Expected);
 }
 
-Value Interpreter::failNoSlot(Control &C, ClassId Cls, Symbol SlotName) {
-  return fail(C, "class '" + P.Syms.name(P.Classes.info(Cls).Name) +
-                     "' has no slot '" + P.Syms.name(SlotName) + "'");
+Value Interpreter::failBounds(Control &C, SourceLoc Loc, int64_t Index,
+                              size_t Size) {
+  return fail(C, TrapKind::IndexOutOfBounds, Loc,
+              "array index " + std::to_string(Index) +
+                  " out of bounds (size " + std::to_string(Size) + ")");
 }
 
-bool Interpreter::chargeNode(Control &C) {
+Value Interpreter::failNoSlot(Control &C, SourceLoc Loc, ClassId Cls,
+                              Symbol SlotName) {
+  return fail(C, TrapKind::UndefinedSlot, Loc,
+              "class '" + P.Syms.name(P.Classes.info(Cls).Name) +
+                  "' has no slot '" + P.Syms.name(SlotName) + "'");
+}
+
+Value Interpreter::failDispatch(Control &C, const SendExpr *S) {
+  // Re-dispatch (cold) to tell "no applicable method" from "ambiguous".
+  bool Ambiguous = false;
+  P.dispatch(S->Generic, ClassScratch, &Ambiguous);
+  if (Ambiguous)
+    return fail(C, TrapKind::AmbiguousDispatch, S->getLoc(),
+                "message '" + P.genericLabel(S->Generic) +
+                    "' is ambiguous for the given argument classes");
+  return fail(C, TrapKind::NoApplicableMethod, S->getLoc(),
+              "message '" + P.genericLabel(S->Generic) + "' not understood");
+}
+
+Value Interpreter::failNodeBudget(Control &C, SourceLoc Loc) {
+  return fail(C, TrapKind::NodeBudgetExceeded, Loc,
+              "execution exceeded the node budget of " +
+                  std::to_string(Opts.Limits.MaxNodes) +
+                  " nodes (infinite loop?)");
+}
+
+Value Interpreter::failDepth(Control &C, SourceLoc Loc) {
+  return fail(C, TrapKind::RecursionLimitExceeded, Loc,
+              "call depth exceeded the recursion limit of " +
+                  std::to_string(Opts.Limits.MaxDepth) + " activations");
+}
+
+Value Interpreter::failNativeStack(Control &C, SourceLoc Loc) {
+  return fail(C, TrapKind::RecursionLimitExceeded, Loc,
+              "recursion exhausted the native stack headroom (" +
+                  std::to_string(StackBudget) +
+                  " bytes) before reaching the recursion limit of " +
+                  std::to_string(Opts.Limits.MaxDepth) + " activations");
+}
+
+Value Interpreter::failHeapLimit(Control &C, SourceLoc Loc) {
+  return fail(C, TrapKind::HeapLimitExceeded, Loc,
+              "allocation exceeded the heap limit of " +
+                  std::to_string(Opts.Limits.MaxObjects) + " objects");
+}
+
+bool Interpreter::chargeNode(const Expr *E, Control &C) {
   ++Stats.NodesEvaluated;
   Stats.Cycles += Costs.NodeCost;
-  if (Stats.NodesEvaluated > Opts.MaxNodes) {
-    fail(C, "execution exceeded the node budget (infinite loop?)");
+  if (Stats.NodesEvaluated > Opts.Limits.MaxNodes) {
+    failNodeBudget(C, E->getLoc());
     return false;
   }
   return true;
@@ -122,7 +203,7 @@ bool Interpreter::evalArgs(const std::vector<ExprPtr> &ArgExprs, Frame &F,
 }
 
 Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
-  if (!chargeNode(C))
+  if (!chargeNode(E, C))
     return Value::nil();
   ++Stats.NodeMix[static_cast<size_t>(E->getKind())];
 
@@ -132,6 +213,8 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
   case Expr::Kind::BoolLit:
     return Value::ofBool(cast<BoolLitExpr>(E)->Value);
   case Expr::Kind::StrLit:
+    if (!heapHasRoom())
+      return failHeapLimit(C, E->getLoc());
     return Value::ofObj(TheHeap.newString(cast<StrLitExpr>(E)->Value));
   case Expr::Kind::NilLit:
     return Value::nil();
@@ -149,8 +232,9 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
     case VarLoc::Unresolved:
       break;
     }
-    return fail(C, "internal: unresolved variable '" + P.Syms.name(V->Name) +
-                       "'");
+    return fail(C, TrapKind::InternalError, E->getLoc(),
+                "internal: unresolved variable '" + P.Syms.name(V->Name) +
+                    "'");
   }
 
   case Expr::Kind::AssignVar: {
@@ -172,8 +256,9 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
     case VarLoc::Unresolved:
       break;
     }
-    return fail(C, "internal: assignment to unresolved variable '" +
-                       P.Syms.name(A->Name) + "'");
+    return fail(C, TrapKind::InternalError, E->getLoc(),
+                "internal: assignment to unresolved variable '" +
+                    P.Syms.name(A->Name) + "'");
   }
 
   case Expr::Kind::Let: {
@@ -209,7 +294,8 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
     if (C.active())
       return Value::nil();
     if (!Cond.isBool())
-      return fail(C, "if condition is not a boolean");
+      return fail(C, TrapKind::TypeError, I->Cond->getLoc(),
+                  "if condition is not a boolean");
     if (Cond.asBool())
       return eval(I->Then.get(), F, C);
     if (I->Else)
@@ -224,7 +310,8 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
       if (C.active())
         return Value::nil();
       if (!Cond.isBool())
-        return fail(C, "while condition is not a boolean");
+        return fail(C, TrapKind::TypeError, W->Cond->getLoc(),
+                    "while condition is not a boolean");
       if (!Cond.asBool())
         return Value::nil();
       eval(W->Body.get(), F, C);
@@ -247,12 +334,18 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
       return Value::nil();
     if (!Callee.isObject() ||
         Callee.asObject()->payload() != Obj::Payload::Closure)
-      return fail(C, "called value is not a closure");
+      return fail(C, TrapKind::TypeError, E->getLoc(),
+                  "called value is not a closure");
     Obj *Closure = Callee.asObject();
     const ClosureLitExpr *Lit = Closure->Lit;
     const size_t NumArgs = ArgStack.size() - ArgsBase;
     if (Lit->Params.size() != NumArgs)
-      return fail(C, "closure called with wrong number of arguments");
+      return fail(C, TrapKind::ArityMismatch, E->getLoc(),
+                  "closure called with wrong number of arguments");
+    if (Depth >= Opts.Limits.MaxDepth)
+      return failDepth(C, E->getLoc());
+    if (nativeStackLow())
+      return failNativeStack(C, E->getLoc());
 
     ++Stats.ClosureCalls;
     Stats.Cycles += Costs.ClosureCallCost;
@@ -264,13 +357,19 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
 
     uint64_t SavedHome = CurrentHome;
     CurrentHome = Closure->HomeActivation;
+    ++Depth;
+    if (Depth > Stats.PeakDepth)
+      Stats.PeakDepth = Depth;
     Value Result = eval(Lit->Body.get(), Inner, C);
+    --Depth;
     CurrentHome = SavedHome;
     return Result;
   }
 
   case Expr::Kind::ClosureLit: {
     const auto *Lit = cast<ClosureLitExpr>(E);
+    if (!heapHasRoom())
+      return failHeapLimit(C, E->getLoc());
     ++Stats.ClosuresCreated;
     Stats.Cycles += Costs.ClosureCreateCost;
     std::vector<CellPtr> Captured;
@@ -285,6 +384,8 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
 
   case Expr::Kind::New: {
     const auto *N = cast<NewExpr>(E);
+    if (!heapHasRoom())
+      return failHeapLimit(C, E->getLoc());
     const ClassInfo &Info = P.Classes.info(N->Class);
     ++Stats.Allocations;
     Stats.Cycles += Costs.AllocCost + Info.Layout.size();
@@ -308,12 +409,13 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
       return Value::nil();
     if (!ObjV.isObject() ||
         ObjV.asObject()->payload() != Obj::Payload::Instance)
-      return fail(C, "slot access '" + P.Syms.name(G->SlotName) +
-                         "' on a non-instance value");
+      return fail(C, TrapKind::TypeError, E->getLoc(),
+                  "slot access '" + P.Syms.name(G->SlotName) +
+                      "' on a non-instance value");
     Obj *O = ObjV.asObject();
     int Idx = P.Classes.slotIndex(O->getClass(), G->SlotName);
     if (Idx < 0)
-      return failNoSlot(C, O->getClass(), G->SlotName);
+      return failNoSlot(C, E->getLoc(), O->getClass(), G->SlotName);
     Stats.Cycles += Costs.SlotCost;
     return O->Slots[Idx];
   }
@@ -328,11 +430,12 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
       return Value::nil();
     if (!ObjV.isObject() ||
         ObjV.asObject()->payload() != Obj::Payload::Instance)
-      return fail(C, "slot assignment on a non-instance value");
+      return fail(C, TrapKind::TypeError, E->getLoc(),
+                  "slot assignment on a non-instance value");
     Obj *O = ObjV.asObject();
     int Idx = P.Classes.slotIndex(O->getClass(), S->SlotName);
     if (Idx < 0)
-      return failNoSlot(C, O->getClass(), S->SlotName);
+      return failNoSlot(C, E->getLoc(), O->getClass(), S->SlotName);
     Stats.Cycles += Costs.SlotCost;
     O->Slots[Idx] = V;
     return V;
@@ -356,10 +459,15 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
   case Expr::Kind::Inlined:
     return evalInlined(cast<InlinedExpr>(E), F, C);
   }
-  return fail(C, "internal: unknown expression kind");
+  return fail(C, TrapKind::InternalError, E->getLoc(),
+              "internal: unknown expression kind");
 }
 
 Value Interpreter::evalInlined(const InlinedExpr *In, Frame &F, Control &C) {
+  // Inlined bodies recurse natively without raising Depth, so they need
+  // their own native-stack check.
+  if (nativeStackLow())
+    return failNativeStack(C, In->getLoc());
   // Inlined bindings live in the caller's frame.  Interleaving each store
   // with its initializer is safe even though the old code evaluated all
   // initializers first: every binding occurrence has its own slot, so an
@@ -387,21 +495,28 @@ Value Interpreter::evalInlined(const InlinedExpr *In, Frame &F, Control &C) {
 }
 
 Value Interpreter::invokeMethod(MethodId M, int VersionIndex,
-                                size_t ArgsBase, Control &C) {
+                                size_t ArgsBase, SourceLoc CallLoc,
+                                Control &C) {
   if (VersionIndex < 0)
-    return fail(C, "internal: no compiled version matches arguments of " +
-                       P.methodLabel(M));
+    return fail(C, TrapKind::InternalError, CallLoc,
+                "internal: no compiled version matches arguments of " +
+                    P.methodLabel(M));
   return invokeVersion(CP.version(static_cast<uint32_t>(VersionIndex)),
-                       ArgsBase, C);
+                       ArgsBase, CallLoc, C);
 }
 
 Value Interpreter::invokeVersion(CompiledMethod &CM, size_t ArgsBase,
-                                 Control &C) {
+                                 SourceLoc CallLoc, Control &C) {
   const MethodInfo &M = P.method(CM.Source);
   CM.Invoked = true;
 
   if (M.isBuiltin())
-    return invokePrim(M.Prim, ArgStack.data() + ArgsBase, C);
+    return invokePrim(M.Prim, ArgStack.data() + ArgsBase, CallLoc, C);
+
+  if (Depth >= Opts.Limits.MaxDepth)
+    return failDepth(C, CallLoc);
+  if (nativeStackLow())
+    return failNativeStack(C, CallLoc);
 
   ++Stats.MethodInvocations;
   uint64_t Activation = NextActivation++;
@@ -416,7 +531,11 @@ Value Interpreter::invokeVersion(CompiledMethod &CM, size_t ArgsBase,
   uint64_t SavedHome = CurrentHome;
   CurrentHome = Activation;
   CallStack.push_back(CM.Source);
+  ++Depth;
+  if (Depth > Stats.PeakDepth)
+    Stats.PeakDepth = Depth;
   Value Result = eval(CM.Body.get(), F, C);
+  --Depth;
   CallStack.pop_back();
   CurrentHome = SavedHome;
 
@@ -436,14 +555,13 @@ Value Interpreter::dispatchCall(const SendExpr *S, size_t ArgsBase,
 
   MethodId Target = Disp.lookup(S->Generic, ClassScratch, S->Site);
   if (!Target.isValid())
-    return fail(C, "message '" + P.genericLabel(S->Generic) +
-                       "' not understood or ambiguous");
+    return failDispatch(C, S);
 
   recordArc(S->Site, Target);
   ++Stats.DynamicDispatches;
   Stats.Cycles += Costs.DynamicDispatchCost;
   return invokeMethod(Target, CP.selectVersion(Target, ClassScratch),
-                      ArgsBase, C);
+                      ArgsBase, S->getLoc(), C);
 }
 
 Value Interpreter::evalSend(const SendExpr *S, Frame &F, Control &C) {
@@ -464,18 +582,20 @@ Value Interpreter::evalSend(const SendExpr *S, Frame &F, Control &C) {
         Classes.push_back(ArgStack[I].classOf());
       MethodId Real = P.dispatch(S->Generic, Classes);
       if (Real != CM.Source)
-        return fail(C, "static binding violation at site " +
-                           std::to_string(S->Site.value()) + ": bound to " +
-                           P.methodLabel(CM.Source) + " but dispatch picks " +
-                           (Real.isValid() ? P.methodLabel(Real) : "<none>"));
+        return fail(C, TrapKind::BindingViolation, S->getLoc(),
+                    "static binding violation at site " +
+                        std::to_string(S->Site.value()) + ": bound to " +
+                        P.methodLabel(CM.Source) + " but dispatch picks " +
+                        (Real.isValid() ? P.methodLabel(Real) : "<none>"));
       if (!tupleContains(CM.Tuple, Classes))
-        return fail(C, "static version binding violation at site " +
-                           std::to_string(S->Site.value()));
+        return fail(C, TrapKind::BindingViolation, S->getLoc(),
+                    "static version binding violation at site " +
+                        std::to_string(S->Site.value()));
     }
     recordArc(S->Site, CM.Source);
     ++Stats.StaticCalls;
     Stats.Cycles += Costs.StaticCallCost;
-    return invokeVersion(CM, ArgsBase, C);
+    return invokeVersion(CM, ArgsBase, S->getLoc(), C);
   }
 
   case SendBindKind::StaticSelect: {
@@ -485,15 +605,16 @@ Value Interpreter::evalSend(const SendExpr *S, Frame &F, Control &C) {
     if (Opts.ValidateBindings) {
       MethodId Real = P.dispatch(S->Generic, ClassScratch);
       if (Real != S->Binding.Target)
-        return fail(C, "static-select binding violation at site " +
-                           std::to_string(S->Site.value()));
+        return fail(C, TrapKind::BindingViolation, S->getLoc(),
+                    "static-select binding violation at site " +
+                        std::to_string(S->Site.value()));
     }
     recordArc(S->Site, S->Binding.Target);
     ++Stats.VersionSelects;
     Stats.Cycles += Costs.VersionSelectCost;
     return invokeMethod(S->Binding.Target,
                         CP.selectVersion(S->Binding.Target, ClassScratch),
-                        ArgsBase, C);
+                        ArgsBase, S->getLoc(), C);
   }
 
   case SendBindKind::InlinePrim: {
@@ -503,13 +624,14 @@ Value Interpreter::evalSend(const SendExpr *S, Frame &F, Control &C) {
       for (size_t I = ArgsBase; I != ArgStack.size(); ++I)
         Classes.push_back(ArgStack[I].classOf());
       if (P.dispatch(S->Generic, Classes) != S->Binding.Target)
-        return fail(C, "inline-prim binding violation at site " +
-                           std::to_string(S->Site.value()));
+        return fail(C, TrapKind::BindingViolation, S->getLoc(),
+                    "inline-prim binding violation at site " +
+                        std::to_string(S->Site.value()));
     }
     recordArc(S->Site, S->Binding.Target);
     ++Stats.InlinePrims;
     Stats.Cycles += Costs.InlinePrimCost;
-    return invokePrim(M.Prim, ArgStack.data() + ArgsBase, C);
+    return invokePrim(M.Prim, ArgStack.data() + ArgsBase, S->getLoc(), C);
   }
 
   case SendBindKind::FeedbackGuard: {
@@ -521,25 +643,24 @@ Value Interpreter::evalSend(const SendExpr *S, Frame &F, Control &C) {
     Stats.Cycles += Costs.PredictTestCost;
     MethodId Real = Disp.lookup(S->Generic, ClassScratch, S->Site);
     if (!Real.isValid())
-      return fail(C, "message '" + P.genericLabel(S->Generic) +
-                         "' not understood or ambiguous");
+      return failDispatch(C, S);
     recordArc(S->Site, Real);
     if (Real == S->Binding.Target) {
       ++Stats.FeedbackHits;
       const MethodInfo &M = P.method(Real);
       if (M.isBuiltin()) {
         Stats.Cycles += Costs.InlinePrimCost;
-        return invokePrim(M.Prim, ArgStack.data() + ArgsBase, C);
+        return invokePrim(M.Prim, ArgStack.data() + ArgsBase, S->getLoc(), C);
       }
       Stats.Cycles += Costs.StaticCallCost;
       return invokeMethod(Real, CP.selectVersion(Real, ClassScratch),
-                          ArgsBase, C);
+                          ArgsBase, S->getLoc(), C);
     }
     ++Stats.FeedbackMisses;
     ++Stats.DynamicDispatches;
     Stats.Cycles += Costs.DynamicDispatchCost;
     return invokeMethod(Real, CP.selectVersion(Real, ClassScratch),
-                        ArgsBase, C);
+                        ArgsBase, S->getLoc(), C);
   }
 
   case SendBindKind::Predicted: {
@@ -552,19 +673,21 @@ Value Interpreter::evalSend(const SendExpr *S, Frame &F, Control &C) {
       ++Stats.PredictedHits;
       Stats.Cycles += Costs.InlinePrimCost;
       return invokePrim(P.method(S->Binding.Target).Prim,
-                        ArgStack.data() + ArgsBase, C);
+                        ArgStack.data() + ArgsBase, S->getLoc(), C);
     }
     ++Stats.PredictedMisses;
     return dispatchCall(S, ArgsBase, C);
   }
   }
-  return fail(C, "internal: unknown binding kind");
+  return fail(C, TrapKind::InternalError, S->getLoc(),
+              "internal: unknown binding kind");
 }
 
-Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
+Value Interpreter::invokePrim(PrimOp Op, const Value *Args, SourceLoc Loc,
+                              Control &C) {
   auto WantInt = [&](const Value &V, int64_t &Out) {
     if (!V.isInt()) {
-      failPrimType(C, Op, "an integer");
+      failPrimType(C, Op, Loc, "an integer");
       return false;
     }
     Out = V.asInt();
@@ -572,7 +695,7 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
   };
   auto WantStr = [&](const Value &V, const std::string *&Out) {
     if (!V.isObject() || V.asObject()->payload() != Obj::Payload::Str) {
-      failPrimType(C, Op, "a string");
+      failPrimType(C, Op, Loc, "a string");
       return false;
     }
     Out = &V.asObject()->Str;
@@ -580,7 +703,7 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
   };
   auto WantArray = [&](const Value &V, Obj *&Out) {
     if (!V.isObject() || V.asObject()->payload() != Obj::Payload::Array) {
-      failPrimType(C, Op, "an array");
+      failPrimType(C, Op, Loc, "an array");
       return false;
     }
     Out = V.asObject();
@@ -593,7 +716,8 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
 
   switch (Op) {
   case PrimOp::None:
-    return fail(C, "internal: invoking PrimOp::None");
+    return fail(C, TrapKind::InternalError, Loc,
+                "internal: invoking PrimOp::None");
 
   case PrimOp::IntAdd:
     if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
@@ -611,13 +735,13 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
     if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
       return Value::nil();
     if (B == 0)
-      return fail(C, "division by zero");
+      return fail(C, TrapKind::DivisionByZero, Loc, "division by zero");
     return Value::ofInt(A / B);
   case PrimOp::IntMod:
     if (!WantInt(Args[0], A) || !WantInt(Args[1], B))
       return Value::nil();
     if (B == 0)
-      return fail(C, "modulo by zero");
+      return fail(C, TrapKind::DivisionByZero, Loc, "modulo by zero");
     return Value::ofInt(A % B);
   case PrimOp::IntNeg:
     if (!WantInt(Args[0], A))
@@ -650,11 +774,12 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
 
   case PrimOp::BoolNot:
     if (!Args[0].isBool())
-      return fail(C, "'not' expects a boolean");
+      return fail(C, TrapKind::TypeError, Loc, "'not' expects a boolean");
     return Value::ofBool(!Args[0].asBool());
   case PrimOp::BoolEq:
     if (!Args[0].isBool() || !Args[1].isBool())
-      return fail(C, "'==' on booleans expects booleans");
+      return fail(C, TrapKind::TypeError, Loc,
+                  "'==' on booleans expects booleans");
     return Value::ofBool(Args[0].asBool() == Args[1].asBool());
 
   case PrimOp::AnyEq:
@@ -665,6 +790,8 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
   case PrimOp::StrConcat:
     if (!WantStr(Args[0], SA) || !WantStr(Args[1], SB))
       return Value::nil();
+    if (!heapHasRoom())
+      return failHeapLimit(C, Loc);
     return Value::ofObj(TheHeap.newString(*SA + *SB));
   case PrimOp::StrEq:
     if (!WantStr(Args[0], SA) || !WantStr(Args[1], SB))
@@ -683,7 +810,10 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
     if (!WantInt(Args[0], A))
       return Value::nil();
     if (A < 0)
-      return fail(C, "array size must be non-negative");
+      return fail(C, TrapKind::TypeError, Loc,
+                  "array size must be non-negative");
+    if (!heapHasRoom())
+      return failHeapLimit(C, Loc);
     ++Stats.Allocations;
     Stats.Cycles += Costs.AllocCost + static_cast<uint64_t>(A);
     return Value::ofObj(TheHeap.newArray(static_cast<size_t>(A)));
@@ -691,14 +821,14 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
     if (!WantArray(Args[0], Arr) || !WantInt(Args[1], A))
       return Value::nil();
     if (A < 0 || static_cast<size_t>(A) >= Arr->Slots.size())
-      return failBounds(C, A, Arr->Slots.size());
+      return failBounds(C, Loc, A, Arr->Slots.size());
     Stats.Cycles += Costs.SlotCost;
     return Arr->Slots[static_cast<size_t>(A)];
   case PrimOp::ArrayPut:
     if (!WantArray(Args[0], Arr) || !WantInt(Args[1], A))
       return Value::nil();
     if (A < 0 || static_cast<size_t>(A) >= Arr->Slots.size())
-      return failBounds(C, A, Arr->Slots.size());
+      return failBounds(C, Loc, A, Arr->Slots.size());
     Stats.Cycles += Costs.SlotCost;
     Arr->Slots[static_cast<size_t>(A)] = Args[2];
     return Args[2];
@@ -712,33 +842,47 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, Control &C) {
       *Opts.Output << valueToString(Args[0]) << '\n';
     return Value::nil();
   case PrimOp::ClassName:
+    if (!heapHasRoom())
+      return failHeapLimit(C, Loc);
     return Value::ofObj(TheHeap.newString(
         P.Syms.name(P.Classes.info(Args[0].classOf()).Name)));
   case PrimOp::Abort:
-    return fail(C, "abort: " + valueToString(Args[0]));
+    return fail(C, TrapKind::UserAbort, Loc,
+                "abort: " + valueToString(Args[0]));
   }
-  return fail(C, "internal: unknown primitive");
+  return fail(C, TrapKind::InternalError, Loc,
+              "internal: unknown primitive");
 }
 
 Value Interpreter::callGeneric(const std::string &Name,
                                std::vector<Value> Args, bool &Ok) {
   Ok = false;
   Error.clear();
+  Trap.reset();
+  // Anchor the native-stack backstop at the point the embedder entered;
+  // see nativeStackLow().
+  char StackProbe;
+  StackBase = reinterpret_cast<uintptr_t>(&StackProbe);
   Symbol S = P.Syms.find(Name);
   GenericId G = S.isValid()
                     ? P.lookupGeneric(S, static_cast<unsigned>(Args.size()))
                     : GenericId();
   if (!G.isValid()) {
-    Error = "no generic function '" + Name + "/" +
-            std::to_string(Args.size()) + "'";
+    failTop(TrapKind::NoApplicableMethod,
+            "no generic function '" + Name + "/" +
+                std::to_string(Args.size()) + "'");
     return Value::nil();
   }
   std::vector<ClassId> Classes;
   for (const Value &V : Args)
     Classes.push_back(V.classOf());
-  MethodId Target = P.dispatch(G, Classes);
+  bool Ambiguous = false;
+  MethodId Target = P.dispatch(G, Classes, &Ambiguous);
   if (!Target.isValid()) {
-    Error = "message '" + Name + "' not understood";
+    failTop(Ambiguous ? TrapKind::AmbiguousDispatch
+                      : TrapKind::NoApplicableMethod,
+            Ambiguous ? "message '" + Name + "' is ambiguous"
+                      : "message '" + Name + "' not understood");
     return Value::nil();
   }
 
@@ -748,11 +892,12 @@ Value Interpreter::callGeneric(const std::string &Name,
     ArgStack.push_back(V);
   Control C;
   Value Result = invokeMethod(Target, CP.selectVersion(Target, Classes),
-                              ArgsBase, C);
+                              ArgsBase, SourceLoc(), C);
   if (C.K == Control::Kind::Error)
     return Value::nil();
   if (C.K == Control::Kind::Return) {
-    Error = "non-local return escaped its home activation";
+    failTop(TrapKind::InternalError,
+            "non-local return escaped its home activation");
     return Value::nil();
   }
   Ok = true;

@@ -24,6 +24,7 @@
 #define SELSPEC_INTERP_INTERPRETER_H
 
 #include "interp/CostModel.h"
+#include "interp/RuntimeTrap.h"
 #include "opt/CompiledProgram.h"
 #include "profile/CallGraph.h"
 #include "runtime/Dispatcher.h"
@@ -32,6 +33,7 @@
 #include "runtime/Value.h"
 
 #include <array>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -52,6 +54,9 @@ struct RunStats {
   uint64_t Allocations = 0;
   uint64_t MethodInvocations = 0;
   uint64_t NodesEvaluated = 0;
+  /// Deepest concurrently-active Mica call chain (methods + closures);
+  /// what ResourceLimits::MaxDepth bounds.
+  uint64_t PeakDepth = 0;
   /// Modeled execution time.
   uint64_t Cycles = 0;
   /// Executed-node histogram by AST kind (the `--time-report` node mix).
@@ -70,8 +75,8 @@ struct RunOptions {
   CallGraph *Profile = nullptr;
   /// Verify every statically-bound send against real dispatch (tests).
   bool ValidateBindings = false;
-  /// Abort runs exceeding this many evaluated nodes.
-  uint64_t MaxNodes = UINT64_C(4'000'000'000);
+  /// Resource guards: node budget, recursion depth, heap object count.
+  ResourceLimits Limits;
   /// Destination of `print`; null discards output.
   std::ostream *Output = nullptr;
 };
@@ -82,7 +87,7 @@ public:
                        CostModel Costs = {});
 
   /// Invokes `main(Arg)`.  Returns false on any runtime error (see
-  /// errorMessage()).
+  /// trap() / errorMessage()).
   bool callMain(int64_t Arg);
 
   /// Invokes generic \p Name on \p Args; \p Ok reports success.
@@ -90,6 +95,9 @@ public:
                     bool &Ok);
 
   const RunStats &stats() const { return Stats; }
+  /// The structured failure of the last run (Kind == None on success).
+  const RuntimeTrap &trap() const { return Trap; }
+  /// Rendered form of trap() (message + location + backtrace).
   const std::string &errorMessage() const { return Error; }
   Dispatcher &dispatcher() { return Disp; }
   Heap &heap() { return TheHeap; }
@@ -118,25 +126,56 @@ private:
   // indexed, never held by reference across eval, because nested sends
   // push (and may reallocate) above them.
   Value invokeMethod(MethodId M, int VersionIndex, size_t ArgsBase,
-                     Control &C);
-  Value invokeVersion(CompiledMethod &CM, size_t ArgsBase, Control &C);
+                     SourceLoc CallLoc, Control &C);
+  Value invokeVersion(CompiledMethod &CM, size_t ArgsBase, SourceLoc CallLoc,
+                      Control &C);
   /// \p Args points at the callee's arguments on ArgStack; primitives
   /// never re-enter eval, so the pointer stays valid throughout.
-  Value invokePrim(PrimOp Op, const Value *Args, Control &C);
+  Value invokePrim(PrimOp Op, const Value *Args, SourceLoc Loc, Control &C);
   Value dispatchCall(const SendExpr *S, size_t ArgsBase, Control &C);
   bool evalArgs(const std::vector<ExprPtr> &ArgExprs, Frame &F, Control &C);
   void recordArc(CallSiteId Site, MethodId Callee);
-  Value fail(Control &C, const std::string &Message);
-  bool chargeNode(Control &C);
+  Value fail(Control &C, TrapKind Kind, SourceLoc Loc, std::string Message);
+  /// Records a failure that happens outside any Control channel (the
+  /// callGeneric entry path).
+  void failTop(TrapKind Kind, std::string Message);
+  bool chargeNode(const Expr *E, Control &C);
+  bool heapHasRoom() const {
+    return TheHeap.numAllocated() < Opts.Limits.MaxObjects;
+  }
 
   // Out-of-line failure constructors: the hot paths branch to these and
   // the message strings are only built once a failure is certain.
   [[gnu::cold]] [[gnu::noinline]] Value failPrimType(Control &C, PrimOp Op,
+                                                     SourceLoc Loc,
                                                      const char *Expected);
-  [[gnu::cold]] [[gnu::noinline]] Value failBounds(Control &C, int64_t Index,
-                                                   size_t Size);
-  [[gnu::cold]] [[gnu::noinline]] Value failNoSlot(Control &C, ClassId Cls,
+  [[gnu::cold]] [[gnu::noinline]] Value failBounds(Control &C, SourceLoc Loc,
+                                                   int64_t Index, size_t Size);
+  [[gnu::cold]] [[gnu::noinline]] Value failNoSlot(Control &C, SourceLoc Loc,
+                                                   ClassId Cls,
                                                    Symbol SlotName);
+  /// Dispatch failed for \p S on the classes in ClassScratch; classifies
+  /// no-applicable-method vs. ambiguous via a (cold) re-dispatch.
+  [[gnu::cold]] [[gnu::noinline]] Value failDispatch(Control &C,
+                                                     const SendExpr *S);
+  [[gnu::cold]] [[gnu::noinline]] Value failNodeBudget(Control &C,
+                                                       SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failDepth(Control &C, SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failNativeStack(Control &C,
+                                                        SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failHeapLimit(Control &C,
+                                                      SourceLoc Loc);
+
+  /// True when the native C++ stack consumed below the entry point
+  /// exceeds StackBudget.  Backstop for MaxDepth: sanitizer and debug
+  /// builds grow native frames enough that a depth limit calibrated for
+  /// release builds can still overflow the real stack.
+  bool nativeStackLow() const {
+    char Probe;
+    uintptr_t Here = reinterpret_cast<uintptr_t>(&Probe);
+    size_t Used = StackBase >= Here ? StackBase - Here : Here - StackBase;
+    return Used > StackBudget;
+  }
 
   CompiledProgram &CP;
   const Program &P;
@@ -151,8 +190,17 @@ private:
   /// recursive eval, so a single reused buffer is safe.
   std::vector<ClassId> ClassScratch;
   RunStats Stats;
+  RuntimeTrap Trap;
   std::string Error;
   uint64_t NextActivation = 1;
+  /// Concurrently-active Mica calls (methods + closures); bounded by
+  /// Opts.Limits.MaxDepth to keep native C++ recursion in check.
+  uint32_t Depth = 0;
+  /// Native-stack backstop: address of a local in the public entry point
+  /// (refreshed by callGeneric) and the bytes of native stack eval may
+  /// consume below it before trapping RecursionLimitExceeded.
+  uintptr_t StackBase = 0;
+  size_t StackBudget;
   /// Home activation of the code currently executing (the activation a
   /// boundary-0 return unwinds to).
   uint64_t CurrentHome = 0;

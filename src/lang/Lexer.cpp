@@ -7,6 +7,7 @@
 #include "lang/Lexer.h"
 
 #include <cctype>
+#include <cstdint>
 #include <unordered_map>
 
 using namespace selspec;
@@ -135,11 +136,24 @@ Token Lexer::next() {
   }
 
   if (std::isdigit(static_cast<unsigned char>(C))) {
-    int64_t V = C - '0';
-    while (std::isdigit(static_cast<unsigned char>(peek())))
-      V = V * 10 + (advance() - '0');
+    // Unsigned accumulation with an explicit bound: a literal past
+    // INT64_MAX is a diagnostic, never signed-overflow UB.
+    uint64_t V = static_cast<uint64_t>(C - '0');
+    bool Overflow = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      uint64_t Digit = static_cast<uint64_t>(advance() - '0');
+      if (V > (static_cast<uint64_t>(INT64_MAX) - Digit) / 10) {
+        Overflow = true;
+        continue; // keep consuming digits, report once at the end
+      }
+      V = V * 10 + Digit;
+    }
+    if (Overflow) {
+      Diags.error(T.Loc, "integer literal too large");
+      V = static_cast<uint64_t>(INT64_MAX);
+    }
     T.Kind = TokenKind::IntLit;
-    T.IntValue = V;
+    T.IntValue = static_cast<int64_t>(V);
     return T;
   }
 

@@ -52,6 +52,21 @@ void Parser::syncToDecl() {
     advance();
 }
 
+bool Parser::atDepthLimit(SourceLoc Loc) {
+  if (Depth < MaxDepth)
+    return false;
+  if (!DepthOverflow) {
+    DepthOverflow = true;
+    Diags.error(Loc, "expression or statement nesting too deep (limit " +
+                         std::to_string(MaxDepth) + ")");
+    // No useful recovery exists this deep in a pathological input; drain
+    // so every pending recursive frame unwinds immediately at Eof.
+    while (!check(TokenKind::Eof))
+      advance();
+  }
+  return true;
+}
+
 Module Parser::parseModule() {
   Module M;
   while (!check(TokenKind::Eof)) {
@@ -159,8 +174,13 @@ ExprPtr Parser::parseBlock() {
   return std::make_unique<SeqExpr>(std::move(Elems), Loc);
 }
 
+// Guarded like parseStmt: "else if" chains recurse here directly, so a
+// long flat chain is as dangerous as deep nesting.
 ExprPtr Parser::parseIfStmt() {
   SourceLoc Loc = peek().Loc;
+  if (atDepthLimit(Loc))
+    return std::make_unique<NilLitExpr>(Loc);
+  ++Depth;
   expect(TokenKind::KwIf, "to start if");
   expect(TokenKind::LParen, "after 'if'");
   ExprPtr Cond = parseExpr();
@@ -173,11 +193,22 @@ ExprPtr Parser::parseIfStmt() {
     else
       Else = parseBlock();
   }
+  --Depth;
   return std::make_unique<IfExpr>(std::move(Cond), std::move(Then),
                                   std::move(Else), Loc);
 }
 
 ExprPtr Parser::parseStmt() {
+  SourceLoc Loc = peek().Loc;
+  if (atDepthLimit(Loc))
+    return std::make_unique<NilLitExpr>(Loc);
+  ++Depth;
+  ExprPtr S = parseStmtInner();
+  --Depth;
+  return S;
+}
+
+ExprPtr Parser::parseStmtInner() {
   SourceLoc Loc = peek().Loc;
   if (accept(TokenKind::KwLet)) {
     Symbol Name;
@@ -211,7 +242,14 @@ ExprPtr Parser::parseStmt() {
   return E;
 }
 
-ExprPtr Parser::parseExpr() { return parseAssignment(); }
+ExprPtr Parser::parseExpr() {
+  if (atDepthLimit(peek().Loc))
+    return std::make_unique<NilLitExpr>(peek().Loc);
+  ++Depth;
+  ExprPtr E = parseAssignment();
+  --Depth;
+  return E;
+}
 
 ExprPtr Parser::parseAssignment() {
   ExprPtr Lhs = parseOr();
@@ -316,6 +354,15 @@ ExprPtr Parser::parseMultiplicative() {
 }
 
 ExprPtr Parser::parseUnary() {
+  if (atDepthLimit(peek().Loc))
+    return std::make_unique<NilLitExpr>(peek().Loc);
+  ++Depth;
+  ExprPtr E = parseUnaryInner();
+  --Depth;
+  return E;
+}
+
+ExprPtr Parser::parseUnaryInner() {
   if (check(TokenKind::Bang)) {
     SourceLoc Loc = advance().Loc;
     std::vector<ExprPtr> Args;

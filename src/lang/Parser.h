@@ -63,10 +63,17 @@ private:
   Symbol internIdent(const Token &T) { return Symbols.intern(T.Text); }
   void syncToDecl();
 
+  /// True once expression/statement nesting exceeds MaxDepth.  The parser
+  /// is recursive-descent, so unbounded nesting ("((((…", "!!!!…", deeply
+  /// nested blocks) would otherwise exhaust the native stack; on overflow
+  /// one error is emitted and the rest of the input is drained.
+  bool atDepthLimit(SourceLoc Loc);
+
   ClassDecl parseClassDecl();
   MethodDecl parseMethodDecl();
   ExprPtr parseBlock();
   ExprPtr parseStmt();
+  ExprPtr parseStmtInner();
   ExprPtr parseIfStmt();
   ExprPtr parseExpr();
   ExprPtr parseAssignment();
@@ -76,6 +83,7 @@ private:
   ExprPtr parseAdditive();
   ExprPtr parseMultiplicative();
   ExprPtr parseUnary();
+  ExprPtr parseUnaryInner();
   ExprPtr parsePostfix();
   ExprPtr parsePrimary();
   std::vector<ExprPtr> parseArgs();
@@ -88,6 +96,10 @@ private:
   size_t Pos = 0;
   SymbolTable &Symbols;
   Diagnostics &Diags;
+  /// Current recursion depth across parseStmt/parseExpr/parseUnary.
+  unsigned Depth = 0;
+  bool DepthOverflow = false;
+  static constexpr unsigned MaxDepth = 256;
 };
 
 } // namespace selspec

@@ -6,6 +6,10 @@
 
 #include "profile/ProfileDb.h"
 
+#include "hierarchy/Program.h"
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -24,50 +28,170 @@ std::string ProfileDb::serialize() const {
   return OS.str();
 }
 
-bool ProfileDb::deserialize(const std::string &Text) {
-  std::istringstream IS(Text);
-  std::string Header;
-  if (!std::getline(IS, Header) || Header != "selspec-profile v1")
-    return false;
+namespace {
 
-  std::string Word;
+/// Parses a non-negative decimal integer that fits \p Out; rejects signs,
+/// junk suffixes and overflow (so a bit-flipped digit string never wraps
+/// into a silently different id).
+bool parseUInt(const std::string &Tok, uint64_t Max, uint64_t &Out) {
+  if (Tok.empty())
+    return false;
+  uint64_t V = 0;
+  for (char Ch : Tok) {
+    if (Ch < '0' || Ch > '9')
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(Ch - '0');
+    if (V > (Max - Digit) / 10)
+      return false;
+    V = V * 10 + Digit;
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+bool ProfileDb::deserialize(const std::string &Text, Diagnostics &Diags) {
+  std::istringstream IS(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  auto reject = [&](const std::string &Why) {
+    Diags.error(SourceLoc{LineNo, 1}, "profile line " +
+                                          std::to_string(LineNo) + ": " + Why);
+    return false;
+  };
+
+  if (!std::getline(IS, Line)) {
+    LineNo = 1;
+    return reject("empty input, expected 'selspec-profile v1' header");
+  }
+  ++LineNo;
+  if (Line != "selspec-profile v1")
+    return reject("bad header '" + Line +
+                  "', expected 'selspec-profile v1'");
+
   CallGraph *Current = nullptr;
-  while (IS >> Word) {
+  size_t DeclaredArcs = 0, SeenArcs = 0;
+  std::string CurrentName;
+  auto checkArcCount = [&] {
+    if (Current && SeenArcs != DeclaredArcs)
+      return reject("program '" + CurrentName + "' declares " +
+                    std::to_string(DeclaredArcs) + " arc(s) but " +
+                    std::to_string(SeenArcs) + " follow (truncated?)");
+    return true;
+  };
+
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    std::istringstream LS(Line);
+    std::string Word;
+    if (!(LS >> Word))
+      continue; // blank line
     if (Word == "program") {
-      std::string Name;
-      size_t NumArcs;
-      if (!(IS >> Name >> NumArcs))
+      if (!checkArcCount())
         return false;
+      std::string Name, Count;
+      uint64_t N = 0;
+      if (!(LS >> Name >> Count) || !parseUInt(Count, SIZE_MAX, N))
+        return reject("malformed program record, expected "
+                      "'program <name> <num-arcs>'");
+      if (LS >> Word)
+        return reject("trailing junk '" + Word + "' after program record");
       Current = &Graphs[Name];
+      CurrentName = Name;
+      DeclaredArcs = static_cast<size_t>(N);
+      SeenArcs = 0;
       continue;
     }
     if (Word == "arc") {
-      uint32_t Site, Caller, Callee;
-      uint64_t Weight;
-      if (!Current || !(IS >> Site >> Caller >> Callee >> Weight))
-        return false;
-      Current->addHits(CallSiteId(Site), MethodId(Caller), MethodId(Callee),
-                       Weight);
+      if (!Current)
+        return reject("arc record before any program record");
+      std::string T[4];
+      uint64_t Site = 0, Caller = 0, Callee = 0, Weight = 0;
+      if (!(LS >> T[0] >> T[1] >> T[2] >> T[3]) ||
+          !parseUInt(T[0], UINT32_MAX, Site) ||
+          !parseUInt(T[1], UINT32_MAX, Caller) ||
+          !parseUInt(T[2], UINT32_MAX, Callee) ||
+          !parseUInt(T[3], UINT64_MAX, Weight))
+        return reject("malformed arc record, expected "
+                      "'arc <site> <caller> <callee> <weight>'");
+      if (LS >> Word)
+        return reject("trailing junk '" + Word + "' after arc record");
+      Current->addHits(CallSiteId(static_cast<uint32_t>(Site)),
+                       MethodId(static_cast<uint32_t>(Caller)),
+                       MethodId(static_cast<uint32_t>(Callee)), Weight);
+      ++SeenArcs;
       continue;
     }
+    return reject("unknown record '" + Word + "'");
+  }
+  return checkArcCount();
+}
+
+size_t ProfileDb::validate(const std::string &ProgramName, const Program &P,
+                           Diagnostics &Diags) {
+  auto It = Graphs.find(ProgramName);
+  if (It == Graphs.end())
+    return 0;
+  CallGraph &G = It->second;
+
+  std::vector<Arc> Kept;
+  size_t Dropped = 0;
+  for (const Arc &A : G.arcs()) {
+    std::string Why;
+    if (A.Site.value() >= P.numCallSites())
+      Why = "site id " + std::to_string(A.Site.value()) + " out of range";
+    else if (A.Caller.value() >= P.numMethods())
+      Why = "caller id " + std::to_string(A.Caller.value()) + " out of range";
+    else if (A.Callee.value() >= P.numMethods())
+      Why = "callee id " + std::to_string(A.Callee.value()) + " out of range";
+    else if (P.callSite(A.Site).Owner != A.Caller)
+      Why = "caller does not own site " + std::to_string(A.Site.value());
+    else if (P.method(A.Callee).Generic != P.callSite(A.Site).Send->Generic)
+      Why = "callee is not a method of site " +
+            std::to_string(A.Site.value()) + "'s generic";
+    if (Why.empty()) {
+      Kept.push_back(A);
+      continue;
+    }
+    ++Dropped;
+    Diags.warning(SourceLoc(), "profile for '" + ProgramName +
+                                   "': dropping arc (" + Why + ")");
+  }
+  if (Dropped) {
+    G.clear();
+    for (const Arc &A : Kept)
+      G.addHits(A.Site, A.Caller, A.Callee, A.Weight);
+  }
+  return Dropped;
+}
+
+bool ProfileDb::saveToFile(const std::string &Path,
+                           Diagnostics &Diags) const {
+  std::ofstream OS(Path);
+  if (!OS) {
+    Diags.error(SourceLoc(), "cannot write profile db '" + Path +
+                                 "': " + std::strerror(errno));
+    return false;
+  }
+  OS << serialize();
+  OS.flush();
+  if (!OS) {
+    Diags.error(SourceLoc(), "error writing profile db '" + Path +
+                                 "': " + std::strerror(errno));
     return false;
   }
   return true;
 }
 
-bool ProfileDb::saveToFile(const std::string &Path) const {
-  std::ofstream OS(Path);
-  if (!OS)
-    return false;
-  OS << serialize();
-  return static_cast<bool>(OS);
-}
-
-bool ProfileDb::loadFromFile(const std::string &Path) {
+bool ProfileDb::loadFromFile(const std::string &Path, Diagnostics &Diags) {
   std::ifstream IS(Path);
-  if (!IS)
+  if (!IS) {
+    Diags.error(SourceLoc(), "cannot read profile db '" + Path +
+                                 "': " + std::strerror(errno));
     return false;
+  }
   std::ostringstream Buf;
   Buf << IS.rdbuf();
-  return deserialize(Buf.str());
+  return deserialize(Buf.str(), Diags);
 }

@@ -17,17 +17,27 @@
 ///   arc <site> <caller> <callee> <weight>
 ///   ...
 ///
+/// Profiles are untrusted input: they may be truncated, corrupted, or
+/// recorded against an older build of the program.  Parsing therefore
+/// reports line-numbered diagnostics instead of a bare bool, and validate()
+/// cross-checks every arc's ids against a resolved Program so stale data
+/// degrades to "no profile" rather than feeding garbage ids into the
+/// specializer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SELSPEC_PROFILE_PROFILEDB_H
 #define SELSPEC_PROFILE_PROFILEDB_H
 
 #include "profile/CallGraph.h"
+#include "support/Diagnostics.h"
 
 #include <map>
 #include <string>
 
 namespace selspec {
+
+class Program;
 
 class ProfileDb {
 public:
@@ -44,12 +54,34 @@ public:
   std::string serialize() const;
 
   /// Parses \p Text, merging into this database.  Returns false (leaving
-  /// partial content merged) on malformed input.
-  bool deserialize(const std::string &Text);
+  /// partial content merged) on malformed input, explaining each rejection
+  /// with the 1-based line number in \p Diags.
+  bool deserialize(const std::string &Text, Diagnostics &Diags);
+  bool deserialize(const std::string &Text) {
+    Diagnostics Ignored;
+    return deserialize(Text, Ignored);
+  }
 
-  /// File convenience wrappers.
-  bool saveToFile(const std::string &Path) const;
-  bool loadFromFile(const std::string &Path);
+  /// Checks every arc of \p ProgramName's graph against \p P: the site and
+  /// method ids must be in range, the caller must own the site, and the
+  /// callee must be a method of the site's generic.  Invalid arcs are
+  /// dropped with a warning; returns the number dropped (0 = profile is
+  /// consistent with this build of the program).
+  size_t validate(const std::string &ProgramName, const Program &P,
+                  Diagnostics &Diags);
+
+  /// File convenience wrappers.  On failure the path and the OS reason
+  /// (errno) land in \p Diags.
+  bool saveToFile(const std::string &Path, Diagnostics &Diags) const;
+  bool loadFromFile(const std::string &Path, Diagnostics &Diags);
+  bool saveToFile(const std::string &Path) const {
+    Diagnostics Ignored;
+    return saveToFile(Path, Ignored);
+  }
+  bool loadFromFile(const std::string &Path) {
+    Diagnostics Ignored;
+    return loadFromFile(Path, Ignored);
+  }
 
   size_t numPrograms() const { return Graphs.size(); }
 

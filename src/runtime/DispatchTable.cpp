@@ -49,10 +49,21 @@ DispatchTable::DispatchTable(const Program &P, GenericId G) : P(P), G(G) {
   }
 
   // Fill the table by dispatching one representative tuple per cell.
+  // Overflow-safe product: a hostile hierarchy can push the cell count
+  // past any bound, in which case the table is skipped and lookups fall
+  // back to search-based dispatch.
   size_t Cells = 1;
-  for (uint32_t GC : GroupCount)
+  for (uint32_t GC : GroupCount) {
+    if (GC != 0 && Cells > MaxCells / GC) {
+      Oversized = true;
+      return;
+    }
     Cells *= GC;
-  assert(Cells < (size_t(1) << 24) && "dispatch table unreasonably large");
+  }
+  if (Cells >= MaxCells) {
+    Oversized = true;
+    return;
+  }
   Table.assign(Cells, MethodId());
 
   std::vector<ClassId> Args(Info.Arity, P.Classes.root());
@@ -69,6 +80,8 @@ DispatchTable::DispatchTable(const Program &P, GenericId G) : P(P), G(G) {
 }
 
 MethodId DispatchTable::lookup(const std::vector<ClassId> &ArgClasses) const {
+  if (Oversized)
+    return P.dispatch(G, ArgClasses);
   size_t Index = 0;
   size_t Stride = 1;
   for (size_t PI = 0; PI != Positions.size(); ++PI) {

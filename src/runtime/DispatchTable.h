@@ -37,6 +37,15 @@ public:
   /// "message not understood"/ambiguous.  Equivalent to P.dispatch().
   MethodId lookup(const std::vector<ClassId> &ArgClasses) const;
 
+  /// False when the compressed table would have exceeded MaxCells and the
+  /// table was not materialized; lookup() then answers through
+  /// Program::dispatch instead of failing.
+  bool materialized() const { return !Oversized; }
+
+  /// Cap on materialized cells (64M entries ≈ 256 MiB); pathological
+  /// hierarchies fall back to search-based dispatch instead of aborting.
+  static constexpr size_t MaxCells = size_t(1) << 24;
+
   /// Compression statistics.
   unsigned numDispatchedPositions() const {
     return static_cast<unsigned>(GroupOf.size());
@@ -59,6 +68,8 @@ private:
   std::vector<uint32_t> GroupCount;
   /// Row-major over group indexes.
   std::vector<MethodId> Table;
+  /// Cell count exceeded MaxCells; Table is empty, lookups re-dispatch.
+  bool Oversized = false;
 };
 
 /// A full set of tables, one per generic, sharing the Program.

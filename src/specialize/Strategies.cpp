@@ -102,7 +102,8 @@ SpecializationPlan selspec::makePlan(Config C, const Program &P,
                                      const ApplicableClassesAnalysis &AC,
                                      const PassThroughAnalysis &PT,
                                      const CallGraph *CG,
-                                     const SelectiveOptions &Options) {
+                                     const SelectiveOptions &Options,
+                                     Diagnostics *Diags) {
   PhaseTimer::Scope Timing("plan");
   SpecializationPlan Plan;
   Plan.Configuration = C;
@@ -126,8 +127,17 @@ SpecializationPlan selspec::makePlan(Config C, const Program &P,
     planCustomizationMM(P, AC, Plan);
     break;
   case Config::Selective: {
-    assert(CG && "Selective requires a profile");
     Plan.UseCHA = true;
+    if (!CG || CG->empty()) {
+      // Missing or invalidated profile: degrade to CHA (general versions)
+      // rather than specializing on garbage or asserting.
+      if (Diags)
+        Diags->warning(SourceLoc(),
+                       "Selective has no usable profile; "
+                       "degrading to CHA (no specialization)");
+      planGeneral(P, AC, Plan);
+      break;
+    }
     SelectiveSpecializer Specializer(P, AC, PT, *CG, Options);
     Specializer.run();
     for (unsigned MI = 0; MI != P.numMethods(); ++MI)

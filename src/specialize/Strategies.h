@@ -24,16 +24,23 @@
 
 #include "specialize/SelectiveSpecializer.h"
 #include "specialize/SpecTuple.h"
+#include "support/Diagnostics.h"
 
 namespace selspec {
 
-/// Builds the plan for \p C.  \p CG may be null except for Selective.
-/// \p Options only affects Selective.
+/// Builds the plan for \p C.  \p Options only affects Selective.
+///
+/// Selective wants a non-empty profile in \p CG; when it is null or empty
+/// (missing, rejected, or invalidated profile data) the plan degrades to
+/// CHA — general versions with class hierarchy analysis — and a warning is
+/// appended to \p Diags when provided.  No configuration asserts on its
+/// inputs.
 SpecializationPlan makePlan(Config C, const Program &P,
                             const ApplicableClassesAnalysis &AC,
                             const PassThroughAnalysis &PT,
                             const CallGraph *CG,
-                            const SelectiveOptions &Options = {});
+                            const SelectiveOptions &Options = {},
+                            Diagnostics *Diags = nullptr);
 
 } // namespace selspec
 

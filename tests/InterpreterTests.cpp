@@ -209,7 +209,7 @@ TEST(Interp, InfiniteLoopGuard) {
   ASSERT_TRUE(P);
   std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
   RunOptions Opts;
-  Opts.MaxNodes = 10000;
+  Opts.Limits.MaxNodes = 10000;
   Interpreter I(*CP, Opts);
   EXPECT_FALSE(I.callMain(0));
   EXPECT_NE(I.errorMessage().find("node budget"), std::string::npos);

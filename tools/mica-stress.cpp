@@ -1,0 +1,171 @@
+//===- tools/mica-stress.cpp - Crash-proofing stress harness ----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random stress harness for the whole pipeline.  Each iteration
+/// generates a random Mica program (sometimes byte-mutated into near-junk),
+/// pushes it through load -> resolve -> profile -> plan -> optimize -> run
+/// under tight resource limits, and sometimes corrupts a serialized profile
+/// and feeds it back through the loader.  The single invariant:
+///
+///   every input yields Diagnostics, a RuntimeTrap, or a normal result —
+///   never a crash, assert, or sanitizer report.
+///
+/// Everything derives deterministically from --seed, so any CI failure is
+/// reproducible from the command line it logged.
+///
+///   mica-stress [--seed S] [--iterations N] [--verbose]
+///
+/// Exits 0 when all iterations complete (whatever mix of outcomes), 2 on
+/// usage errors.  A crash simply never reaches the exit path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "fuzz/Mutator.h"
+#include "fuzz/ProgramGen.h"
+#include "profile/ProfileDb.h"
+
+#include <charconv>
+#include <iostream>
+#include <string>
+
+using namespace selspec;
+
+namespace {
+
+struct Outcomes {
+  unsigned LoadRejects = 0;  ///< lex/parse/resolve diagnostics
+  unsigned ProfileTraps = 0; ///< training run trapped
+  unsigned RunTraps = 0;     ///< measured run trapped
+  unsigned ProfileCorruptRejects = 0; ///< corrupted db rejected by loader
+  unsigned ProfileCorruptAccepts = 0; ///< corrupted db survived load+validate
+  unsigned Completed = 0;    ///< measured run finished normally
+};
+
+[[noreturn]] void usage(const char *Message) {
+  std::cerr << "mica-stress: " << Message << '\n'
+            << "usage: mica-stress [--seed S] [--iterations N] [--verbose]\n";
+  std::exit(2);
+}
+
+uint64_t parseU64(const std::string &Text, const char *Flag) {
+  uint64_t V = 0;
+  auto [Ptr, Ec] = std::from_chars(Text.data(), Text.data() + Text.size(), V);
+  if (Ec != std::errc() || Ptr != Text.data() + Text.size())
+    usage((std::string("invalid integer '") + Text + "' for " + Flag).c_str());
+  return V;
+}
+
+void runIteration(uint64_t IterSeed, bool Verbose, Outcomes &O) {
+  fuzz::Rng R(IterSeed);
+  std::string Src = fuzz::generateProgram(R.next());
+
+  // Three in ten iterations smash the source bytes first: the front end
+  // must survive arbitrary junk, not just generator-shaped programs.
+  unsigned Mode = R.below(10);
+  if (Mode < 3)
+    Src = fuzz::mutateBytes(Src, R, 1 + R.below(8));
+
+  std::string Err;
+  std::unique_ptr<Workbench> W = Workbench::fromSources({Src}, Err, false);
+  if (!W) {
+    if (Verbose)
+      std::cerr << "  load rejected\n";
+    ++O.LoadRejects;
+    return;
+  }
+
+  // Tight limits: generated programs routinely loop or recurse, and the
+  // harness must churn through thousands of them quickly.
+  ResourceLimits Limits;
+  Limits.MaxNodes = 200000;
+  Limits.MaxDepth = 64;
+  Limits.MaxObjects = 20000;
+  W->setLimits(Limits);
+
+  if (!W->collectProfile(2 + R.below(4), Err)) {
+    ++O.ProfileTraps;
+    if (Verbose)
+      std::cerr << "  profile trapped: " << trapKindName(W->lastTrap().Kind)
+                << '\n';
+    // Keep going: Selective must degrade on the empty profile.
+  }
+
+  // One in ten iterations round-trips the collected profile through the
+  // serializer with byte corruption on the way back in.
+  if (Mode == 3) {
+    ProfileDb Db;
+    Db.forProgram("fuzz").merge(W->profile());
+    std::string Text = fuzz::mutateBytes(Db.serialize(), R, 1 + R.below(6));
+    ProfileDb Loaded;
+    Diagnostics Diags;
+    if (Loaded.deserialize(Text, Diags)) {
+      Loaded.validate("fuzz", W->program(), Diags);
+      ++O.ProfileCorruptAccepts;
+    } else {
+      ++O.ProfileCorruptRejects;
+    }
+  }
+
+  static const Config Configs[] = {Config::Base, Config::CHA,
+                                   Config::Selective};
+  Config C = Configs[R.below(3)];
+  std::optional<ConfigResult> CR =
+      W->runConfig(C, 2 + R.below(6), Err, SelectiveOptions{});
+  if (CR) {
+    ++O.Completed;
+    if (Verbose)
+      std::cerr << "  completed under " << configName(C) << '\n';
+  } else {
+    ++O.RunTraps;
+    if (Verbose)
+      std::cerr << "  run trapped under " << configName(C) << ": "
+                << trapKindName(W->lastTrap().Kind) << '\n';
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Seed = 1;
+  uint64_t Iterations = 200;
+  bool Verbose = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextValue = [&]() -> std::string {
+      if (I + 1 >= Argc)
+        usage(("missing value after " + A).c_str());
+      return Argv[++I];
+    };
+    if (A == "--seed")
+      Seed = parseU64(NextValue(), "--seed");
+    else if (A == "--iterations")
+      Iterations = parseU64(NextValue(), "--iterations");
+    else if (A == "--verbose")
+      Verbose = true;
+    else
+      usage(("unknown option " + A).c_str());
+  }
+
+  Outcomes O;
+  fuzz::Rng SeedStream(Seed);
+  for (uint64_t I = 0; I != Iterations; ++I) {
+    uint64_t IterSeed = SeedStream.next();
+    if (Verbose)
+      std::cerr << "-- iter " << I << " seed " << IterSeed << '\n';
+    runIteration(IterSeed, Verbose, O);
+  }
+
+  std::cout << "mica-stress: " << Iterations << " iteration(s), seed " << Seed
+            << "\n  load rejects:        " << O.LoadRejects
+            << "\n  profile traps:       " << O.ProfileTraps
+            << "\n  run traps:           " << O.RunTraps
+            << "\n  corrupt db rejected: " << O.ProfileCorruptRejects
+            << "\n  corrupt db accepted: " << O.ProfileCorruptAccepts
+            << "\n  completed runs:      " << O.Completed << '\n';
+  return 0;
+}

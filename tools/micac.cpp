@@ -27,8 +27,18 @@
 ///   --time-report       print per-phase wall-clock times and the
 ///                       executed-node-kind histogram of the measured run
 ///   --db FILE           profile-database path (profile subcommand) [profile.db]
+///   --profile-db FILE   run: load the training profile from a saved database
+///                       instead of running the training input
 ///   --directives FILE   run: execute a saved directives file instead of
 ///                       planning; plan: where to write the directives
+///   --max-depth N       Mica recursion depth limit                [800]
+///   --max-nodes N       executed-node budget per run              [4e9]
+///   --max-objects N     live heap object-count limit              [16M]
+///
+/// Exit codes: 0 success; 1 load/compile diagnostics; 2 usage errors;
+/// 10-17 runtime traps (type error, dispatch failure, bounds, ...);
+/// 20-22 resource limits (node budget, recursion depth, heap);
+/// 70 internal errors.  See trapExitCode() in interp/RuntimeTrap.h.
 ///
 /// File arguments are looked up in the working directory first, then in
 /// the repository's mica/ directory.
@@ -36,6 +46,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "interp/RuntimeTrap.h"
 #include "lang/AstPrinter.h"
 #include "driver/Report.h"
 #include "profile/ProfileDb.h"
@@ -43,6 +54,7 @@
 #include "support/PhaseTimer.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -64,18 +76,31 @@ struct CliOptions {
   bool Stats = false;
   bool TimeReport = false;
   std::string DbPath = "profile.db";
+  std::string ProfileDbPath;
   std::string DirectivesPath;
+  ResourceLimits Limits;
 };
 
 [[noreturn]] void usage(const char *Message = nullptr) {
   if (Message)
     std::cerr << "micac: " << Message << "\n\n";
   std::cerr <<
-      "usage: micac <check|run|report|profile> <files...> [options]\n"
+      "usage: micac <check|run|report|profile|plan|dump> <files...> [options]\n"
       "  --input N  --profile-input N  --config NAME  --threshold T\n"
       "  --no-cascade  --no-stdlib  --feedback  --return-classes\n"
-      "  --stats  --time-report  --db FILE\n";
+      "  --stats  --time-report  --db FILE  --profile-db FILE\n"
+      "  --max-depth N  --max-nodes N  --max-objects N\n";
   std::exit(2);
+}
+
+/// Parses a full decimal integer or exits with a usage error — CLI input
+/// must never throw (std::stoll does on junk or overflow).
+template <typename T> T parseIntArg(const std::string &Text, const char *Flag) {
+  T V{};
+  auto [Ptr, Ec] = std::from_chars(Text.data(), Text.data() + Text.size(), V);
+  if (Ec != std::errc() || Ptr != Text.data() + Text.size())
+    usage((std::string("invalid integer '") + Text + "' for " + Flag).c_str());
+  return V;
 }
 
 bool parseConfig(const std::string &Name, Config &Out) {
@@ -101,14 +126,29 @@ CliOptions parseArgs(int Argc, char **Argv) {
       return Argv[++I];
     };
     if (A == "--input")
-      O.Input = std::stoll(NextValue());
+      O.Input = parseIntArg<int64_t>(NextValue(), "--input");
     else if (A == "--profile-input")
-      O.ProfileInput = std::stoll(NextValue());
+      O.ProfileInput = parseIntArg<int64_t>(NextValue(), "--profile-input");
     else if (A == "--config") {
       if (!parseConfig(NextValue(), O.Configuration))
         usage("unknown --config value");
     } else if (A == "--threshold")
-      O.Sel.SpecializationThreshold = std::stoull(NextValue());
+      O.Sel.SpecializationThreshold =
+          parseIntArg<uint64_t>(NextValue(), "--threshold");
+    else if (A == "--max-depth") {
+      O.Limits.MaxDepth = parseIntArg<uint32_t>(NextValue(), "--max-depth");
+      if (O.Limits.MaxDepth == 0)
+        usage("--max-depth must be at least 1");
+    } else if (A == "--max-nodes") {
+      O.Limits.MaxNodes = parseIntArg<uint64_t>(NextValue(), "--max-nodes");
+      if (O.Limits.MaxNodes == 0)
+        usage("--max-nodes must be at least 1");
+    } else if (A == "--max-objects") {
+      O.Limits.MaxObjects = parseIntArg<uint64_t>(NextValue(), "--max-objects");
+      if (O.Limits.MaxObjects == 0)
+        usage("--max-objects must be at least 1");
+    } else if (A == "--profile-db")
+      O.ProfileDbPath = NextValue();
     else if (A == "--no-cascade")
       O.Sel.CascadeSpecializations = false;
     else if (A == "--no-stdlib")
@@ -165,7 +205,23 @@ std::unique_ptr<Workbench> load(const CliOptions &O) {
     std::cerr << Err;
     std::exit(1);
   }
+  W->setLimits(O.Limits);
   return W;
+}
+
+/// Renders accumulated pipeline warnings (e.g. Selective degrading to CHA)
+/// to stderr and clears them.
+void flushDiags(Workbench &W) {
+  std::string Text = W.diagnostics().toString();
+  if (!Text.empty())
+    std::cerr << Text;
+  W.diagnostics().clear();
+}
+
+/// Exit code for a failed run: the trap-specific code when the failure was
+/// a runtime trap, 1 otherwise (load/compile diagnostics).
+int failureExit(const RuntimeTrap &T) {
+  return T.isTrap() ? trapExitCode(T.Kind) : 1;
 }
 
 void printStats(const ConfigResult &R) {
@@ -242,27 +298,42 @@ int cmdRun(const CliOptions &O) {
     std::ostringstream Out;
     RunOptions RO;
     RO.Output = &Out;
+    RO.Limits = O.Limits;
     Interpreter I(*CP, RO);
     if (!I.callMain(O.Input)) {
       std::cerr << "micac: " << I.errorMessage() << '\n';
-      return 1;
+      return failureExit(I.trap());
     }
     std::cout << Out.str();
     return 0;
   }
 
-  if (O.Configuration == Config::Selective ||
-      O.Opt.EnableTypeFeedback) {
+  // The training profile comes from a saved database when --profile-db is
+  // given, otherwise from an instrumented run of the training input.
+  if (!O.ProfileDbPath.empty()) {
+    Diagnostics ProfileDiags;
+    bool Ok = W->loadProfileDb(O.ProfileDbPath, O.Files.front(), ProfileDiags);
+    std::string Text = ProfileDiags.toString();
+    if (!Text.empty())
+      std::cerr << Text;
+    if (!Ok) {
+      std::cerr << "micac: cannot load profile database '" << O.ProfileDbPath
+                << "'\n";
+      return 1;
+    }
+  } else if (O.Configuration == Config::Selective ||
+             O.Opt.EnableTypeFeedback) {
     if (!W->collectProfile(O.ProfileInput, Err)) {
       std::cerr << "micac: " << Err << '\n';
-      return 1;
+      return failureExit(W->lastTrap());
     }
   }
   std::optional<ConfigResult> R =
       W->runConfig(O.Configuration, O.Input, Err, O.Sel, O.Opt);
+  flushDiags(*W);
   if (!R) {
     std::cerr << "micac: " << Err << '\n';
-    return 1;
+    return failureExit(W->lastTrap());
   }
   std::cout << R->Output;
   if (O.Stats)
@@ -281,11 +352,12 @@ int cmdDump(const CliOptions &O) {
       O.Opt.EnableTypeFeedback) {
     if (!W->collectProfile(O.ProfileInput, Err)) {
       std::cerr << "micac: " << Err << '\n';
-      return 1;
+      return failureExit(W->lastTrap());
     }
   }
   std::unique_ptr<CompiledProgram> CP =
       W->compileOnly(O.Configuration, O.Sel, O.Opt);
+  flushDiags(*W);
   const Program &P = W->program();
   for (const CompiledMethod &CM : CP->versions()) {
     if (!CM.Body)
@@ -303,11 +375,15 @@ int cmdPlan(const CliOptions &O) {
   std::string Err;
   if (!W->collectProfile(O.ProfileInput, Err)) {
     std::cerr << "micac: " << Err << '\n';
-    return 1;
+    return failureExit(W->lastTrap());
   }
+  Diagnostics PlanDiags;
   SpecializationPlan Plan =
       makePlan(O.Configuration, W->program(), W->applicableClasses(),
-               W->passThrough(), &W->profile(), O.Sel);
+               W->passThrough(), &W->profile(), O.Sel, &PlanDiags);
+  std::string DiagText = PlanDiags.toString();
+  if (!DiagText.empty())
+    std::cerr << DiagText;
   std::string Text = serializeDirectives(Plan, W->program());
   if (O.DirectivesPath.empty()) {
     std::cout << Text;
@@ -330,7 +406,7 @@ int cmdReport(const CliOptions &O) {
   std::string Err;
   if (!W->collectProfile(O.ProfileInput, Err)) {
     std::cerr << "micac: " << Err << '\n';
-    return 1;
+    return failureExit(W->lastTrap());
   }
   TextTable T({"Config", "Dispatches", "Cycles", "Speedup", "Routines",
                "Invoked"});
@@ -339,9 +415,10 @@ int cmdReport(const CliOptions &O) {
                    Config::Selective}) {
     std::optional<ConfigResult> R =
         W->runConfig(C, O.Input, Err, O.Sel, O.Opt);
+    flushDiags(*W);
     if (!R) {
       std::cerr << "micac: " << Err << '\n';
-      return 1;
+      return failureExit(W->lastTrap());
     }
     if (C == Config::Base)
       BaseCycles = R->Run.Cycles;
@@ -363,12 +440,13 @@ int cmdProfile(const CliOptions &O) {
   std::string Err;
   if (!W->collectProfile(O.ProfileInput, Err)) {
     std::cerr << "micac: " << Err << '\n';
-    return 1;
+    return failureExit(W->lastTrap());
   }
   ProfileDb Db;
   Db.forProgram(O.Files.front()).merge(W->profile());
-  if (!Db.saveToFile(O.DbPath)) {
-    std::cerr << "micac: cannot write '" << O.DbPath << "'\n";
+  Diagnostics SaveDiags;
+  if (!Db.saveToFile(O.DbPath, SaveDiags)) {
+    std::cerr << SaveDiags.toString();
     return 1;
   }
   std::cout << "wrote " << W->profile().numArcs() << " arcs (total weight "

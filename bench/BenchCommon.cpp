@@ -27,20 +27,54 @@ const std::vector<BenchProgram> &selspec::bench::table2Suite() {
   return Suite;
 }
 
+namespace {
+
+/// Refusal helper: a trapped phase aborts the bench with the trap's kind
+/// name and faulting location, exiting with the trap's own code so a
+/// harness can tell a deadline (23) from a dispatch failure (11) from a
+/// plain diagnostic (1).
+[[noreturn]] void refuse(const std::string &Name, const char *What,
+                         const RuntimeTrap &T, const std::string &Err) {
+  std::cerr << "error: " << What << ' ' << Name << ": " << Err << '\n';
+  if (T.isTrap()) {
+    std::cerr << "error: trap " << trapKindName(T.Kind);
+    if (T.Loc.isValid())
+      std::cerr << " at line " << T.Loc.Line << ", col " << T.Loc.Col;
+    std::cerr << " (exit " << trapExitCode(T.Kind) << ")\n";
+  }
+  std::exit(T.isTrap() ? trapExitCode(T.Kind) : 1);
+}
+
+} // namespace
+
 SuiteResult selspec::bench::runSuiteProgram(const BenchProgram &Program,
                                             const std::vector<Config> &Configs,
                                             const SelectiveOptions &Sel) {
+  // SELSPEC_BENCH_DEADLINE_MS bounds each bench program end to end —
+  // profiling plus every measured config — so a wedged bench in CI dies
+  // with a structured exit 23 instead of a job timeout.
+  CancelToken Tok;
+  const CancelToken *Cancel = nullptr;
+  if (const char *Env = std::getenv("SELSPEC_BENCH_DEADLINE_MS")) {
+    int64_t Ms = std::atoll(Env);
+    if (Ms > 0) {
+      Tok.setDeadline(Deadline::afterMillis(Ms));
+      Cancel = &Tok;
+    }
+  }
+
   std::string Err;
-  std::unique_ptr<Workbench> W = Workbench::fromFiles(Program.Files, Err);
+  std::unique_ptr<Workbench> W =
+      Workbench::fromFiles(Program.Files, Err, /*WithStdlib=*/true, Cancel);
   if (!W) {
     std::cerr << "error: cannot load " << Program.Name << ": " << Err
               << '\n';
-    std::exit(1);
+    std::exit(Cancel && Cancel->stopRequested()
+                  ? trapExitCode(TrapKind::DeadlineExceeded)
+                  : 1);
   }
-  if (!W->collectProfile(Program.TrainInput, Err)) {
-    std::cerr << "error: profiling " << Program.Name << ": " << Err << '\n';
-    std::exit(1);
-  }
+  if (!W->collectProfile(Program.TrainInput, Err))
+    refuse(Program.Name, "profiling", W->lastTrap(), Err);
 
   SuiteResult R;
   R.Program = Program;
@@ -49,11 +83,9 @@ SuiteResult selspec::bench::runSuiteProgram(const BenchProgram &Program,
   for (Config C : Configs) {
     std::optional<ConfigResult> CR =
         W->runConfig(C, Program.TestInput, Err, Sel);
-    if (!CR) {
-      std::cerr << "error: running " << Program.Name << " under "
-                << configName(C) << ": " << Err << '\n';
-      std::exit(1);
-    }
+    if (!CR)
+      refuse(Program.Name, "running", W->lastTrap(),
+             std::string("under ") + configName(C) + ": " + Err);
     // Cross-check: every configuration must compute the same answer.
     if (BaseOutput.empty())
       BaseOutput = CR->Output;
@@ -79,8 +111,8 @@ bool selspec::bench::writeBenchJson(const SuiteResult &R) {
                 << configName(CR.Configuration) << " trapped ("
                 << trapKindName(CR.Trap)
                 << "); refusing to write BENCH_" << R.Program.Name
-                << ".json\n";
-      std::exit(1);
+                << ".json (exit " << trapExitCode(CR.Trap) << ")\n";
+      std::exit(trapExitCode(CR.Trap));
     }
   }
   std::string Path = "BENCH_" + R.Program.Name + ".json";

@@ -7,6 +7,7 @@
 #include "driver/Pipeline.h"
 
 #include "profile/ProfileDb.h"
+#include "support/FailPoint.h"
 #include "support/PhaseTimer.h"
 
 #include <chrono>
@@ -32,6 +33,24 @@ Workbench::readMicaFile(const std::string &Name) {
   return Buf.str();
 }
 
+bool Workbench::phaseGate(const char *FailpointName, const char *Phase,
+                          std::string &ErrorOut) {
+  if (failpoint::anyArmed() && failpoint::triggered(FailpointName)) {
+    ErrorOut = failpoint::failureMessage(FailpointName);
+    LastTrap.reset();
+    Diags.error(SourceLoc(), ErrorOut);
+    return false;
+  }
+  if (Cancel && Cancel->stopRequested()) {
+    LastTrap.reset();
+    LastTrap.Kind = TrapKind::DeadlineExceeded;
+    LastTrap.Message = Cancel->reason() + " (before " + Phase + ")";
+    ErrorOut = LastTrap.Message;
+    return false;
+  }
+  return true;
+}
+
 bool Workbench::init(const std::vector<std::string> &Sources,
                      std::string &ErrorOut) {
   P = std::make_unique<Program>();
@@ -48,6 +67,8 @@ bool Workbench::init(const std::vector<std::string> &Sources,
       }
     }
   }
+  if (!phaseGate("pipeline.parse", "resolve", ErrorOut))
+    return false;
   {
     PhaseTimer::Scope Timing("resolve");
     if (!P->resolve(Diags)) {
@@ -55,17 +76,22 @@ bool Workbench::init(const std::vector<std::string> &Sources,
       return false;
     }
   }
+  if (!phaseGate("pipeline.resolve", "cha", ErrorOut))
+    return false;
   {
     PhaseTimer::Scope Timing("cha");
     AC = std::make_unique<ApplicableClassesAnalysis>(*P);
     PT = std::make_unique<PassThroughAnalysis>(*P);
   }
+  if (!phaseGate("pipeline.cha", "planning", ErrorOut))
+    return false;
   return true;
 }
 
 std::unique_ptr<Workbench>
 Workbench::fromSources(const std::vector<std::string> &Sources,
-                       std::string &ErrorOut, bool WithStdlib) {
+                       std::string &ErrorOut, bool WithStdlib,
+                       const CancelToken *Cancel) {
   std::vector<std::string> All;
   if (WithStdlib) {
     std::optional<std::string> Stdlib = readMicaFile("stdlib.mica");
@@ -79,6 +105,7 @@ Workbench::fromSources(const std::vector<std::string> &Sources,
     All.push_back(S);
 
   auto W = std::unique_ptr<Workbench>(new Workbench());
+  W->Cancel = Cancel;
   if (!W->init(All, ErrorOut))
     return nullptr;
   return W;
@@ -86,7 +113,8 @@ Workbench::fromSources(const std::vector<std::string> &Sources,
 
 std::unique_ptr<Workbench>
 Workbench::fromFiles(const std::vector<std::string> &Files,
-                     std::string &ErrorOut, bool WithStdlib) {
+                     std::string &ErrorOut, bool WithStdlib,
+                     const CancelToken *Cancel) {
   std::vector<std::string> Sources;
   for (const std::string &F : Files) {
     std::optional<std::string> Src = readMicaFile(F);
@@ -96,7 +124,7 @@ Workbench::fromFiles(const std::vector<std::string> &Files,
     }
     Sources.push_back(std::move(*Src));
   }
-  return fromSources(Sources, ErrorOut, WithStdlib);
+  return fromSources(Sources, ErrorOut, WithStdlib, Cancel);
 }
 
 bool Workbench::loadProfileDb(const std::string &Path, const std::string &Key,
@@ -119,9 +147,17 @@ bool Workbench::collectProfile(int64_t Input, std::string &ErrorOut) {
   // Profiles are gathered from the Base-compiled ("instrumented")
   // executable, with arcs recorded at statically-bound sites too.
   std::unique_ptr<CompiledProgram> CP = compileOnly(Config::Base);
+  if (!CP) {
+    ErrorOut = LastTrap.Kind != TrapKind::None ? LastTrap.Message
+                                               : Diags.toString();
+    return false;
+  }
+  if (!phaseGate("pipeline.profile-run", "profile run", ErrorOut))
+    return false;
   RunOptions Opts;
   Opts.Profile = &Profile;
   Opts.Limits = Limits;
+  Opts.Cancel = Cancel;
   Interpreter I(*CP, Opts);
   PhaseTimer::Scope Timing("profile");
   if (!I.callMain(Input)) {
@@ -136,9 +172,14 @@ bool Workbench::collectProfile(int64_t Input, std::string &ErrorOut) {
 std::unique_ptr<CompiledProgram>
 Workbench::compileOnly(Config C, const SelectiveOptions &Sel,
                        const OptimizerOptions &OptOpts) {
+  std::string GateError;
+  if (!phaseGate("pipeline.plan", "planning", GateError))
+    return nullptr;
   SpecializationPlan Plan =
       makePlan(C, *P, *AC, *PT, Profile.empty() ? nullptr : &Profile, Sel,
                &Diags);
+  if (!phaseGate("pipeline.optimize", "optimization", GateError))
+    return nullptr;
   Optimizer Opt(*P, *AC, OptOpts, Profile.empty() ? nullptr : &Profile);
   return Opt.compile(Plan);
 }
@@ -148,6 +189,8 @@ Workbench::runConfig(Config C, int64_t Input, std::string &ErrorOut,
                      const SelectiveOptions &Sel,
                      const OptimizerOptions &OptOpts,
                      const CostModel &Costs) {
+  if (!phaseGate("pipeline.plan", "planning", ErrorOut))
+    return std::nullopt;
   SpecializationPlan Plan =
       makePlan(C, *P, *AC, *PT, Profile.empty() ? nullptr : &Profile, Sel,
                &Diags);
@@ -161,16 +204,23 @@ Workbench::runConfig(Config C, int64_t Input, std::string &ErrorOut,
     R.Specializer = Specializer.stats();
   }
 
+  if (!phaseGate("pipeline.optimize", "optimization", ErrorOut))
+    return std::nullopt;
   Optimizer Opt(*P, *AC, OptOpts, Profile.empty() ? nullptr : &Profile);
   std::unique_ptr<CompiledProgram> CP = Opt.compile(Plan);
   R.Opt = Opt.stats();
   R.CompiledRoutines = CP->numCompiledRoutines();
   R.CodeSize = CP->totalCodeSize();
 
+  if (!phaseGate("pipeline.measured-run", "measured run", ErrorOut)) {
+    R.Trap = LastTrap.Kind;
+    return std::nullopt;
+  }
   std::ostringstream Output;
   RunOptions Opts;
   Opts.Output = &Output;
   Opts.Limits = Limits;
+  Opts.Cancel = Cancel;
   Interpreter I(*CP, Opts, Costs);
   bool Ok;
   {

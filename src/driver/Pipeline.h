@@ -24,6 +24,7 @@
 #include "opt/Optimizer.h"
 #include "profile/CallGraph.h"
 #include "specialize/Strategies.h"
+#include "support/Deadline.h"
 #include "support/Diagnostics.h"
 
 #include <memory>
@@ -64,12 +65,12 @@ public:
   /// failure.
   static std::unique_ptr<Workbench>
   fromFiles(const std::vector<std::string> &Files, std::string &ErrorOut,
-            bool WithStdlib = true);
+            bool WithStdlib = true, const CancelToken *Cancel = nullptr);
 
   /// Same, from in-memory sources (tests, examples).
   static std::unique_ptr<Workbench>
   fromSources(const std::vector<std::string> &Sources, std::string &ErrorOut,
-              bool WithStdlib = false);
+              bool WithStdlib = false, const CancelToken *Cancel = nullptr);
 
   /// Runs the Base-compiled program on `main(Input)` collecting the
   /// weighted call graph.  May be called several times (profiles merge).
@@ -83,6 +84,8 @@ public:
             const CostModel &Costs = {});
 
   /// Compiles under \p C without running (plan/code-space studies).
+  /// Null when a phase gate stopped compilation (armed failpoint or an
+  /// expired deadline) — the reason is in diagnostics()/lastTrap().
   std::unique_ptr<CompiledProgram>
   compileOnly(Config C, const SelectiveOptions &Sel = {},
               const OptimizerOptions &OptOpts = {});
@@ -99,6 +102,13 @@ public:
   /// Resource guards applied to every profile and measured run.
   void setLimits(const ResourceLimits &L) { Limits = L; }
   const ResourceLimits &limits() const { return Limits; }
+
+  /// Cooperative stop signal checked at every phase boundary and polled
+  /// inside the interpreter; an expired deadline fails the current phase
+  /// with TrapKind::DeadlineExceeded instead of wedging the process.
+  /// The token must outlive the workbench's use of it.
+  void setCancelToken(const CancelToken *T) { Cancel = T; }
+  const CancelToken *cancelToken() const { return Cancel; }
 
   /// Structured failure of the most recent failed run (profile or
   /// measured); Kind == None when the last run succeeded.
@@ -124,12 +134,18 @@ public:
 private:
   Workbench() = default;
   bool init(const std::vector<std::string> &Sources, std::string &ErrorOut);
+  /// Phase-boundary gate: fails with a Diagnostic when the named
+  /// failpoint is armed, or with a DeadlineExceeded LastTrap when the
+  /// cancel token asks to stop before \p Phase begins.
+  bool phaseGate(const char *FailpointName, const char *Phase,
+                 std::string &ErrorOut);
 
   std::unique_ptr<Program> P;
   std::unique_ptr<ApplicableClassesAnalysis> AC;
   std::unique_ptr<PassThroughAnalysis> PT;
   CallGraph Profile;
   ResourceLimits Limits;
+  const CancelToken *Cancel = nullptr;
   RuntimeTrap LastTrap;
   Diagnostics Diags;
   unsigned SourceLines = 0;

@@ -6,6 +6,8 @@
 
 #include "interp/Interpreter.h"
 
+#include "support/FailPoint.h"
+
 #include <ostream>
 #include <sstream>
 
@@ -165,11 +167,28 @@ Value Interpreter::failHeapLimit(Control &C, SourceLoc Loc) {
                   std::to_string(Opts.Limits.MaxObjects) + " objects");
 }
 
+Value Interpreter::failDeadline(Control &C, SourceLoc Loc) {
+  return fail(C, TrapKind::DeadlineExceeded, Loc,
+              Opts.Cancel ? Opts.Cancel->reason() : "execution cancelled");
+}
+
+Value Interpreter::failInjected(Control &C, SourceLoc Loc, const char *Name) {
+  return fail(C, TrapKind::InternalError, Loc,
+              failpoint::failureMessage(Name));
+}
+
 bool Interpreter::chargeNode(const Expr *E, Control &C) {
   ++Stats.NodesEvaluated;
   Stats.Cycles += Costs.NodeCost;
   if (Stats.NodesEvaluated > Opts.Limits.MaxNodes) {
     failNodeBudget(C, E->getLoc());
+    return false;
+  }
+  // Sampled cooperative-cancellation poll: the clock is only read every
+  // DeadlineCheckMask + 1 nodes, so unarmed runs pay one masked compare.
+  if ((Stats.NodesEvaluated & DeadlineCheckMask) == 0 && Opts.Cancel &&
+      Opts.Cancel->stopRequested()) {
+    failDeadline(C, E->getLoc());
     return false;
   }
   return true;
@@ -346,6 +365,8 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
       return failDepth(C, E->getLoc());
     if (nativeStackLow())
       return failNativeStack(C, E->getLoc());
+    if (failpoint::anyArmed() && failpoint::triggered("interp.frame-acquire"))
+      return failInjected(C, E->getLoc(), "interp.frame-acquire");
 
     ++Stats.ClosureCalls;
     Stats.Cycles += Costs.ClosureCallCost;
@@ -517,6 +538,8 @@ Value Interpreter::invokeVersion(CompiledMethod &CM, size_t ArgsBase,
     return failDepth(C, CallLoc);
   if (nativeStackLow())
     return failNativeStack(C, CallLoc);
+  if (failpoint::anyArmed() && failpoint::triggered("interp.frame-acquire"))
+    return failInjected(C, CallLoc, "interp.frame-acquire");
 
   ++Stats.MethodInvocations;
   uint64_t Activation = NextActivation++;
@@ -863,6 +886,12 @@ Value Interpreter::callGeneric(const std::string &Name,
   // see nativeStackLow().
   char StackProbe;
   StackBase = reinterpret_cast<uintptr_t>(&StackProbe);
+  // A deadline that expired before entry fails immediately rather than
+  // waiting for the first sampled chargeNode poll.
+  if (Opts.Cancel && Opts.Cancel->stopRequested()) {
+    failTop(TrapKind::DeadlineExceeded, Opts.Cancel->reason());
+    return Value::nil();
+  }
   Symbol S = P.Syms.find(Name);
   GenericId G = S.isValid()
                     ? P.lookupGeneric(S, static_cast<unsigned>(Args.size()))

@@ -31,6 +31,7 @@
 #include "runtime/Frame.h"
 #include "runtime/Heap.h"
 #include "runtime/Value.h"
+#include "support/Deadline.h"
 
 #include <array>
 #include <cstdint>
@@ -79,6 +80,11 @@ struct RunOptions {
   ResourceLimits Limits;
   /// Destination of `print`; null discards output.
   std::ostream *Output = nullptr;
+  /// Cooperative stop signal (deadline and/or external cancel); polled
+  /// every DeadlineCheckInterval evaluated nodes, trapping
+  /// DeadlineExceeded.  Null disables the checks beyond one predictable
+  /// branch per node.
+  const CancelToken *Cancel = nullptr;
 };
 
 class Interpreter {
@@ -165,6 +171,17 @@ private:
                                                         SourceLoc Loc);
   [[gnu::cold]] [[gnu::noinline]] Value failHeapLimit(Control &C,
                                                       SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failDeadline(Control &C,
+                                                     SourceLoc Loc);
+  /// An armed failpoint fired at \p Name (an injected internal fault).
+  [[gnu::cold]] [[gnu::noinline]] Value failInjected(Control &C, SourceLoc Loc,
+                                                     const char *Name);
+
+  /// How often chargeNode polls RunOptions::Cancel: every
+  /// (DeadlineCheckMask + 1) evaluated nodes.  8192 keeps the steady-state
+  /// cost to one masked compare per node while bounding deadline overshoot
+  /// to microseconds of interpreter work.
+  static constexpr uint64_t DeadlineCheckMask = 8191;
 
   /// True when the native C++ stack consumed below the entry point
   /// exceeds StackBudget.  Backstop for MaxDepth: sanitizer and debug

@@ -36,6 +36,8 @@ const char *selspec::trapKindName(TrapKind K) {
     return "recursion-limit-exceeded";
   case TrapKind::HeapLimitExceeded:
     return "heap-limit-exceeded";
+  case TrapKind::DeadlineExceeded:
+    return "deadline-exceeded";
   case TrapKind::BindingViolation:
     return "binding-violation";
   case TrapKind::InternalError:
@@ -70,11 +72,32 @@ int selspec::trapExitCode(TrapKind K) {
     return 21;
   case TrapKind::HeapLimitExceeded:
     return 22;
+  case TrapKind::DeadlineExceeded:
+    return 23;
   case TrapKind::BindingViolation:
   case TrapKind::InternalError:
     return 70;
   }
   return 70;
+}
+
+TrapKind selspec::trapKindForExitCode(int ExitCode) {
+  switch (ExitCode) {
+  case 10: return TrapKind::TypeError;
+  case 11: return TrapKind::NoApplicableMethod;
+  case 12: return TrapKind::AmbiguousDispatch;
+  case 13: return TrapKind::IndexOutOfBounds;
+  case 14: return TrapKind::DivisionByZero;
+  case 15: return TrapKind::UndefinedSlot;
+  case 16: return TrapKind::ArityMismatch;
+  case 17: return TrapKind::UserAbort;
+  case 20: return TrapKind::NodeBudgetExceeded;
+  case 21: return TrapKind::RecursionLimitExceeded;
+  case 22: return TrapKind::HeapLimitExceeded;
+  case 23: return TrapKind::DeadlineExceeded;
+  case 70: return TrapKind::InternalError;
+  default: return TrapKind::None;
+  }
 }
 
 std::string RuntimeTrap::render() const {

@@ -63,6 +63,9 @@ enum class TrapKind : uint8_t {
   RecursionLimitExceeded,
   /// ResourceLimits::MaxObjects live heap objects exceeded (OOM guard).
   HeapLimitExceeded,
+  /// The run's CancelToken deadline expired or a cancel was requested
+  /// (RunOptions::Cancel; the long-running-service guard).
+  DeadlineExceeded,
   /// A statically-bound site disagreed with real dispatch (only under
   /// RunOptions::ValidateBindings; always a compiler bug).
   BindingViolation,
@@ -74,8 +77,14 @@ enum class TrapKind : uint8_t {
 const char *trapKindName(TrapKind K);
 
 /// Process exit code micac uses for \p K.  Program errors map to 10..19,
-/// resource guards to 20..29, violations to 70.  None maps to 0.
+/// resource guards (including deadlines) to 20..29, violations to 70.
+/// None maps to 0.
 int trapExitCode(TrapKind K);
+
+/// Inverse of trapExitCode: the kind a worker exit code denotes, or None
+/// for codes that are not trap codes (0, 1, 2, ...).  Supervisors (micad)
+/// use this to classify reaped workers; 70 maps to InternalError.
+TrapKind trapKindForExitCode(int ExitCode);
 
 /// Configurable resource guards of one execution.  All three are enforced
 /// on cold paths (allocation, activation entry, the per-node budget

@@ -7,18 +7,47 @@
 #include "profile/ProfileDb.h"
 
 #include "hierarchy/Program.h"
+#include "support/FailPoint.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 using namespace selspec;
 
-std::string ProfileDb::serialize() const {
+namespace {
+
+/// FNV-1a 64-bit; the on-disk checksum of the record body.  Not
+/// cryptographic — it only needs to catch torn writes and bit rot.
+uint64_t fnv1a64(const std::string &Bytes) {
+  uint64_t H = UINT64_C(1469598103934665603);
+  for (unsigned char Ch : Bytes) {
+    H ^= Ch;
+    H *= UINT64_C(1099511628211);
+  }
+  return H;
+}
+
+std::string toHex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+} // namespace
+
+/// The record body shared by both format versions (everything after the
+/// header line).
+static std::string serializeBody(const std::map<std::string, CallGraph> &Gs) {
   std::ostringstream OS;
-  OS << "selspec-profile v1\n";
-  for (const auto &[Name, Graph] : Graphs) {
+  for (const auto &[Name, Graph] : Gs) {
     std::vector<Arc> Arcs = Graph.arcs();
     OS << "program " << Name << ' ' << Arcs.size() << '\n';
     for (const Arc &A : Arcs)
@@ -26,6 +55,10 @@ std::string ProfileDb::serialize() const {
          << A.Callee.value() << ' ' << A.Weight << '\n';
   }
   return OS.str();
+}
+
+std::string ProfileDb::serialize() const {
+  return "selspec-profile v1\n" + serializeBody(Graphs);
 }
 
 namespace {
@@ -63,12 +96,43 @@ bool ProfileDb::deserialize(const std::string &Text, Diagnostics &Diags) {
 
   if (!std::getline(IS, Line)) {
     LineNo = 1;
-    return reject("empty input, expected 'selspec-profile v1' header");
+    return reject("empty input, expected 'selspec-profile v1' or "
+                  "'selspec-profile v2' header");
   }
   ++LineNo;
-  if (Line != "selspec-profile v1")
-    return reject("bad header '" + Line +
-                  "', expected 'selspec-profile v1'");
+  if (Line != "selspec-profile v1") {
+    // v2: "selspec-profile v2 gen <N> sum <16-hex>", checksummed body.
+    std::istringstream HS(Line);
+    std::string Magic, Ver, GenWord, GenTok, SumWord, SumTok, Extra;
+    if (!(HS >> Magic >> Ver >> GenWord >> GenTok >> SumWord >> SumTok) ||
+        Magic != "selspec-profile" || Ver != "v2" || GenWord != "gen" ||
+        SumWord != "sum" || (HS >> Extra))
+      return reject("bad header '" + Line + "', expected 'selspec-profile "
+                    "v1' or 'selspec-profile v2 gen <N> sum <hex>'");
+    uint64_t Gen = 0;
+    if (!parseUInt(GenTok, UINT64_MAX, Gen))
+      return reject("bad generation '" + GenTok + "' in v2 header");
+    uint64_t Sum = 0;
+    if (SumTok.size() != 16)
+      return reject("bad checksum '" + SumTok + "' in v2 header");
+    for (char Ch : SumTok) {
+      int Digit = Ch >= '0' && Ch <= '9'   ? Ch - '0'
+                  : Ch >= 'a' && Ch <= 'f' ? Ch - 'a' + 10
+                                           : -1;
+      if (Digit < 0)
+        return reject("bad checksum '" + SumTok + "' in v2 header");
+      Sum = (Sum << 4) | static_cast<uint64_t>(Digit);
+    }
+    if (failpoint::anyArmed() && failpoint::triggered("profiledb.load.header"))
+      return reject(failpoint::failureMessage("profiledb.load.header"));
+    size_t BodyStart = Text.find('\n');
+    std::string Body =
+        BodyStart == std::string::npos ? "" : Text.substr(BodyStart + 1);
+    if (fnv1a64(Body) != Sum)
+      return reject("checksum mismatch (torn or corrupted file)");
+    if (Gen > Generation)
+      Generation = Gen;
+  }
 
   CallGraph *Current = nullptr;
   size_t DeclaredArcs = 0, SeenArcs = 0;
@@ -166,25 +230,105 @@ size_t ProfileDb::validate(const std::string &ProgramName, const Program &P,
   return Dropped;
 }
 
+/// Generation recorded in the v2 header of \p Path; 0 for v1, missing, or
+/// unreadable files (the next save then writes generation 1).
+static uint64_t peekGeneration(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return 0;
+  std::string Line;
+  if (!std::getline(IS, Line))
+    return 0;
+  std::istringstream HS(Line);
+  std::string Magic, Ver, GenWord, GenTok;
+  if (!(HS >> Magic >> Ver >> GenWord >> GenTok) ||
+      Magic != "selspec-profile" || Ver != "v2" || GenWord != "gen")
+    return 0;
+  uint64_t Gen = 0;
+  if (!parseUInt(GenTok, UINT64_MAX, Gen))
+    return 0;
+  return Gen;
+}
+
 bool ProfileDb::saveToFile(const std::string &Path,
                            Diagnostics &Diags) const {
-  std::ofstream OS(Path);
-  if (!OS) {
-    Diags.error(SourceLoc(), "cannot write profile db '" + Path +
+  // Crash-safe sequence: temp write -> fsync -> rotate old -> rename.
+  // Each failpoint returns immediately, leaving exactly the disk state a
+  // crash at that step would leave (the torn-write tests depend on it).
+  auto stepFailed = [&](const char *Step) {
+    if (failpoint::anyArmed() && failpoint::triggered(Step)) {
+      Diags.error(SourceLoc(), failpoint::failureMessage(Step) +
+                                   " while saving profile db '" + Path + "'");
+      return true;
+    }
+    return false;
+  };
+  auto osError = [&](const std::string &What) {
+    Diags.error(SourceLoc(), What + " profile db '" + Path +
                                  "': " + std::strerror(errno));
     return false;
-  }
-  OS << serialize();
-  OS.flush();
-  if (!OS) {
-    Diags.error(SourceLoc(), "error writing profile db '" + Path +
-                                 "': " + std::strerror(errno));
+  };
+
+  uint64_t PrevGen = peekGeneration(Path);
+  if (!PrevGen)
+    PrevGen = peekGeneration(Path + ".bak");
+  std::string Body = serializeBody(Graphs);
+  std::string Full = "selspec-profile v2 gen " + std::to_string(PrevGen + 1) +
+                     " sum " + toHex16(fnv1a64(Body)) + "\n" + Body;
+
+  std::string Tmp = Path + ".tmp";
+  if (stepFailed("profiledb.save.open"))
+    return false;
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return osError("cannot open temp file for");
+  if (failpoint::anyArmed() && failpoint::triggered("profiledb.save.write")) {
+    // Simulated crash mid-write: leave a genuinely torn temp file.
+    std::fwrite(Full.data(), 1, Full.size() / 2, F);
+    std::fclose(F);
+    Diags.error(SourceLoc(),
+                failpoint::failureMessage("profiledb.save.write") +
+                    " while saving profile db '" + Path + "'");
     return false;
   }
+  if (std::fwrite(Full.data(), 1, Full.size(), F) != Full.size()) {
+    std::fclose(F);
+    return osError("error writing");
+  }
+  if (failpoint::anyArmed() && failpoint::triggered("profiledb.save.sync")) {
+    std::fclose(F);
+    Diags.error(SourceLoc(), failpoint::failureMessage("profiledb.save.sync") +
+                                 " while saving profile db '" + Path + "'");
+    return false;
+  }
+  if (std::fflush(F) != 0) {
+    std::fclose(F);
+    return osError("error flushing");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(::fileno(F)) != 0) {
+    std::fclose(F);
+    return osError("error syncing");
+  }
+#endif
+  if (std::fclose(F) != 0)
+    return osError("error closing");
+
+  if (stepFailed("profiledb.save.backup"))
+    return false;
+  // Rotate the previous generation aside; a missing current file is fine
+  // (first save), any other rotation error is not.
+  if (std::rename(Path.c_str(), (Path + ".bak").c_str()) != 0 &&
+      errno != ENOENT)
+    return osError("cannot rotate previous");
+  if (stepFailed("profiledb.save.rename"))
+    return false;
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0)
+    return osError("cannot rename temp into");
   return true;
 }
 
-bool ProfileDb::loadFromFile(const std::string &Path, Diagnostics &Diags) {
+bool ProfileDb::loadOneFile(const std::string &Path, Diagnostics &Diags) {
   std::ifstream IS(Path);
   if (!IS) {
     Diags.error(SourceLoc(), "cannot read profile db '" + Path +
@@ -193,5 +337,44 @@ bool ProfileDb::loadFromFile(const std::string &Path, Diagnostics &Diags) {
   }
   std::ostringstream Buf;
   Buf << IS.rdbuf();
-  return deserialize(Buf.str(), Diags);
+  // Parse into a scratch db first: deserialize leaves partial content
+  // merged on failure, and a torn primary must not pollute this db
+  // before the backup fallback runs.
+  ProfileDb Scratch;
+  if (!Scratch.deserialize(Buf.str(), Diags))
+    return false;
+  for (auto &[Name, Graph] : Scratch.Graphs)
+    Graphs[Name].merge(Graph);
+  if (Scratch.Generation > Generation)
+    Generation = Scratch.Generation;
+  return true;
+}
+
+bool ProfileDb::loadFromFile(const std::string &Path, Diagnostics &Diags) {
+  Diagnostics Primary;
+  bool PrimaryOk = false;
+  if (failpoint::anyArmed() && failpoint::triggered("profiledb.load.open"))
+    Primary.error(SourceLoc(),
+                  failpoint::failureMessage("profiledb.load.open") +
+                      " while loading profile db '" + Path + "'");
+  else
+    PrimaryOk = loadOneFile(Path, Primary);
+  if (PrimaryOk)
+    return true;
+
+  // Primary missing, torn, or corrupt: fall back to the last good
+  // generation the crash-safe saver rotated aside.
+  Diagnostics Backup;
+  if (loadOneFile(Path + ".bak", Backup)) {
+    for (const Diagnostic &D : Primary.all())
+      Diags.warning(D.Loc, D.Message);
+    Diags.warning(SourceLoc(),
+                  "profile db '" + Path + "' is unreadable or corrupt; "
+                  "recovered generation " + std::to_string(Generation) +
+                      " from '" + Path + ".bak'");
+    return true;
+  }
+  for (const Diagnostic &D : Primary.all())
+    Diags.error(D.Loc, D.Message);
+  return false;
 }

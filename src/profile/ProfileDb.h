@@ -11,11 +11,28 @@
 /// name, saved to and loaded from a simple line-oriented text format so
 /// profiles can be gathered rarely and reused across many compiles.
 ///
-/// Format:
+/// In-memory interchange format (serialize/deserialize, v1):
 ///   selspec-profile v1
 ///   program <name> <num-arcs>
 ///   arc <site> <caller> <callee> <weight>
 ///   ...
+///
+/// On-disk format (saveToFile, v2) adds a generation counter and a
+/// checksum so a torn or bit-rotted file is detected instead of parsed:
+///   selspec-profile v2 gen <N> sum <16-hex fnv1a-64 of the body>
+///   program ...
+/// deserialize() accepts both versions.
+///
+/// Persistence is crash-safe: saveToFile writes `<path>.tmp`, fsyncs,
+/// rotates the previous file to `<path>.bak`, and atomically renames the
+/// temp into place — a writer killed at any instant leaves either the
+/// previous generation at <path> or (between the two renames) at
+/// <path>.bak.  loadFromFile falls back to <path>.bak with a warning when
+/// <path> is missing, torn, or corrupt, so a long-running service always
+/// recovers the last good generation.  Every step carries a
+/// `profiledb.save.*` / `profiledb.load.*` failpoint
+/// (support/FailPoint.h) that reproduces the exact on-disk state a crash
+/// at that step would leave.
 ///
 /// Profiles are untrusted input: they may be truncated, corrupted, or
 /// recorded against an older build of the program.  Parsing therefore
@@ -70,10 +87,21 @@ public:
   size_t validate(const std::string &ProgramName, const Program &P,
                   Diagnostics &Diags);
 
-  /// File convenience wrappers.  On failure the path and the OS reason
-  /// (errno) land in \p Diags.
+  /// Crash-safe save: write-temp + fsync + backup rotation + atomic
+  /// rename, with a v2 checksummed header whose generation is one more
+  /// than the generation currently at \p Path.  On failure the step and
+  /// the OS reason (errno) land in \p Diags and the previous generation
+  /// remains loadable.
   bool saveToFile(const std::string &Path, Diagnostics &Diags) const;
+
+  /// Loads \p Path, falling back to `<path>.bak` (with a warning) when
+  /// the primary file is missing, torn, or fails its checksum.  Returns
+  /// false with errors in \p Diags only when no generation is loadable.
   bool loadFromFile(const std::string &Path, Diagnostics &Diags);
+
+  /// Generation of the most recently deserialized v2 header (0 before any
+  /// load, and for v1 inputs).
+  uint64_t generation() const { return Generation; }
   bool saveToFile(const std::string &Path) const {
     Diagnostics Ignored;
     return saveToFile(Path, Ignored);
@@ -86,7 +114,13 @@ public:
   size_t numPrograms() const { return Graphs.size(); }
 
 private:
+  /// Loads \p Path into a scratch db and merges into *this only on full
+  /// success, so a torn primary cannot leave half its arcs behind before
+  /// the backup is tried.
+  bool loadOneFile(const std::string &Path, Diagnostics &Diags);
+
   std::map<std::string, CallGraph> Graphs;
+  uint64_t Generation = 0;
 };
 
 } // namespace selspec

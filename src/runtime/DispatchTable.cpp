@@ -6,12 +6,22 @@
 
 #include "runtime/DispatchTable.h"
 
+#include "support/FailPoint.h"
+
 #include <map>
 
 using namespace selspec;
 
 DispatchTable::DispatchTable(const Program &P, GenericId G) : P(P), G(G) {
   const GenericInfo &Info = P.generic(G);
+
+  // An injected build failure takes the same degradation path as an
+  // oversized table: no materialization, lookups answer through
+  // Program::dispatch.
+  if (failpoint::anyArmed() && failpoint::triggered("dispatch.table-build")) {
+    Oversized = true;
+    return;
+  }
 
   // Dispatched positions: where some method constrains the argument.
   for (unsigned I = 0; I != Info.Arity; ++I)

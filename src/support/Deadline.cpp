@@ -1,0 +1,18 @@
+//===- support/Deadline.cpp - Deadlines and cooperative cancel -------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Deadline.h"
+
+using namespace selspec;
+
+std::string CancelToken::reason() const {
+  if (cancelRequested())
+    return "execution cancelled";
+  if (TheDeadline.expired())
+    return "execution exceeded the deadline of " +
+           std::to_string(TheDeadline.budgetMillis()) + " ms";
+  return "not stopped";
+}

@@ -1,0 +1,115 @@
+//===- support/Deadline.h - Deadlines and cooperative cancel ---*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock deadlines and cooperative cancellation for long-running
+/// pipeline work.  A production deployment of the profile-guided compiler
+/// is a long-lived service: a slow or adversarial input must never wedge
+/// the process.  Every pipeline phase (resolve, CHA, profile run, plan,
+/// optimize, measured run) checks a CancelToken at its boundary, and the
+/// interpreter polls it on a sampled subset of its node-charge branch, so
+/// an expired deadline surfaces as a structured failure
+/// (TrapKind::DeadlineExceeded, exit code 23) within a bounded number of
+/// evaluated nodes.
+///
+/// Cancellation is cooperative and lock-free: requestCancel() may be
+/// called from a signal handler or another thread; checkers only perform
+/// relaxed atomic loads and (rarely) a steady_clock read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SUPPORT_DEADLINE_H
+#define SELSPEC_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace selspec {
+
+/// A point in time work must not run past.  Default-constructed deadlines
+/// are unarmed and never expire.
+class Deadline {
+public:
+  Deadline() = default;
+
+  static Deadline never() { return Deadline(); }
+
+  /// Expires \p Millis milliseconds from now (clamped to >= 0).
+  static Deadline afterMillis(int64_t Millis) {
+    Deadline D;
+    D.IsArmed = true;
+    D.At = std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(Millis < 0 ? 0 : Millis);
+    D.BudgetMillis = Millis < 0 ? 0 : Millis;
+    return D;
+  }
+
+  bool armed() const { return IsArmed; }
+
+  bool expired() const {
+    return IsArmed && std::chrono::steady_clock::now() >= At;
+  }
+
+  /// Milliseconds until expiry; 0 when already expired, INT64_MAX when
+  /// unarmed.
+  int64_t remainingMillis() const {
+    if (!IsArmed)
+      return INT64_MAX;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    At - std::chrono::steady_clock::now())
+                    .count();
+    return Left < 0 ? 0 : Left;
+  }
+
+  /// The total budget this deadline was armed with (for messages).
+  int64_t budgetMillis() const { return BudgetMillis; }
+
+private:
+  std::chrono::steady_clock::time_point At{};
+  int64_t BudgetMillis = 0;
+  bool IsArmed = false;
+};
+
+/// Shared stop signal: an explicit cancel flag plus an optional deadline.
+/// Producers hold the token; consumers receive a const pointer and poll
+/// stopRequested().  Not copyable (identity matters — everyone polls the
+/// same flag).
+class CancelToken {
+public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline D) : TheDeadline(D) {}
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Asks all work sharing this token to stop at the next check.
+  /// Safe from signal handlers and other threads.
+  void requestCancel() { Cancelled.store(true, std::memory_order_relaxed); }
+
+  void setDeadline(Deadline D) { TheDeadline = D; }
+  const Deadline &deadline() const { return TheDeadline; }
+
+  bool cancelRequested() const {
+    return Cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// True once the deadline expired or a cancel was requested.
+  bool stopRequested() const {
+    return cancelRequested() || TheDeadline.expired();
+  }
+
+  /// One-line reason for a stop, for trap/diagnostic messages.
+  std::string reason() const;
+
+private:
+  std::atomic<bool> Cancelled{false};
+  Deadline TheDeadline;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_SUPPORT_DEADLINE_H

@@ -1,0 +1,82 @@
+//===- support/FailPoint.h - Deterministic fault injection -----*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic failpoints, after the LLVM/abseil fault-injection
+/// pattern: a fixed compile-time catalog of named sites at every pipeline
+/// phase boundary, the interpreter's frame-allocation site, dispatch-table
+/// construction, and each step of profile-database I/O.  Arming a
+/// failpoint makes its site report failure through the code path a real
+/// fault would take, so tests and the fuzz harness can prove that any
+/// single injected failure yields a Diagnostic or a structured trap —
+/// never a crash, hang, or corrupt state.
+///
+/// Actions:
+///   fail   the site reports failure exactly as the real fault would,
+///          returning immediately and leaving whatever partial state
+///          exists (for I/O sites this is the on-disk state a crash at
+///          that instant would leave — the torn-write tests rely on it);
+///   crash  the site calls abort() — only for supervision tests (micad
+///          must reap and retry a crashed worker).
+///
+/// Arming: programmatically via configure()/disarmAll() (tests), or from
+/// the environment via SELSPEC_FAILPOINTS="name=fail,other=crash"
+/// (tools).  Disarmed operation costs one relaxed atomic load behind
+/// anyArmed(), so hot paths stay effectively free.
+///
+/// The catalog is intentionally centralized (allNames()) so a test can
+/// iterate every registered failpoint; adding a site means adding its
+/// name here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SUPPORT_FAILPOINT_H
+#define SELSPEC_SUPPORT_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace selspec {
+namespace failpoint {
+
+enum class Action : uint8_t { Off, Fail, Crash };
+
+/// Every registered failpoint name, in catalog order.
+const std::vector<const char *> &allNames();
+
+/// Arms failpoints from \p Spec: comma-separated "name=action" pairs,
+/// action in {fail, crash}.  Unknown names or actions fail with a
+/// message in \p ErrorOut and arm nothing.
+bool configure(const std::string &Spec, std::string &ErrorOut);
+
+/// Arms from the SELSPEC_FAILPOINTS environment variable; a missing or
+/// empty variable is a no-op success.
+bool armFromEnv(std::string &ErrorOut);
+
+/// Disarms everything (test isolation).
+void disarmAll();
+
+/// Cheap hot-path gate: true when at least one failpoint is armed.
+bool anyArmed();
+
+/// Number of times any failpoint fired (for tests asserting a site was
+/// actually reached).
+uint64_t totalHits();
+
+/// Should the site named \p Name fail this hit?  Returns true for
+/// Action::Fail; Action::Crash aborts the process here (after a stderr
+/// note naming the failpoint).  Off or unarmed returns false.
+bool triggered(const char *Name);
+
+/// Canonical message for an injected failure at \p Name.
+std::string failureMessage(const char *Name);
+
+} // namespace failpoint
+} // namespace selspec
+
+#endif // SELSPEC_SUPPORT_FAILPOINT_H

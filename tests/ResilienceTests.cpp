@@ -1,0 +1,509 @@
+//===- tests/ResilienceTests.cpp - Deadlines, failpoints, crash safety ------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The long-running-service guarantees: cooperative deadlines surface as
+// structured DeadlineExceeded traps, every registered failpoint injected
+// into a full five-configuration pipeline yields a Diagnostic or a trap
+// (never a crash or corrupt state), and the profile database survives a
+// torn write at every step of its save sequence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "TestUtil.h"
+#include "profile/ProfileDb.h"
+#include "runtime/DispatchTable.h"
+#include "support/Deadline.h"
+#include "support/FailPoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + Name;
+}
+
+std::string readFileOr(const std::string &Path, const std::string &Fallback) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return Fallback;
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  return Buf.str();
+}
+
+void removeAll(const std::string &Path) {
+  std::remove(Path.c_str());
+  std::remove((Path + ".bak").c_str());
+  std::remove((Path + ".tmp").c_str());
+}
+
+const char *CounterSrc = R"(
+    class Box { slot v; }
+    method bump(b@Box) { b.v := b.v + 1; b.v; }
+    method main(n@Int) {
+      let b := new Box; b.v := 0;
+      let i := 0;
+      while (i < n) { bump(b); i := i + 1; }
+      print(b.v);
+    }
+)";
+
+/// Every iteration disarms before returning, even through ASSERT failures.
+struct FailpointGuard {
+  ~FailpointGuard() { failpoint::disarmAll(); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Deadline and CancelToken primitives.
+//===----------------------------------------------------------------------===//
+
+TEST(Deadline, DefaultNeverExpires) {
+  Deadline D;
+  EXPECT_FALSE(D.armed());
+  EXPECT_FALSE(D.expired());
+  EXPECT_EQ(D.remainingMillis(), INT64_MAX);
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  Deadline D = Deadline::afterMillis(0);
+  EXPECT_TRUE(D.armed());
+  EXPECT_TRUE(D.expired());
+  EXPECT_EQ(D.remainingMillis(), 0);
+}
+
+TEST(Deadline, NegativeBudgetClampsToZero) {
+  EXPECT_TRUE(Deadline::afterMillis(-5).expired());
+  EXPECT_EQ(Deadline::afterMillis(-5).budgetMillis(), 0);
+}
+
+TEST(CancelToken, ExplicitCancelStops) {
+  CancelToken T;
+  EXPECT_FALSE(T.stopRequested());
+  T.requestCancel();
+  EXPECT_TRUE(T.stopRequested());
+  EXPECT_NE(T.reason().find("cancelled"), std::string::npos);
+}
+
+TEST(CancelToken, ExpiredDeadlineStopsWithBudgetInReason) {
+  CancelToken T;
+  T.setDeadline(Deadline::afterMillis(0));
+  EXPECT_TRUE(T.stopRequested());
+  EXPECT_NE(T.reason().find("deadline"), std::string::npos);
+  EXPECT_NE(T.reason().find("0 ms"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines through the interpreter and the pipeline.
+//===----------------------------------------------------------------------===//
+
+TEST(DeadlineTrap, InterpreterPollsTheToken) {
+  std::unique_ptr<Program> P =
+      buildProgram({"method main(n@Int) { while (true) { n; } }"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  CancelToken Tok;
+  Tok.setDeadline(Deadline::afterMillis(0));
+  RunOptions Opts;
+  Opts.Cancel = &Tok;
+  Interpreter I(*CP, Opts);
+  EXPECT_FALSE(I.callMain(0));
+  EXPECT_EQ(I.trap().Kind, TrapKind::DeadlineExceeded) << I.trap().render();
+  EXPECT_NE(I.trap().Message.find("deadline"), std::string::npos);
+  // The poll is sampled every 8192 nodes; an infinite loop must still be
+  // stopped within a small multiple of that.
+  EXPECT_LT(I.stats().NodesEvaluated, 100000u);
+}
+
+TEST(DeadlineTrap, ExplicitCancelTrapsToo) {
+  std::unique_ptr<Program> P =
+      buildProgram({"method main(n@Int) { while (true) { n; } }"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  CancelToken Tok;
+  Tok.requestCancel(); // as a signal handler would
+  RunOptions Opts;
+  Opts.Cancel = &Tok;
+  Interpreter I(*CP, Opts);
+  EXPECT_FALSE(I.callMain(0));
+  EXPECT_EQ(I.trap().Kind, TrapKind::DeadlineExceeded);
+  EXPECT_NE(I.trap().Message.find("cancelled"), std::string::npos);
+}
+
+TEST(DeadlineTrap, PipelinePhaseGateStopsBeforeWork) {
+  CancelToken Tok;
+  Tok.setDeadline(Deadline::afterMillis(0));
+  std::string Err;
+  // The token is already expired, so construction fails at the first
+  // phase boundary with the deadline message.
+  std::unique_ptr<Workbench> W =
+      Workbench::fromSources({CounterSrc}, Err, false, &Tok);
+  EXPECT_EQ(W, nullptr);
+  EXPECT_NE(Err.find("deadline"), std::string::npos);
+}
+
+TEST(DeadlineTrap, RunConfigReportsDeadlineTrap) {
+  CancelToken Tok;
+  std::string Err;
+  std::unique_ptr<Workbench> W =
+      Workbench::fromSources({CounterSrc}, Err, false, &Tok);
+  ASSERT_TRUE(W) << Err;
+  // Expire only after load so the phase gate (not init) reports it.
+  Tok.setDeadline(Deadline::afterMillis(0));
+  std::optional<ConfigResult> R = W->runConfig(Config::Base, 3, Err);
+  EXPECT_FALSE(R.has_value());
+  EXPECT_EQ(W->lastTrap().Kind, TrapKind::DeadlineExceeded);
+}
+
+TEST(DeadlineTrap, UnexpiredDeadlineDoesNotPerturbTheRun) {
+  CancelToken Tok;
+  Tok.setDeadline(Deadline::afterMillis(60000));
+  std::string Err;
+  std::unique_ptr<Workbench> W =
+      Workbench::fromSources({CounterSrc}, Err, false, &Tok);
+  ASSERT_TRUE(W) << Err;
+  std::optional<ConfigResult> R = W->runConfig(Config::Base, 5, Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_EQ(R->Output, "5\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Failpoint framework basics.
+//===----------------------------------------------------------------------===//
+
+TEST(Failpoint, CatalogIsStable) {
+  const std::vector<const char *> &Names = failpoint::allNames();
+  EXPECT_EQ(Names.size(), 16u);
+  // Spot-check the contract names tools and docs rely on.
+  auto Has = [&](const char *N) {
+    for (const char *Name : Names)
+      if (std::string(Name) == N)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Has("pipeline.resolve"));
+  EXPECT_TRUE(Has("interp.frame-acquire"));
+  EXPECT_TRUE(Has("dispatch.table-build"));
+  EXPECT_TRUE(Has("profiledb.save.rename"));
+}
+
+TEST(Failpoint, ConfigureRejectsBadSpecsAtomically) {
+  FailpointGuard G;
+  std::string Err;
+  EXPECT_FALSE(failpoint::configure("nonsense=fail", Err));
+  EXPECT_NE(Err.find("nonsense"), std::string::npos);
+  EXPECT_FALSE(failpoint::anyArmed());
+  // A bad pair anywhere in the list arms nothing, even after valid pairs.
+  EXPECT_FALSE(
+      failpoint::configure("pipeline.parse=fail,pipeline.cha=explode", Err));
+  EXPECT_FALSE(failpoint::anyArmed());
+  EXPECT_TRUE(failpoint::configure("pipeline.parse=fail", Err)) << Err;
+  EXPECT_TRUE(failpoint::anyArmed());
+  failpoint::disarmAll();
+  EXPECT_FALSE(failpoint::anyArmed());
+}
+
+TEST(Failpoint, TriggeredCountsHits) {
+  FailpointGuard G;
+  std::string Err;
+  ASSERT_TRUE(failpoint::configure("pipeline.plan=fail", Err));
+  uint64_t Before = failpoint::totalHits();
+  EXPECT_TRUE(failpoint::triggered("pipeline.plan"));
+  EXPECT_FALSE(failpoint::triggered("pipeline.optimize"));
+  EXPECT_EQ(failpoint::totalHits(), Before + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// The headline guarantee: arming any single registered failpoint during a
+// full five-configuration pipeline produces a clean structured failure —
+// a null Workbench with diagnostics, a failed phase with diagnostics, or
+// a trap — and never a crash.  Sites not on a given path simply stay
+// quiet and the pipeline completes.
+//===----------------------------------------------------------------------===//
+
+TEST(Failpoint, EverySiteFailsCleanlyAcrossAllConfigs) {
+  for (const char *Name : failpoint::allNames()) {
+    SCOPED_TRACE(Name);
+    FailpointGuard G;
+    std::string Err;
+    ASSERT_TRUE(failpoint::configure(std::string(Name) + "=fail", Err))
+        << Err;
+
+    std::unique_ptr<Workbench> W =
+        Workbench::fromSources({CounterSrc}, Err, false);
+    if (!W) {
+      // Load-phase injection: rejected with a diagnostic naming the site.
+      EXPECT_NE(Err.find("injected failure"), std::string::npos) << Err;
+      continue;
+    }
+    std::string ProfErr;
+    W->collectProfile(3, ProfErr); // may fail; Selective must degrade
+    for (Config C : {Config::Base, Config::Cust, Config::CustMM,
+                     Config::CHA, Config::Selective}) {
+      std::string RunErr;
+      std::optional<ConfigResult> R = W->runConfig(C, 3, RunErr);
+      if (R) {
+        EXPECT_EQ(R->Output, "3\n");
+      } else {
+        // Structured failure: a message, and either a trap kind or a
+        // diagnostic — never an empty-handed nullopt.
+        EXPECT_FALSE(RunErr.empty());
+      }
+    }
+  }
+}
+
+TEST(Failpoint, FrameAcquireInjectionTrapsInternalError) {
+  FailpointGuard G;
+  std::string Err;
+  ASSERT_TRUE(failpoint::configure("interp.frame-acquire=fail", Err));
+  std::unique_ptr<Program> P = buildProgram({CounterSrc});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  Interpreter I(*CP);
+  EXPECT_FALSE(I.callMain(3));
+  EXPECT_EQ(I.trap().Kind, TrapKind::InternalError) << I.trap().render();
+  EXPECT_NE(I.trap().Message.find("interp.frame-acquire"), std::string::npos);
+}
+
+TEST(Failpoint, DispatchTableBuildInjectionDegradesToSearch) {
+  FailpointGuard G;
+  std::unique_ptr<Program> P = buildProgram({R"(
+      class A; class B isa A;
+      method f(x@A) { 1; }
+      method f(x@B) { 2; }
+      method main(n@Int) { print(f(new B) + f(new A)); }
+  )"});
+  ASSERT_TRUE(P);
+  std::string Err;
+  ASSERT_TRUE(failpoint::configure("dispatch.table-build=fail", Err));
+  DispatchTableSet Degraded(*P);
+  failpoint::disarmAll();
+  DispatchTableSet Normal(*P);
+  // Degraded tables materialize nothing but answer identically through
+  // the search-based fallback.
+  EXPECT_EQ(Degraded.totalCells(), 0u);
+  for (unsigned GI = 0; GI != P->numGenerics(); ++GI) {
+    const GenericInfo &Info = P->generic(GenericId(GI));
+    std::vector<ClassId> Args(Info.Arity, P->Classes.root());
+    EXPECT_EQ(Degraded.forGeneric(GenericId(GI)).lookup(Args),
+              Normal.forGeneric(GenericId(GI)).lookup(Args));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-safe profile persistence: v2 on-disk format, generations, backup
+// rotation, and torn-write recovery with a failpoint at every save step.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a small db worth saving.
+ProfileDb makeDb() {
+  ProfileDb Db;
+  CallGraph &G = Db.forProgram("prog");
+  G.addHits(CallSiteId(1), MethodId(2), MethodId(3), 40);
+  G.addHits(CallSiteId(2), MethodId(3), MethodId(4), 2);
+  return Db;
+}
+
+} // namespace
+
+TEST(CrashSafeDb, SaveWritesV2HeaderAndRoundTrips) {
+  std::string Path = tempPath("v2_roundtrip.db");
+  removeAll(Path);
+  ProfileDb Db = makeDb();
+  Diagnostics Diags;
+  ASSERT_TRUE(Db.saveToFile(Path, Diags)) << Diags.toString();
+  std::string Text = readFileOr(Path, "");
+  EXPECT_EQ(Text.rfind("selspec-profile v2 gen 1 sum ", 0), 0u) << Text;
+
+  ProfileDb Loaded;
+  ASSERT_TRUE(Loaded.loadFromFile(Path, Diags)) << Diags.toString();
+  EXPECT_EQ(Loaded.generation(), 1u);
+  EXPECT_EQ(Loaded.forProgram("prog").totalWeight(),
+            Db.forProgram("prog").totalWeight());
+  removeAll(Path);
+}
+
+TEST(CrashSafeDb, GenerationsCountUpAndRotateBackups) {
+  std::string Path = tempPath("generations.db");
+  removeAll(Path);
+  ProfileDb Db = makeDb();
+  ASSERT_TRUE(Db.saveToFile(Path));
+  ASSERT_TRUE(Db.saveToFile(Path));
+  ASSERT_TRUE(Db.saveToFile(Path));
+  EXPECT_EQ(readFileOr(Path, "").rfind("selspec-profile v2 gen 3", 0), 0u);
+  EXPECT_EQ(readFileOr(Path + ".bak", "").rfind("selspec-profile v2 gen 2", 0),
+            0u);
+  removeAll(Path);
+}
+
+TEST(CrashSafeDb, ChecksumCatchesTornFile) {
+  std::string Path = tempPath("torn.db");
+  removeAll(Path);
+  ProfileDb Db = makeDb();
+  ASSERT_TRUE(Db.saveToFile(Path));
+  std::string Text = readFileOr(Path, "");
+  ASSERT_GT(Text.size(), 20u);
+  {
+    std::ofstream OS(Path, std::ios::trunc);
+    OS << Text.substr(0, Text.size() / 2); // torn mid-body
+  }
+  ProfileDb Loaded;
+  Diagnostics Diags;
+  EXPECT_FALSE(Loaded.loadFromFile(Path, Diags));
+  EXPECT_NE(Diags.toString().find("checksum"), std::string::npos)
+      << Diags.toString();
+  removeAll(Path);
+}
+
+TEST(CrashSafeDb, LoadFallsBackToBackup) {
+  std::string Path = tempPath("fallback.db");
+  removeAll(Path);
+  ProfileDb Db = makeDb();
+  ASSERT_TRUE(Db.saveToFile(Path)); // gen 1
+  ASSERT_TRUE(Db.saveToFile(Path)); // gen 2, .bak = gen 1
+  {
+    std::ofstream OS(Path, std::ios::trunc);
+    OS << "selspec-profile v2 gen 9 sum 0123456789abcdef\ngarbage\n";
+  }
+  ProfileDb Loaded;
+  Diagnostics Diags;
+  ASSERT_TRUE(Loaded.loadFromFile(Path, Diags)) << Diags.toString();
+  EXPECT_EQ(Loaded.generation(), 1u);
+  EXPECT_NE(Diags.toString().find("recovered generation 1"),
+            std::string::npos)
+      << Diags.toString();
+  EXPECT_EQ(Loaded.forProgram("prog").totalWeight(),
+            Db.forProgram("prog").totalWeight());
+  removeAll(Path);
+}
+
+TEST(CrashSafeDb, MissingPrimaryUsesBackup) {
+  std::string Path = tempPath("missing_primary.db");
+  removeAll(Path);
+  ProfileDb Db = makeDb();
+  ASSERT_TRUE(Db.saveToFile(Path));
+  // A crash between the two renames leaves only <path>.bak.
+  ASSERT_EQ(std::rename(Path.c_str(), (Path + ".bak").c_str()), 0);
+  ProfileDb Loaded;
+  Diagnostics Diags;
+  ASSERT_TRUE(Loaded.loadFromFile(Path, Diags)) << Diags.toString();
+  EXPECT_EQ(Loaded.generation(), 1u);
+  removeAll(Path);
+}
+
+// The decisive torn-write matrix: after generation 2 exists, inject a
+// failure at EVERY step of the generation-3 save.  The save must report
+// failure, and a subsequent load must still produce generation 2 (from
+// the primary or the rotated backup, depending on where the "crash"
+// happened).
+TEST(CrashSafeDb, EverySaveStepFailureLeavesLastGenerationLoadable) {
+  const char *SaveSteps[] = {
+      "profiledb.save.open", "profiledb.save.write", "profiledb.save.sync",
+      "profiledb.save.backup", "profiledb.save.rename"};
+  for (const char *Step : SaveSteps) {
+    SCOPED_TRACE(Step);
+    FailpointGuard G;
+    std::string Path = tempPath(std::string("step_") +
+                                std::string(Step).substr(15) + ".db");
+    removeAll(Path);
+    ProfileDb Db = makeDb();
+    ASSERT_TRUE(Db.saveToFile(Path)); // gen 1
+    ASSERT_TRUE(Db.saveToFile(Path)); // gen 2
+
+    std::string Err;
+    ASSERT_TRUE(failpoint::configure(std::string(Step) + "=fail", Err));
+    Diagnostics SaveDiags;
+    EXPECT_FALSE(Db.saveToFile(Path, SaveDiags));
+    EXPECT_NE(SaveDiags.toString().find(Step), std::string::npos)
+        << SaveDiags.toString();
+    failpoint::disarmAll();
+
+    ProfileDb Loaded;
+    Diagnostics LoadDiags;
+    ASSERT_TRUE(Loaded.loadFromFile(Path, LoadDiags))
+        << LoadDiags.toString();
+    EXPECT_EQ(Loaded.generation(), 2u) << LoadDiags.toString();
+    EXPECT_EQ(Loaded.forProgram("prog").totalWeight(),
+              Db.forProgram("prog").totalWeight());
+    removeAll(Path);
+  }
+}
+
+TEST(CrashSafeDb, LoadFailpointsFailCleanly) {
+  std::string Path = tempPath("load_fp.db");
+  removeAll(Path);
+  ProfileDb Db = makeDb();
+  ASSERT_TRUE(Db.saveToFile(Path));
+  for (const char *Step : {"profiledb.load.open", "profiledb.load.header"}) {
+    SCOPED_TRACE(Step);
+    FailpointGuard G;
+    std::string Err;
+    ASSERT_TRUE(failpoint::configure(std::string(Step) + "=fail", Err));
+    ProfileDb Loaded;
+    Diagnostics Diags;
+    // load.open fails both primary and backup; load.header likewise.
+    // Either way: errors, no crash, and nothing merged.
+    EXPECT_FALSE(Loaded.loadFromFile(Path, Diags));
+    EXPECT_EQ(Loaded.numPrograms(), 0u);
+  }
+  removeAll(Path);
+}
+
+TEST(CrashSafeDb, TornPrimaryDoesNotPolluteBeforeFallback) {
+  std::string Path = tempPath("no_pollute.db");
+  removeAll(Path);
+  ProfileDb Db = makeDb();
+  ASSERT_TRUE(Db.saveToFile(Path)); // gen 1 -> becomes .bak
+  ASSERT_TRUE(Db.saveToFile(Path)); // gen 2
+  // Corrupt the primary so its header parses but the body is half gone:
+  // the loader must not keep any arcs from the torn primary.
+  std::string Text = readFileOr(Path, "");
+  {
+    std::ofstream OS(Path, std::ios::trunc);
+    OS << Text.substr(0, Text.size() - 10);
+  }
+  ProfileDb Loaded;
+  Diagnostics Diags;
+  ASSERT_TRUE(Loaded.loadFromFile(Path, Diags)) << Diags.toString();
+  EXPECT_EQ(Loaded.generation(), 1u);
+  EXPECT_EQ(Loaded.forProgram("prog").totalWeight(),
+            Db.forProgram("prog").totalWeight());
+  removeAll(Path);
+}
+
+TEST(CrashSafeDb, V1InterchangeStillAccepted) {
+  // serialize() stays v1 (the in-memory interchange format other tests
+  // and the fuzzer round-trip); loadFromFile accepts it for migration.
+  std::string Path = tempPath("v1_migrate.db");
+  removeAll(Path);
+  ProfileDb Db = makeDb();
+  {
+    std::ofstream OS(Path);
+    OS << Db.serialize();
+  }
+  ProfileDb Loaded;
+  Diagnostics Diags;
+  ASSERT_TRUE(Loaded.loadFromFile(Path, Diags)) << Diags.toString();
+  EXPECT_EQ(Loaded.generation(), 0u); // v1 files carry no generation
+  EXPECT_EQ(Loaded.forProgram("prog").totalWeight(),
+            Db.forProgram("prog").totalWeight());
+  // And the next save starts the generation counter above it.
+  ASSERT_TRUE(Loaded.saveToFile(Path));
+  EXPECT_EQ(readFileOr(Path, "").rfind("selspec-profile v2 gen 1", 0), 0u);
+  removeAll(Path);
+}

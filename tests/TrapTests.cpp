@@ -245,6 +245,7 @@ TEST(Trap, ExitCodesAreStable) {
   EXPECT_EQ(trapExitCode(TrapKind::NodeBudgetExceeded), 20);
   EXPECT_EQ(trapExitCode(TrapKind::RecursionLimitExceeded), 21);
   EXPECT_EQ(trapExitCode(TrapKind::HeapLimitExceeded), 22);
+  EXPECT_EQ(trapExitCode(TrapKind::DeadlineExceeded), 23);
   EXPECT_EQ(trapExitCode(TrapKind::BindingViolation), 70);
   EXPECT_EQ(trapExitCode(TrapKind::InternalError), 70);
 }
@@ -253,6 +254,25 @@ TEST(Trap, KindNamesAreStable) {
   EXPECT_STREQ(trapKindName(TrapKind::TypeError), "type-error");
   EXPECT_STREQ(trapKindName(TrapKind::RecursionLimitExceeded),
                "recursion-limit-exceeded");
+  EXPECT_STREQ(trapKindName(TrapKind::DeadlineExceeded),
+               "deadline-exceeded");
+}
+
+TEST(Trap, ExitCodesRoundTripThroughKind) {
+  // Supervisors (micad) classify workers by exit code; every trap kind
+  // must survive the round trip, and non-trap codes map to None.
+  for (TrapKind K :
+       {TrapKind::TypeError, TrapKind::NoApplicableMethod,
+        TrapKind::AmbiguousDispatch, TrapKind::IndexOutOfBounds,
+        TrapKind::DivisionByZero, TrapKind::UndefinedSlot,
+        TrapKind::ArityMismatch, TrapKind::UserAbort,
+        TrapKind::NodeBudgetExceeded, TrapKind::RecursionLimitExceeded,
+        TrapKind::HeapLimitExceeded, TrapKind::DeadlineExceeded})
+    EXPECT_EQ(trapKindForExitCode(trapExitCode(K)), K);
+  EXPECT_EQ(trapKindForExitCode(0), TrapKind::None);
+  EXPECT_EQ(trapKindForExitCode(1), TrapKind::None);
+  EXPECT_EQ(trapKindForExitCode(2), TrapKind::None);
+  EXPECT_EQ(trapKindForExitCode(70), TrapKind::InternalError);
 }
 
 //===----------------------------------------------------------------------===//

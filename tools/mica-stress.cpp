@@ -17,10 +17,27 @@
 /// Everything derives deterministically from --seed, so any CI failure is
 /// reproducible from the command line it logged.
 ///
-///   mica-stress [--seed S] [--iterations N] [--verbose]
+///   mica-stress [--seed S] [--iterations N] [--jobs N] [--failpoints]
+///               [--max-seconds N] [--iter-seed S] [--verbose]
 ///
-/// Exits 0 when all iterations complete (whatever mix of outcomes), 2 on
-/// usage errors.  A crash simply never reaches the exit path.
+/// Iterations run in forked, supervised workers (--jobs of them; each
+/// worker executes its share of the iteration list while drawing every
+/// seed, so the seed set is identical to a sequential run).  Before each
+/// iteration a worker checkpoints the iteration seed and a running
+/// mutator trace to a status file; when a worker dies on a signal the
+/// parent re-reads the checkpoint and prints the failing seed, the trace,
+/// and a one-command repro line:
+///
+///   mica-stress --iter-seed 1234567 --failpoints
+///
+/// --iter-seed replays exactly one iteration in-process (no fork), so the
+/// repro runs under a debugger or sanitizer with nothing in the way.
+/// --failpoints arms one randomly chosen fail-action failpoint per
+/// iteration (derived from the iteration seed); --max-seconds bounds the
+/// wall-clock of long nightly runs, stopping cleanly mid-list.
+///
+/// Exits 0 when all iterations complete (whatever mix of outcomes), 1
+/// when a worker crashed (after printing the repro), 2 on usage errors.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,27 +45,64 @@
 #include "fuzz/Mutator.h"
 #include "fuzz/ProgramGen.h"
 #include "profile/ProfileDb.h"
+#include "support/FailPoint.h"
 
+#include <cerrno>
 #include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace selspec;
 
 namespace {
 
 struct Outcomes {
-  unsigned LoadRejects = 0;  ///< lex/parse/resolve diagnostics
-  unsigned ProfileTraps = 0; ///< training run trapped
-  unsigned RunTraps = 0;     ///< measured run trapped
-  unsigned ProfileCorruptRejects = 0; ///< corrupted db rejected by loader
-  unsigned ProfileCorruptAccepts = 0; ///< corrupted db survived load+validate
-  unsigned Completed = 0;    ///< measured run finished normally
+  uint64_t LoadRejects = 0;  ///< lex/parse/resolve diagnostics
+  uint64_t ProfileTraps = 0; ///< training run trapped
+  uint64_t RunTraps = 0;     ///< measured run trapped
+  uint64_t ProfileCorruptRejects = 0; ///< corrupted db rejected by loader
+  uint64_t ProfileCorruptAccepts = 0; ///< corrupted db survived load+validate
+  uint64_t InjectedFailures = 0; ///< armed failpoint fired somewhere
+  uint64_t Completed = 0;    ///< measured run finished normally
+  uint64_t Iterations = 0;   ///< iterations this worker executed
+
+  void add(const Outcomes &O) {
+    LoadRejects += O.LoadRejects;
+    ProfileTraps += O.ProfileTraps;
+    RunTraps += O.RunTraps;
+    ProfileCorruptRejects += O.ProfileCorruptRejects;
+    ProfileCorruptAccepts += O.ProfileCorruptAccepts;
+    InjectedFailures += O.InjectedFailures;
+    Completed += O.Completed;
+    Iterations += O.Iterations;
+  }
+};
+
+struct StressOptions {
+  uint64_t Seed = 1;
+  uint64_t Iterations = 200;
+  unsigned Jobs = 1;
+  bool Failpoints = false;
+  uint64_t MaxSeconds = 0; // 0 = unbounded
+  bool Verbose = false;
+  bool HaveIterSeed = false;
+  uint64_t IterSeed = 0;
 };
 
 [[noreturn]] void usage(const char *Message) {
   std::cerr << "mica-stress: " << Message << '\n'
-            << "usage: mica-stress [--seed S] [--iterations N] [--verbose]\n";
+            << "usage: mica-stress [--seed S] [--iterations N] [--jobs N]\n"
+               "                   [--failpoints] [--max-seconds N]\n"
+               "                   [--iter-seed S] [--verbose]\n";
   std::exit(2);
 }
 
@@ -60,22 +114,67 @@ uint64_t parseU64(const std::string &Text, const char *Flag) {
   return V;
 }
 
-void runIteration(uint64_t IterSeed, bool Verbose, Outcomes &O) {
+/// Crash checkpoint shared with the supervisor: the worker rewrites the
+/// whole file before and during each iteration, so after a SIGSEGV the
+/// parent recovers the seed and the last phase reached.  -1 disables
+/// checkpointing (--iter-seed repro mode).
+int StatusFd = -1;
+
+void statusWrite(const std::string &Text) {
+  if (StatusFd < 0)
+    return;
+  // ftruncate-then-pwrite keeps the content consistent even if the worker
+  // dies between the calls: a short read just loses the newest marker.
+  (void)ftruncate(StatusFd, 0);
+  (void)pwrite(StatusFd, Text.data(), Text.size(), 0);
+}
+
+void runIteration(uint64_t IterSeed, const StressOptions &SO, Outcomes &O) {
+  ++O.Iterations;
   fuzz::Rng R(IterSeed);
+
+  std::string Trace = "seed=" + std::to_string(IterSeed);
+  auto Mark = [&](const std::string &Note) {
+    Trace += ' ';
+    Trace += Note;
+    statusWrite(Trace + '\n');
+    if (SO.Verbose)
+      std::cerr << "  " << Note << '\n';
+  };
+  statusWrite(Trace + '\n');
+
+  // Fault injection: one randomly chosen fail-action failpoint per
+  // iteration, derived from the iteration seed so --iter-seed replays the
+  // same injection.  Crash actions stay out — this harness asserts the
+  // no-crash invariant.
+  if (SO.Failpoints) {
+    const std::vector<const char *> &Names = failpoint::allNames();
+    std::string Name = Names[R.below(static_cast<uint32_t>(Names.size()))];
+    std::string E;
+    failpoint::disarmAll();
+    failpoint::configure(Name + "=fail", E);
+    Mark("failpoint=" + Name);
+  }
+  uint64_t HitsBefore = failpoint::totalHits();
+
   std::string Src = fuzz::generateProgram(R.next());
 
   // Three in ten iterations smash the source bytes first: the front end
   // must survive arbitrary junk, not just generator-shaped programs.
   unsigned Mode = R.below(10);
-  if (Mode < 3)
+  if (Mode < 3) {
     Src = fuzz::mutateBytes(Src, R, 1 + R.below(8));
+    Mark("mutate-bytes");
+  }
 
   std::string Err;
+  Mark("load");
   std::unique_ptr<Workbench> W = Workbench::fromSources({Src}, Err, false);
   if (!W) {
-    if (Verbose)
-      std::cerr << "  load rejected\n";
+    Mark("load-rejected");
     ++O.LoadRejects;
+    if (SO.Failpoints && failpoint::totalHits() != HitsBefore)
+      ++O.InjectedFailures;
     return;
   }
 
@@ -87,17 +186,17 @@ void runIteration(uint64_t IterSeed, bool Verbose, Outcomes &O) {
   Limits.MaxObjects = 20000;
   W->setLimits(Limits);
 
+  Mark("profile");
   if (!W->collectProfile(2 + R.below(4), Err)) {
     ++O.ProfileTraps;
-    if (Verbose)
-      std::cerr << "  profile trapped: " << trapKindName(W->lastTrap().Kind)
-                << '\n';
+    Mark(std::string("profile-trapped=") + trapKindName(W->lastTrap().Kind));
     // Keep going: Selective must degrade on the empty profile.
   }
 
   // One in ten iterations round-trips the collected profile through the
   // serializer with byte corruption on the way back in.
   if (Mode == 3) {
+    Mark("corrupt-db");
     ProfileDb Db;
     Db.forProgram("fuzz").merge(W->profile());
     std::string Text = fuzz::mutateBytes(Db.serialize(), R, 1 + R.below(6));
@@ -114,26 +213,110 @@ void runIteration(uint64_t IterSeed, bool Verbose, Outcomes &O) {
   static const Config Configs[] = {Config::Base, Config::CHA,
                                    Config::Selective};
   Config C = Configs[R.below(3)];
+  Mark(std::string("run config=") + configName(C));
   std::optional<ConfigResult> CR =
       W->runConfig(C, 2 + R.below(6), Err, SelectiveOptions{});
   if (CR) {
     ++O.Completed;
-    if (Verbose)
-      std::cerr << "  completed under " << configName(C) << '\n';
+    Mark("completed");
   } else {
     ++O.RunTraps;
-    if (Verbose)
-      std::cerr << "  run trapped under " << configName(C) << ": "
-                << trapKindName(W->lastTrap().Kind) << '\n';
+    Mark(std::string("run-trapped=") + trapKindName(W->lastTrap().Kind));
+  }
+  if (SO.Failpoints && failpoint::totalHits() != HitsBefore)
+    ++O.InjectedFailures;
+}
+
+/// The iteration loop of one worker.  Worker \p Index executes iterations
+/// where I % Jobs == Index, drawing every seed from the stream so the seed
+/// set matches a sequential run exactly.
+Outcomes workerLoop(const StressOptions &SO, unsigned Index) {
+  Outcomes O;
+  fuzz::Rng SeedStream(SO.Seed);
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I != SO.Iterations; ++I) {
+    uint64_t IterSeed = SeedStream.next();
+    if (I % SO.Jobs != Index)
+      continue;
+    if (SO.MaxSeconds &&
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - Start)
+                .count() >= static_cast<int64_t>(SO.MaxSeconds))
+      break;
+    if (SO.Verbose)
+      std::cerr << "-- iter " << I << " seed " << IterSeed << '\n';
+    runIteration(IterSeed, SO, O);
+  }
+  failpoint::disarmAll();
+  return O;
+}
+
+std::string statusPath(unsigned Index) {
+  return "/tmp/mica-stress-" + std::to_string(getpid()) + "-" +
+         std::to_string(Index) + ".status";
+}
+
+/// Serializes a worker's final tallies into its status file; the "done "
+/// prefix distinguishes a clean exit from a crash checkpoint.
+void writeDone(const Outcomes &O) {
+  statusWrite("done " + std::to_string(O.LoadRejects) + ' ' +
+              std::to_string(O.ProfileTraps) + ' ' +
+              std::to_string(O.RunTraps) + ' ' +
+              std::to_string(O.ProfileCorruptRejects) + ' ' +
+              std::to_string(O.ProfileCorruptAccepts) + ' ' +
+              std::to_string(O.InjectedFailures) + ' ' +
+              std::to_string(O.Completed) + ' ' +
+              std::to_string(O.Iterations) + '\n');
+}
+
+bool parseDone(const std::string &Text, Outcomes &O) {
+  if (Text.rfind("done ", 0) != 0)
+    return false;
+  std::istringstream IS(Text.substr(5));
+  return static_cast<bool>(IS >> O.LoadRejects >> O.ProfileTraps >>
+                           O.RunTraps >> O.ProfileCorruptRejects >>
+                           O.ProfileCorruptAccepts >> O.InjectedFailures >>
+                           O.Completed >> O.Iterations);
+}
+
+std::string readAll(const std::string &Path) {
+  std::string Out;
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}
+
+/// Parses a crash checkpoint ("seed=<S> <marker> <marker>...") and prints
+/// the one-command repro line.
+void reportCrash(const StressOptions &SO, unsigned Index, int Signal,
+                 const std::string &Checkpoint) {
+  std::cerr << "mica-stress: worker " << Index << " died with signal "
+            << Signal << '\n';
+  std::string Line = Checkpoint.substr(0, Checkpoint.find('\n'));
+  if (Line.rfind("seed=", 0) == 0) {
+    size_t Sp = Line.find(' ');
+    std::string Seed = Line.substr(5, Sp == std::string::npos ? Sp : Sp - 5);
+    std::cerr << "  failing iteration seed: " << Seed << '\n'
+              << "  mutator trace: "
+              << (Sp == std::string::npos ? "(none)" : Line.substr(Sp + 1))
+              << '\n'
+              << "  repro: mica-stress --iter-seed " << Seed
+              << (SO.Failpoints ? " --failpoints" : "") << '\n';
+  } else {
+    std::cerr << "  no checkpoint recorded (crash before first iteration)\n";
   }
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  uint64_t Seed = 1;
-  uint64_t Iterations = 200;
-  bool Verbose = false;
+  StressOptions SO;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     auto NextValue = [&]() -> std::string {
@@ -142,30 +325,101 @@ int main(int Argc, char **Argv) {
       return Argv[++I];
     };
     if (A == "--seed")
-      Seed = parseU64(NextValue(), "--seed");
+      SO.Seed = parseU64(NextValue(), "--seed");
     else if (A == "--iterations")
-      Iterations = parseU64(NextValue(), "--iterations");
-    else if (A == "--verbose")
-      Verbose = true;
+      SO.Iterations = parseU64(NextValue(), "--iterations");
+    else if (A == "--jobs") {
+      SO.Jobs = static_cast<unsigned>(parseU64(NextValue(), "--jobs"));
+      if (SO.Jobs == 0 || SO.Jobs > 256)
+        usage("--jobs must be between 1 and 256");
+    } else if (A == "--failpoints")
+      SO.Failpoints = true;
+    else if (A == "--max-seconds")
+      SO.MaxSeconds = parseU64(NextValue(), "--max-seconds");
+    else if (A == "--iter-seed") {
+      SO.HaveIterSeed = true;
+      SO.IterSeed = parseU64(NextValue(), "--iter-seed");
+    } else if (A == "--verbose")
+      SO.Verbose = true;
     else
       usage(("unknown option " + A).c_str());
   }
 
-  Outcomes O;
-  fuzz::Rng SeedStream(Seed);
-  for (uint64_t I = 0; I != Iterations; ++I) {
-    uint64_t IterSeed = SeedStream.next();
-    if (Verbose)
-      std::cerr << "-- iter " << I << " seed " << IterSeed << '\n';
-    runIteration(IterSeed, Verbose, O);
+  // Repro mode: exactly one iteration, in-process, chatty — nothing
+  // between a debugger and the crash being reproduced.
+  if (SO.HaveIterSeed) {
+    StressOptions One = SO;
+    One.Verbose = true;
+    Outcomes O;
+    runIteration(SO.IterSeed, One, O);
+    std::cout << "mica-stress: iteration seed " << SO.IterSeed
+              << " completed\n";
+    return 0;
   }
 
-  std::cout << "mica-stress: " << Iterations << " iteration(s), seed " << Seed
-            << "\n  load rejects:        " << O.LoadRejects
-            << "\n  profile traps:       " << O.ProfileTraps
-            << "\n  run traps:           " << O.RunTraps
-            << "\n  corrupt db rejected: " << O.ProfileCorruptRejects
-            << "\n  corrupt db accepted: " << O.ProfileCorruptAccepts
-            << "\n  completed runs:      " << O.Completed << '\n';
-  return 0;
+  // Fork the workers; each gets a status file for crash checkpoints.
+  std::vector<pid_t> Pids(SO.Jobs, -1);
+  for (unsigned K = 0; K != SO.Jobs; ++K) {
+    std::string Path = statusPath(K);
+    int Fd = open(Path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0600);
+    if (Fd < 0) {
+      std::cerr << "mica-stress: cannot create " << Path << ": "
+                << std::strerror(errno) << '\n';
+      return 2;
+    }
+    std::cout.flush();
+    std::cerr.flush();
+    pid_t Pid = fork();
+    if (Pid < 0) {
+      std::cerr << "mica-stress: fork failed: " << std::strerror(errno)
+                << '\n';
+      return 2;
+    }
+    if (Pid == 0) {
+      StatusFd = Fd;
+      Outcomes O = workerLoop(SO, K);
+      writeDone(O);
+      std::cout.flush();
+      std::cerr.flush();
+      _exit(0);
+    }
+    close(Fd);
+    Pids[K] = Pid;
+  }
+
+  // Reap all workers; a signal death means the no-crash invariant broke,
+  // so recover the checkpoint and print the repro line.
+  Outcomes Total;
+  bool Crashed = false;
+  for (unsigned K = 0; K != SO.Jobs; ++K) {
+    int Status = 0;
+    if (waitpid(Pids[K], &Status, 0) < 0)
+      continue;
+    std::string Text = readAll(statusPath(K));
+    (void)unlink(statusPath(K).c_str());
+    if (WIFSIGNALED(Status)) {
+      Crashed = true;
+      reportCrash(SO, K, WTERMSIG(Status), Text);
+      continue;
+    }
+    Outcomes O;
+    if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0 && parseDone(Text, O)) {
+      Total.add(O);
+    } else {
+      Crashed = true;
+      std::cerr << "mica-stress: worker " << K << " exited abnormally (code "
+                << (WIFEXITED(Status) ? WEXITSTATUS(Status) : -1) << ")\n";
+    }
+  }
+
+  std::cout << "mica-stress: " << Total.Iterations << " iteration(s), seed "
+            << SO.Seed << ", jobs " << SO.Jobs
+            << "\n  load rejects:        " << Total.LoadRejects
+            << "\n  profile traps:       " << Total.ProfileTraps
+            << "\n  run traps:           " << Total.RunTraps
+            << "\n  corrupt db rejected: " << Total.ProfileCorruptRejects
+            << "\n  corrupt db accepted: " << Total.ProfileCorruptAccepts
+            << "\n  injected failures:   " << Total.InjectedFailures
+            << "\n  completed runs:      " << Total.Completed << '\n';
+  return Crashed ? 1 : 0;
 }

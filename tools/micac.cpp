@@ -34,11 +34,18 @@
 ///   --max-depth N       Mica recursion depth limit                [800]
 ///   --max-nodes N       executed-node budget per run              [4e9]
 ///   --max-objects N     live heap object-count limit              [16M]
+///   --deadline-ms N     whole-invocation wall-clock deadline; phases
+///                       and runs stop cooperatively with exit 23  [off]
+///
+/// The SELSPEC_FAILPOINTS environment variable (name=fail|crash, comma
+/// separated; see support/FailPoint.h) arms deterministic fault injection
+/// for resilience testing; a bad spec is a usage error.
 ///
 /// Exit codes: 0 success; 1 load/compile diagnostics; 2 usage errors;
 /// 10-17 runtime traps (type error, dispatch failure, bounds, ...);
 /// 20-22 resource limits (node budget, recursion depth, heap);
-/// 70 internal errors.  See trapExitCode() in interp/RuntimeTrap.h.
+/// 23 deadline exceeded; 70 internal errors.  See trapExitCode() in
+/// interp/RuntimeTrap.h.
 ///
 /// File arguments are looked up in the working directory first, then in
 /// the repository's mica/ directory.
@@ -51,6 +58,7 @@
 #include "driver/Report.h"
 #include "profile/ProfileDb.h"
 #include "specialize/Directives.h"
+#include "support/FailPoint.h"
 #include "support/PhaseTimer.h"
 
 #include <algorithm>
@@ -79,7 +87,13 @@ struct CliOptions {
   std::string ProfileDbPath;
   std::string DirectivesPath;
   ResourceLimits Limits;
+  int64_t DeadlineMs = 0; // 0 = no deadline
 };
+
+/// Whole-invocation stop signal; armed in main() when --deadline-ms is
+/// given and threaded through every Workbench and Interpreter.
+CancelToken GlobalCancel;
+const CancelToken *ActiveCancel = nullptr;
 
 [[noreturn]] void usage(const char *Message = nullptr) {
   if (Message)
@@ -89,7 +103,7 @@ struct CliOptions {
       "  --input N  --profile-input N  --config NAME  --threshold T\n"
       "  --no-cascade  --no-stdlib  --feedback  --return-classes\n"
       "  --stats  --time-report  --db FILE  --profile-db FILE\n"
-      "  --max-depth N  --max-nodes N  --max-objects N\n";
+      "  --max-depth N  --max-nodes N  --max-objects N  --deadline-ms N\n";
   std::exit(2);
 }
 
@@ -147,6 +161,10 @@ CliOptions parseArgs(int Argc, char **Argv) {
       O.Limits.MaxObjects = parseIntArg<uint64_t>(NextValue(), "--max-objects");
       if (O.Limits.MaxObjects == 0)
         usage("--max-objects must be at least 1");
+    } else if (A == "--deadline-ms") {
+      O.DeadlineMs = parseIntArg<int64_t>(NextValue(), "--deadline-ms");
+      if (O.DeadlineMs <= 0)
+        usage("--deadline-ms must be at least 1");
     } else if (A == "--profile-db")
       O.ProfileDbPath = NextValue();
     else if (A == "--no-cascade")
@@ -200,10 +218,14 @@ std::unique_ptr<Workbench> load(const CliOptions &O) {
   }
   std::string Err;
   std::unique_ptr<Workbench> W =
-      Workbench::fromSources(Sources, Err, O.WithStdlib);
+      Workbench::fromSources(Sources, Err, O.WithStdlib, ActiveCancel);
   if (!W) {
-    std::cerr << Err;
-    std::exit(1);
+    if (!Err.empty() && Err.back() != '\n')
+      Err += '\n';
+    std::cerr << "micac: " << Err;
+    std::exit(ActiveCancel && ActiveCancel->stopRequested()
+                  ? trapExitCode(TrapKind::DeadlineExceeded)
+                  : 1);
   }
   W->setLimits(O.Limits);
   return W;
@@ -299,6 +321,7 @@ int cmdRun(const CliOptions &O) {
     RunOptions RO;
     RO.Output = &Out;
     RO.Limits = O.Limits;
+    RO.Cancel = ActiveCancel;
     Interpreter I(*CP, RO);
     if (!I.callMain(O.Input)) {
       std::cerr << "micac: " << I.errorMessage() << '\n';
@@ -358,6 +381,13 @@ int cmdDump(const CliOptions &O) {
   std::unique_ptr<CompiledProgram> CP =
       W->compileOnly(O.Configuration, O.Sel, O.Opt);
   flushDiags(*W);
+  if (!CP) {
+    // The reason (injected failure or deadline) was already rendered via
+    // flushDiags or sits in lastTrap().
+    if (W->lastTrap().isTrap())
+      std::cerr << "micac: " << W->lastTrap().Message << '\n';
+    return failureExit(W->lastTrap());
+  }
   const Program &P = W->program();
   for (const CompiledMethod &CM : CP->versions()) {
     if (!CM.Body)
@@ -458,7 +488,16 @@ int cmdProfile(const CliOptions &O) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  std::string FpError;
+  if (!failpoint::armFromEnv(FpError)) {
+    std::cerr << "micac: " << FpError << '\n';
+    return 2;
+  }
   CliOptions O = parseArgs(Argc, Argv);
+  if (O.DeadlineMs > 0) {
+    GlobalCancel.setDeadline(Deadline::afterMillis(O.DeadlineMs));
+    ActiveCancel = &GlobalCancel;
+  }
   if (O.Command == "check")
     return cmdCheck(O);
   if (O.Command == "run")

@@ -1,0 +1,457 @@
+//===- tools/micad.cpp - Supervised Mica batch server -----------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-running batch front end for the pipeline, built for resilience
+/// experiments: jobs arrive as newline-delimited requests, each job runs
+/// in a forked worker process under a watchdog, and the parent emits one
+/// JSON result line per job no matter how the worker dies.
+///
+///   micad [jobs-file] [options]          (reads stdin when no file given)
+///
+/// Job request lines are whitespace-separated key=value pairs; blank lines
+/// and '#' comments are skipped:
+///
+///   id=r1 src=richards.mica config=cha input=3
+///   id=r2 src=richards.mica config=base input=2000 deadline-ms=100 retries=0
+///   id=r3 src=richards.mica config=cha input=3 retries=1
+///         inject=interp.frame-acquire=crash   (one line in practice)
+///
+/// Keys: src (required), id, config (base|cust|cust-mm|cha|selective),
+/// input, profile-input, deadline-ms, retries, inject (SELSPEC_FAILPOINTS
+/// syntax, armed in the worker on the FIRST attempt only — injected faults
+/// model transient failures), max-depth, max-nodes, max-objects.
+///
+/// Supervision: the worker runs the whole pipeline in-process with the
+/// job's resource guards and a cooperative deadline token; the parent
+/// polls waitpid(WNOHANG) and SIGKILLs a worker that overruns its
+/// deadline by --grace-ms (the cooperative path normally exits 23 first).
+/// Crashed (signalled) and timed-out workers are retried with exponential
+/// backoff plus deterministic jitter until the job's retry budget is
+/// spent; deterministic failures (traps, diagnostics) are never retried.
+///
+/// Each job produces one JSON line on stdout:
+///
+///   {"id":"r2","src":"richards.mica","config":"base","outcome":"timeout",
+///    "attempts":1,"retries_used":0,"exit":23,"wall_ms":104}
+///
+/// outcome is one of: "ok", "retried(n)" (ok after n retries),
+/// "trap:<kind>", "timeout", "gave-up".  Signalled workers also report
+/// "signal":N.  micad exits 0 once every request produced a result line
+/// (outcomes carry the per-job verdicts) and 2 on usage/input errors, so
+/// supervising it composes.
+///
+/// Options:
+///   --default-deadline-ms N   deadline for jobs that set none   [10000]
+///   --default-retries N       retry budget default              [1]
+///   --grace-ms N              SIGKILL lag past the deadline     [500]
+///   --max-line-bytes N        reject longer request lines       [65536]
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "interp/RuntimeTrap.h"
+#include "support/FailPoint.h"
+
+#include <cerrno>
+#include <charconv>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace selspec;
+
+namespace {
+
+struct ServerOptions {
+  std::string JobsPath; // empty = stdin
+  int64_t DefaultDeadlineMs = 10000;
+  int DefaultRetries = 1;
+  int64_t GraceMs = 500;
+  size_t MaxLineBytes = 65536;
+};
+
+struct Job {
+  std::string Id;
+  std::string Src;
+  Config Configuration = Config::Selective;
+  int64_t Input = 10;
+  int64_t ProfileInput = -1;
+  int64_t DeadlineMs = -1; // -1 = server default
+  int Retries = -1;        // -1 = server default
+  std::string Inject;
+  ResourceLimits Limits;
+};
+
+[[noreturn]] void usage(const char *Message = nullptr) {
+  if (Message)
+    std::cerr << "micad: " << Message << "\n\n";
+  std::cerr << "usage: micad [jobs-file] [--default-deadline-ms N]\n"
+               "             [--default-retries N] [--grace-ms N]\n"
+               "             [--max-line-bytes N]\n"
+               "jobs are key=value lines: src= id= config= input= "
+               "profile-input=\n"
+               "  deadline-ms= retries= inject= max-depth= max-nodes= "
+               "max-objects=\n";
+  std::exit(2);
+}
+
+template <typename T> bool parseInt(const std::string &Text, T &Out) {
+  auto [Ptr, Ec] =
+      std::from_chars(Text.data(), Text.data() + Text.size(), Out);
+  return Ec == std::errc() && Ptr == Text.data() + Text.size();
+}
+
+bool parseConfig(const std::string &Name, Config &Out) {
+  if (Name == "base") Out = Config::Base;
+  else if (Name == "cust") Out = Config::Cust;
+  else if (Name == "cust-mm" || Name == "custmm") Out = Config::CustMM;
+  else if (Name == "cha") Out = Config::CHA;
+  else if (Name == "selective") Out = Config::Selective;
+  else return false;
+  return true;
+}
+
+/// Parses one request line.  False + message when the line is malformed —
+/// the job is then reported as rejected without forking anything.
+bool parseJob(const std::string &Line, Job &J, std::string &ErrorOut) {
+  std::istringstream IS(Line);
+  std::string Tok;
+  while (IS >> Tok) {
+    size_t Eq = Tok.find('=');
+    if (Eq == std::string::npos || Eq == 0) {
+      ErrorOut = "malformed token '" + Tok + "' (want key=value)";
+      return false;
+    }
+    std::string Key = Tok.substr(0, Eq);
+    std::string Val = Tok.substr(Eq + 1);
+    bool Ok = true;
+    if (Key == "id") J.Id = Val;
+    else if (Key == "src") J.Src = Val;
+    else if (Key == "config") Ok = parseConfig(Val, J.Configuration);
+    else if (Key == "input") Ok = parseInt(Val, J.Input);
+    else if (Key == "profile-input") Ok = parseInt(Val, J.ProfileInput);
+    else if (Key == "deadline-ms") Ok = parseInt(Val, J.DeadlineMs);
+    else if (Key == "retries") Ok = parseInt(Val, J.Retries);
+    else if (Key == "inject") J.Inject = Val; // validated in the worker
+    else if (Key == "max-depth") Ok = parseInt(Val, J.Limits.MaxDepth);
+    else if (Key == "max-nodes") Ok = parseInt(Val, J.Limits.MaxNodes);
+    else if (Key == "max-objects") Ok = parseInt(Val, J.Limits.MaxObjects);
+    else {
+      ErrorOut = "unknown key '" + Key + "'";
+      return false;
+    }
+    if (!Ok) {
+      ErrorOut = "bad value for '" + Key + "': '" + Val + "'";
+      return false;
+    }
+  }
+  if (J.Src.empty()) {
+    ErrorOut = "missing src=";
+    return false;
+  }
+  if (J.ProfileInput < 0)
+    J.ProfileInput = J.Input;
+  return true;
+}
+
+/// Runs one attempt of \p J to completion inside the forked worker.
+/// Returns the process exit code: 0 ok, trap codes for runtime failures
+/// (23 = cooperative deadline), 1 diagnostics, 2 bad inject spec.
+int runJobInWorker(const Job &J, bool ArmInject) {
+  if (ArmInject && !J.Inject.empty()) {
+    std::string E;
+    if (!failpoint::configure(J.Inject, E)) {
+      std::cerr << "micad worker: " << E << '\n';
+      return 2;
+    }
+  }
+  CancelToken Tok;
+  if (J.DeadlineMs > 0)
+    Tok.setDeadline(Deadline::afterMillis(J.DeadlineMs));
+
+  std::string Err;
+  std::unique_ptr<Workbench> W =
+      Workbench::fromFiles({J.Src}, Err, /*WithStdlib=*/true, &Tok);
+  if (!W) {
+    std::cerr << "micad worker: " << Err << '\n';
+    return Tok.stopRequested() ? trapExitCode(TrapKind::DeadlineExceeded) : 1;
+  }
+  W->setLimits(J.Limits);
+
+  if (J.Configuration == Config::Selective &&
+      !W->collectProfile(J.ProfileInput, Err)) {
+    std::cerr << "micad worker: " << Err << '\n';
+    return W->lastTrap().isTrap() ? trapExitCode(W->lastTrap().Kind) : 1;
+  }
+  std::optional<ConfigResult> R =
+      W->runConfig(J.Configuration, J.Input, Err);
+  std::string DiagText = W->diagnostics().toString();
+  if (!DiagText.empty())
+    std::cerr << DiagText;
+  if (!R) {
+    std::cerr << "micad worker: " << Err << '\n';
+    return W->lastTrap().isTrap() ? trapExitCode(W->lastTrap().Kind) : 1;
+  }
+  return 0;
+}
+
+/// How one worker attempt ended, as observed by the supervisor.
+struct AttemptResult {
+  enum Kind { Ok, Trap, SoftTimeout, HardTimeout, Crash, Rejected } K = Ok;
+  int ExitCode = 0;
+  int Signal = 0;
+  TrapKind TheTrap = TrapKind::None;
+  int64_t WallMs = 0;
+  bool retryable() const {
+    return K == SoftTimeout || K == HardTimeout || K == Crash;
+  }
+};
+
+int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Forks a worker for one attempt and supervises it: polls
+/// waitpid(WNOHANG) and SIGKILLs the child once it overruns the job
+/// deadline by the grace period.
+AttemptResult superviseAttempt(const Job &J, bool ArmInject,
+                               const ServerOptions &O) {
+  AttemptResult R;
+  std::cout.flush();
+  std::cerr.flush();
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    std::cerr << "micad: fork failed: " << std::strerror(errno) << '\n';
+    R.K = AttemptResult::Crash;
+    return R;
+  }
+  if (Pid == 0) {
+    int Code = runJobInWorker(J, ArmInject);
+    std::cout.flush();
+    std::cerr.flush();
+    // _exit: the worker shares the parent's stdio/atexit state and must
+    // not run global destructors or flush inherited buffers twice.
+    _exit(Code);
+  }
+
+  int64_t Start = nowMs();
+  int64_t KillAfter = J.DeadlineMs > 0 ? J.DeadlineMs + O.GraceMs : -1;
+  bool SentKill = false;
+  for (;;) {
+    int Status = 0;
+    pid_t Got = waitpid(Pid, &Status, WNOHANG);
+    if (Got < 0) {
+      if (errno == EINTR)
+        continue;
+      std::cerr << "micad: waitpid failed: " << std::strerror(errno) << '\n';
+      kill(Pid, SIGKILL);
+      waitpid(Pid, &Status, 0);
+      R.K = AttemptResult::Crash;
+      return R;
+    }
+    if (Got == Pid) {
+      R.WallMs = nowMs() - Start;
+      if (WIFSIGNALED(Status)) {
+        R.Signal = WTERMSIG(Status);
+        R.K = SentKill ? AttemptResult::HardTimeout : AttemptResult::Crash;
+        return R;
+      }
+      R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : 70;
+      if (R.ExitCode == 0) {
+        R.K = AttemptResult::Ok;
+      } else if (R.ExitCode == trapExitCode(TrapKind::DeadlineExceeded)) {
+        R.K = AttemptResult::SoftTimeout;
+        R.TheTrap = TrapKind::DeadlineExceeded;
+      } else if (trapKindForExitCode(R.ExitCode) != TrapKind::None) {
+        R.K = AttemptResult::Trap;
+        R.TheTrap = trapKindForExitCode(R.ExitCode);
+      } else {
+        R.K = AttemptResult::Rejected; // diagnostics / bad job, final
+      }
+      return R;
+    }
+    if (KillAfter >= 0 && !SentKill && nowMs() - Start >= KillAfter) {
+      kill(Pid, SIGKILL);
+      SentKill = true;
+    }
+    usleep(2000);
+  }
+}
+
+/// Deterministic per-(job, attempt) jitter so reruns back off identically.
+int64_t backoffMs(const std::string &Id, int Attempt) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Id)
+    H = (H ^ static_cast<unsigned char>(C)) * 1099511628211ull;
+  H = (H ^ static_cast<uint64_t>(Attempt)) * 1099511628211ull;
+  int64_t Base = 50ll << (Attempt < 6 ? Attempt : 6); // cap the exponent
+  return Base + static_cast<int64_t>(H % 64);
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\', Out += C;
+    else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else
+      Out += C;
+  }
+  return Out;
+}
+
+/// Emits the one JSON result line for a finished job.
+void emitResult(const Job &J, const std::string &Outcome, int Attempts,
+                const AttemptResult &Last) {
+  std::cout << "{\"id\":\"" << jsonEscape(J.Id) << "\",\"src\":\""
+            << jsonEscape(J.Src) << "\",\"config\":\""
+            << configName(J.Configuration) << "\",\"outcome\":\"" << Outcome
+            << "\",\"attempts\":" << Attempts
+            << ",\"retries_used\":" << (Attempts > 0 ? Attempts - 1 : 0)
+            << ",\"exit\":" << Last.ExitCode;
+  if (Last.Signal)
+    std::cout << ",\"signal\":" << Last.Signal;
+  std::cout << ",\"wall_ms\":" << Last.WallMs << "}" << std::endl;
+}
+
+/// Runs one job to a final outcome, retrying transient failures.
+void runJob(Job J, const ServerOptions &O, size_t LineNo) {
+  if (J.Id.empty())
+    J.Id = "line-" + std::to_string(LineNo);
+  if (J.DeadlineMs < 0)
+    J.DeadlineMs = O.DefaultDeadlineMs;
+  if (J.Retries < 0)
+    J.Retries = O.DefaultRetries;
+
+  AttemptResult Last;
+  int Attempts = 0;
+  for (;;) {
+    ++Attempts;
+    // Injected faults model transient failures: armed on the first
+    // attempt only, so a retry demonstrates recovery.
+    Last = superviseAttempt(J, /*ArmInject=*/Attempts == 1, O);
+    if (Last.K == AttemptResult::Ok) {
+      emitResult(J, Attempts == 1
+                        ? "ok"
+                        : "retried(" + std::to_string(Attempts - 1) + ")",
+                 Attempts, Last);
+      return;
+    }
+    if (!Last.retryable() || Attempts > J.Retries)
+      break;
+    usleep(static_cast<useconds_t>(backoffMs(J.Id, Attempts) * 1000));
+  }
+
+  std::string Outcome;
+  switch (Last.K) {
+  case AttemptResult::Trap:
+    Outcome = std::string("trap:") + trapKindName(Last.TheTrap);
+    break;
+  case AttemptResult::SoftTimeout:
+  case AttemptResult::HardTimeout:
+    Outcome = "timeout";
+    break;
+  default:
+    Outcome = "gave-up";
+    break;
+  }
+  emitResult(J, Outcome, Attempts, Last);
+}
+
+ServerOptions parseArgs(int Argc, char **Argv) {
+  ServerOptions O;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextValue = [&]() -> std::string {
+      if (I + 1 >= Argc)
+        usage(("missing value after " + A).c_str());
+      return Argv[++I];
+    };
+    auto NextInt = [&](const char *Flag) {
+      int64_t V = 0;
+      if (!parseInt(NextValue(), V) || V < 0)
+        usage((std::string("bad value for ") + Flag).c_str());
+      return V;
+    };
+    if (A == "--default-deadline-ms")
+      O.DefaultDeadlineMs = NextInt("--default-deadline-ms");
+    else if (A == "--default-retries")
+      O.DefaultRetries = static_cast<int>(NextInt("--default-retries"));
+    else if (A == "--grace-ms")
+      O.GraceMs = NextInt("--grace-ms");
+    else if (A == "--max-line-bytes")
+      O.MaxLineBytes = static_cast<size_t>(NextInt("--max-line-bytes"));
+    else if (!A.empty() && A[0] == '-')
+      usage(("unknown option " + A).c_str());
+    else if (O.JobsPath.empty())
+      O.JobsPath = A;
+    else
+      usage("more than one jobs file");
+  }
+  return O;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions O = parseArgs(Argc, Argv);
+
+  // A worker's death must never take the server with it.
+  signal(SIGPIPE, SIG_IGN);
+
+  std::ifstream FileIn;
+  if (!O.JobsPath.empty()) {
+    FileIn.open(O.JobsPath);
+    if (!FileIn) {
+      std::cerr << "micad: cannot read '" << O.JobsPath << "'\n";
+      return 2;
+    }
+  }
+  std::istream &In = O.JobsPath.empty() ? std::cin : FileIn;
+
+  size_t LineNo = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    size_t Start = Line.find_first_not_of(" \t");
+    if (Start == std::string::npos || Line[Start] == '#')
+      continue;
+    Job J;
+    std::string Err;
+    if (Line.size() > O.MaxLineBytes)
+      Err = "request line exceeds --max-line-bytes";
+    if (Err.empty() && !parseJob(Line, J, Err))
+      Err = "bad request: " + Err;
+    if (!Err.empty()) {
+      if (J.Id.empty())
+        J.Id = "line-" + std::to_string(LineNo);
+      std::cerr << "micad: line " << LineNo << ": " << Err << '\n';
+      AttemptResult Rej;
+      Rej.K = AttemptResult::Rejected;
+      Rej.ExitCode = 2;
+      emitResult(J, "gave-up", 0, Rej);
+      continue;
+    }
+    runJob(std::move(J), O, LineNo);
+  }
+  return 0;
+}

@@ -6,6 +6,8 @@
 
 #include "BenchCommon.h"
 
+#include "support/Metrics.h"
+
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -148,7 +150,9 @@ bool selspec::bench::writeBenchJson(const SuiteResult &R) {
        << "      \"code_size\": " << CR.CodeSize << "\n"
        << "    }" << (I + 1 == R.ByConfig.size() ? "" : ",") << "\n";
   }
-  OS << "  ]\n}\n";
+  // The process-wide counter registry (dispatcher.*, interp.*, ...),
+  // accumulated across every config's runs above.
+  OS << "  ],\n  \"counters\": " << metrics::toJson("  ") << "\n}\n";
   return true;
 }
 

@@ -8,6 +8,7 @@
 
 #include "profile/ProfileDb.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
 #include "support/PhaseTimer.h"
 
 #include <chrono>
@@ -42,6 +43,7 @@ bool Workbench::phaseGate(const char *FailpointName, const char *Phase,
     return false;
   }
   if (Cancel && Cancel->stopRequested()) {
+    metrics::named("deadline.expired").add();
     LastTrap.reset();
     LastTrap.Kind = TrapKind::DeadlineExceeded;
     LastTrap.Message = Cancel->reason() + " (before " + Phase + ")";

@@ -7,6 +7,7 @@
 #include "interp/Interpreter.h"
 
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
 
 #include <ostream>
 #include <sstream>
@@ -35,12 +36,47 @@ size_t nativeStackBudget() {
 #endif
   return Budget;
 }
+
+metrics::Counter CtrDynamicDispatches("interp.dynamic_dispatches");
+metrics::Counter CtrVersionSelects("interp.version_selects");
+metrics::Counter CtrStaticCalls("interp.static_calls");
+metrics::Counter CtrInlinePrims("interp.inline_prims");
+metrics::Counter CtrPredictedHits("interp.predicted_hits");
+metrics::Counter CtrPredictedMisses("interp.predicted_misses");
+metrics::Counter CtrFeedbackHits("interp.feedback_hits");
+metrics::Counter CtrFeedbackMisses("interp.feedback_misses");
+metrics::Counter CtrClosuresCreated("interp.closures_created");
+metrics::Counter CtrClosureCalls("interp.closure_calls");
+metrics::Counter CtrAllocations("interp.allocations");
+metrics::Counter CtrMethodInvocations("interp.method_invocations");
+metrics::Counter CtrNodesEvaluated("interp.nodes_evaluated");
+metrics::Counter CtrCycles("interp.cycles");
+metrics::Counter CtrDeadlineExpired("deadline.expired");
 } // namespace
 
 Interpreter::Interpreter(CompiledProgram &CP, RunOptions Opts,
                          CostModel Costs)
     : CP(CP), P(CP.program()), Opts(Opts), Costs(Costs), Disp(P),
       StackBudget(nativeStackBudget()) {}
+
+Interpreter::~Interpreter() {
+  // RunStats stays a plain struct on the hot path; totals reach the
+  // registry once per run, here.
+  CtrDynamicDispatches.add(Stats.DynamicDispatches);
+  CtrVersionSelects.add(Stats.VersionSelects);
+  CtrStaticCalls.add(Stats.StaticCalls);
+  CtrInlinePrims.add(Stats.InlinePrims);
+  CtrPredictedHits.add(Stats.PredictedHits);
+  CtrPredictedMisses.add(Stats.PredictedMisses);
+  CtrFeedbackHits.add(Stats.FeedbackHits);
+  CtrFeedbackMisses.add(Stats.FeedbackMisses);
+  CtrClosuresCreated.add(Stats.ClosuresCreated);
+  CtrClosureCalls.add(Stats.ClosureCalls);
+  CtrAllocations.add(Stats.Allocations);
+  CtrMethodInvocations.add(Stats.MethodInvocations);
+  CtrNodesEvaluated.add(Stats.NodesEvaluated);
+  CtrCycles.add(Stats.Cycles);
+}
 
 std::string Interpreter::valueToString(const Value &V) const {
   switch (V.kind()) {
@@ -168,6 +204,7 @@ Value Interpreter::failHeapLimit(Control &C, SourceLoc Loc) {
 }
 
 Value Interpreter::failDeadline(Control &C, SourceLoc Loc) {
+  CtrDeadlineExpired.add();
   return fail(C, TrapKind::DeadlineExceeded, Loc,
               Opts.Cancel ? Opts.Cancel->reason() : "execution cancelled");
 }
@@ -889,6 +926,7 @@ Value Interpreter::callGeneric(const std::string &Name,
   // A deadline that expired before entry fails immediately rather than
   // waiting for the first sampled chargeNode poll.
   if (Opts.Cancel && Opts.Cancel->stopRequested()) {
+    CtrDeadlineExpired.add();
     failTop(TrapKind::DeadlineExceeded, Opts.Cancel->reason());
     return Value::nil();
   }

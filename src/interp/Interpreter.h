@@ -92,6 +92,10 @@ public:
   explicit Interpreter(CompiledProgram &CP, RunOptions Opts = {},
                        CostModel Costs = {});
 
+  /// Publishes the accumulated RunStats onto the process-wide metrics
+  /// registry (`interp.*` counters).
+  ~Interpreter();
+
   /// Invokes `main(Arg)`.  Returns false on any runtime error (see
   /// trap() / errorMessage()).
   bool callMain(int64_t Arg);

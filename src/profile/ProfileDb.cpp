@@ -8,6 +8,8 @@
 
 #include "hierarchy/Program.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
+#include "support/PhaseTimer.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -40,6 +42,13 @@ std::string toHex16(uint64_t V) {
                 static_cast<unsigned long long>(V));
   return Buf;
 }
+
+metrics::Counter CtrLoads("profiledb.loads");
+metrics::Counter CtrLoadFailures("profiledb.load_failures");
+metrics::Counter CtrLoadRecoveries("profiledb.load_recoveries");
+metrics::Counter CtrSaves("profiledb.saves");
+metrics::Counter CtrSaveFailures("profiledb.save_failures");
+metrics::Counter CtrArcsDropped("profiledb.arcs_dropped");
 
 } // namespace
 
@@ -223,6 +232,7 @@ size_t ProfileDb::validate(const std::string &ProgramName, const Program &P,
                                    "': dropping arc (" + Why + ")");
   }
   if (Dropped) {
+    CtrArcsDropped.add(Dropped);
     G.clear();
     for (const Arc &A : Kept)
       G.addHits(A.Site, A.Caller, A.Callee, A.Weight);
@@ -250,8 +260,19 @@ static uint64_t peekGeneration(const std::string &Path) {
   return Gen;
 }
 
+namespace {
+/// Books the save's outcome exactly once whichever of the many error
+/// returns is taken: Ok stays false unless the happy path flips it.
+struct SaveOutcome {
+  bool Ok = false;
+  ~SaveOutcome() { (Ok ? CtrSaves : CtrSaveFailures).add(); }
+};
+} // namespace
+
 bool ProfileDb::saveToFile(const std::string &Path,
                            Diagnostics &Diags) const {
+  PhaseTimer::Scope Timing("profiledb.save");
+  SaveOutcome Outcome;
   // Crash-safe sequence: temp write -> fsync -> rotate old -> rename.
   // Each failpoint returns immediately, leaving exactly the disk state a
   // crash at that step would leave (the torn-write tests depend on it).
@@ -325,6 +346,7 @@ bool ProfileDb::saveToFile(const std::string &Path,
     return false;
   if (std::rename(Tmp.c_str(), Path.c_str()) != 0)
     return osError("cannot rename temp into");
+  Outcome.Ok = true;
   return true;
 }
 
@@ -351,6 +373,7 @@ bool ProfileDb::loadOneFile(const std::string &Path, Diagnostics &Diags) {
 }
 
 bool ProfileDb::loadFromFile(const std::string &Path, Diagnostics &Diags) {
+  PhaseTimer::Scope Timing("profiledb.load");
   Diagnostics Primary;
   bool PrimaryOk = false;
   if (failpoint::anyArmed() && failpoint::triggered("profiledb.load.open"))
@@ -359,13 +382,17 @@ bool ProfileDb::loadFromFile(const std::string &Path, Diagnostics &Diags) {
                       " while loading profile db '" + Path + "'");
   else
     PrimaryOk = loadOneFile(Path, Primary);
-  if (PrimaryOk)
+  if (PrimaryOk) {
+    CtrLoads.add();
     return true;
+  }
 
   // Primary missing, torn, or corrupt: fall back to the last good
   // generation the crash-safe saver rotated aside.
   Diagnostics Backup;
   if (loadOneFile(Path + ".bak", Backup)) {
+    CtrLoads.add();
+    CtrLoadRecoveries.add();
     for (const Diagnostic &D : Primary.all())
       Diags.warning(D.Loc, D.Message);
     Diags.warning(SourceLoc(),
@@ -374,6 +401,7 @@ bool ProfileDb::loadFromFile(const std::string &Path, Diagnostics &Diags) {
                       " from '" + Path + ".bak'");
     return true;
   }
+  CtrLoadFailures.add();
   for (const Diagnostic &D : Primary.all())
     Diags.error(D.Loc, D.Message);
   return false;

@@ -6,16 +6,37 @@
 
 #include "runtime/Dispatcher.h"
 
+#include "support/Metrics.h"
+
 using namespace selspec;
+
+namespace {
+
+metrics::Counter CtrLookups("dispatcher.lookups");
+metrics::Counter CtrPicHits("dispatcher.pic_hits");
+metrics::Counter CtrMemoHits("dispatcher.memo_hits");
+metrics::Counter CtrFullLookups("dispatcher.full_lookups");
+metrics::Counter CtrMegamorphicSites("dispatcher.megamorphic_sites");
+metrics::Counter CtrMemoCollisions("dispatcher.memo_collisions");
+
+} // namespace
+
+Dispatcher::~Dispatcher() {
+  CtrLookups.add(S.Lookups);
+  CtrPicHits.add(S.PicHits);
+  CtrMemoHits.add(S.MemoHits);
+  CtrFullLookups.add(S.FullLookups);
+  CtrMegamorphicSites.add(S.MegamorphicSites);
+  CtrMemoCollisions.add(S.MemoCollisions);
+}
 
 uint64_t Dispatcher::tupleKey(GenericId G,
                               const std::vector<ClassId> &ArgClasses) {
-  // FNV-style mix of the generic id and argument classes.  Collisions only
-  // cost correctness if two distinct tuples hash equal; to stay exact we
-  // only use this key for the memo map *together with* a per-key check in
-  // lookup (the PIC path already compares classes exactly).  The class
-  // universe is small (< 2^10) and arity < 8, so pack exactly when
-  // possible.
+  // FNV-style mix of the generic id and argument classes.  The shift
+  // discards high bits once 10 * arity exceeds the word, so distinct
+  // tuples can and do alias at higher arities; the memo stores the exact
+  // tuple and lookup() verifies it on every hit, so a collision costs one
+  // full dispatch, never a wrong target.
   uint64_t Key = G.value();
   for (ClassId C : ArgClasses)
     Key = (Key << 10) ^ (C.value() + 1);
@@ -34,14 +55,20 @@ MethodId Dispatcher::lookup(GenericId G,
                             CallSiteId Site) {
   ++S.Lookups;
 
+  // Probe the site's PIC if it already has one; never create a record on
+  // the probe itself, or every failed/one-shot site would own an empty
+  // Pic forever.
   struct Pic *SitePic = nullptr;
   if (Site.isValid()) {
-    SitePic = &Pics[Site.value()];
-    if (!SitePic->Megamorphic) {
-      for (const PicEntry &E : SitePic->Entries) {
-        if (E.Classes == ArgClasses) {
-          ++S.PicHits;
-          return E.Target;
+    auto PicIt = Pics.find(Site.value());
+    if (PicIt != Pics.end()) {
+      SitePic = &PicIt->second;
+      if (!SitePic->Megamorphic) {
+        for (const PicEntry &E : SitePic->Entries) {
+          if (E.Classes == ArgClasses) {
+            ++S.PicHits;
+            return E.Target;
+          }
         }
       }
     }
@@ -50,25 +77,39 @@ MethodId Dispatcher::lookup(GenericId G,
   uint64_t Key = tupleKey(G, ArgClasses);
   MethodId Target;
   auto It = Memo.find(Key);
-  if (It != Memo.end()) {
+  if (It != Memo.end() && It->second.Generic == G &&
+      It->second.Classes == ArgClasses) {
     ++S.MemoHits;
-    Target = It->second;
+    Target = It->second.Target;
   } else {
+    if (It != Memo.end())
+      ++S.MemoCollisions;
     ++S.FullLookups;
     Target = P.dispatch(G, ArgClasses);
-    Memo.emplace(Key, Target);
+    if (It != Memo.end())
+      It->second = {G, ArgClasses, Target};
+    else
+      Memo.emplace(Key, MemoEntry{G, ArgClasses, Target});
   }
 
-  if (SitePic && Target.isValid() && !SitePic->Megamorphic) {
-    if (SitePic->Entries.size() >= PicCapacity) {
-      // The site is megamorphic: caching per-site no longer pays; drop
-      // the cache and rely on the global memo from now on.
-      SitePic->Megamorphic = true;
-      SitePic->Entries.clear();
-      SitePic->Entries.shrink_to_fit();
-      ++S.MegamorphicSites;
-    } else {
-      SitePic->Entries.push_back({ArgClasses, Target});
+  if (Site.isValid() && Target.isValid()) {
+    // Only materialize the Pic once there is a valid target to cache.
+    // (unordered_map insertion never invalidates references to other
+    // elements, so a SitePic found above stays usable.)
+    Pic &ThePic = SitePic ? *SitePic : Pics[Site.value()];
+    if (!ThePic.Megamorphic) {
+      // Insert first; demote only when the cap is actually exceeded, so a
+      // site that observes exactly PicCapacity tuples keeps serving PIC
+      // hits for all of them.
+      ThePic.Entries.push_back({ArgClasses, Target});
+      if (ThePic.Entries.size() > PicCapacity) {
+        // The site is megamorphic: caching per-site no longer pays; drop
+        // the cache and rely on the global memo from now on.
+        ThePic.Megamorphic = true;
+        ThePic.Entries.clear();
+        ThePic.Entries.shrink_to_fit();
+        ++S.MegamorphicSites;
+      }
     }
   }
   return Target;

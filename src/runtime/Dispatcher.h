@@ -43,7 +43,16 @@ public:
     uint64_t FullLookups = 0;
     /// Sites whose PIC overflowed and was disabled.
     uint64_t MegamorphicSites = 0;
+    /// Memo probes whose key matched but whose (generic, class tuple)
+    /// did not: tupleKey hash collisions, detected by the verify-on-hit
+    /// check and resolved by a full lookup instead of returning the
+    /// cached (wrong) target.
+    uint64_t MemoCollisions = 0;
   };
+
+  /// Publishes the accumulated Stats onto the process-wide metrics
+  /// registry (`dispatcher.*` counters).
+  ~Dispatcher();
 
   /// Looks up the method invoked by generic \p G on \p ArgClasses, using
   /// the PIC of call site \p Site (pass an invalid id to skip the PIC).
@@ -57,6 +66,18 @@ public:
   /// Number of PIC entries of \p Site (its observed polymorphism degree).
   unsigned picSize(CallSiteId Site) const;
 
+  /// Number of sites that own a PIC record (populated or megamorphic);
+  /// sites that only ever missed into the memo never allocate one.
+  size_t numPicSites() const { return Pics.size(); }
+
+  /// The memo key: an FNV-style mix of the generic id and the argument
+  /// classes.  Collidable by construction (10 bits shifted per argument,
+  /// so arity >= 7 aliases); lookup() therefore verifies the stored
+  /// tuple on every hit.  Public so tests can construct colliding
+  /// tuples deliberately.
+  static uint64_t tupleKey(GenericId G,
+                           const std::vector<ClassId> &ArgClasses);
+
 private:
   struct PicEntry {
     std::vector<ClassId> Classes;
@@ -66,15 +87,19 @@ private:
     std::vector<PicEntry> Entries;
     bool Megamorphic = false;
   };
-
-  static uint64_t tupleKey(GenericId G,
-                           const std::vector<ClassId> &ArgClasses);
+  /// One memo slot: the exact tuple the key was computed from, verified
+  /// on every hit so a key collision can never return a wrong target.
+  struct MemoEntry {
+    GenericId Generic;
+    std::vector<ClassId> Classes;
+    MethodId Target;
+  };
 
   const Program &P;
   unsigned PicCapacity;
   Stats S;
   std::unordered_map<uint32_t, Pic> Pics;
-  std::unordered_map<uint64_t, MethodId> Memo;
+  std::unordered_map<uint64_t, MemoEntry> Memo;
 };
 
 } // namespace selspec

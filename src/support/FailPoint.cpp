@@ -6,6 +6,8 @@
 
 #include "support/FailPoint.h"
 
+#include "support/Metrics.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +42,8 @@ constexpr size_t NumNames = sizeof(Names) / sizeof(Names[0]);
 std::atomic<Action> Armed[NumNames];
 std::atomic<unsigned> NumArmed{0};
 std::atomic<uint64_t> Hits{0};
+
+metrics::Counter CtrHits("failpoint.hits");
 
 int indexOf(const std::string &Name) {
   for (size_t I = 0; I != NumNames; ++I)
@@ -134,6 +138,7 @@ bool selspec::failpoint::triggered(const char *Name) {
   if (A == Action::Off)
     return false;
   Hits.fetch_add(1, std::memory_order_relaxed);
+  CtrHits.add();
   if (A == Action::Crash) {
     std::fprintf(stderr, "failpoint '%s': crashing (injected)\n", Name);
     std::fflush(stderr);

@@ -1,0 +1,98 @@
+//===- support/Metrics.cpp - Process-wide counter registry -----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+using namespace selspec;
+using namespace selspec::metrics;
+
+namespace {
+
+// Intrusive registry head.  Constant-initialized, so Counter constructors
+// running during static initialization of other TUs see a valid (null or
+// earlier) head regardless of TU order.
+std::atomic<Counter *> Head{nullptr};
+
+} // namespace
+
+Counter::Counter(const char *Name) : Name(Name) {
+  Counter *Expected = Head.load(std::memory_order_relaxed);
+  do {
+    Next = Expected;
+  } while (!Head.compare_exchange_weak(Expected, this,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed));
+}
+
+Counter &selspec::metrics::named(const char *Name) {
+  for (Counter *C = Head.load(std::memory_order_acquire); C; C = C->Next)
+    if (std::string_view(C->name()) == Name)
+      return *C;
+  // Deliberately leaked: counters live for the process, like the statics.
+  return *new Counter(Name);
+}
+
+std::vector<const Counter *> selspec::metrics::all() {
+  std::vector<const Counter *> Out;
+  for (Counter *C = Head.load(std::memory_order_acquire); C; C = C->Next)
+    Out.push_back(C);
+  return Out;
+}
+
+void selspec::metrics::resetAll() {
+  for (Counter *C = Head.load(std::memory_order_acquire); C; C = C->Next)
+    C->V.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, uint64_t>> selspec::metrics::snapshot() {
+  std::map<std::string, uint64_t> ByName;
+  for (const Counter *C : all())
+    ByName[C->name()] += C->value();
+  return {ByName.begin(), ByName.end()};
+}
+
+std::string selspec::metrics::toJson(const std::string &BaseIndent) {
+  std::ostringstream OS;
+  std::vector<std::pair<std::string, uint64_t>> Snap = snapshot();
+  OS << "{";
+  for (size_t I = 0; I != Snap.size(); ++I)
+    OS << (I ? "," : "") << '\n' << BaseIndent << "  \"" << Snap[I].first
+       << "\": " << Snap[I].second;
+  if (!Snap.empty())
+    OS << '\n' << BaseIndent;
+  OS << "}";
+  return OS.str();
+}
+
+std::string selspec::metrics::toJsonCompact() {
+  std::ostringstream OS;
+  std::vector<std::pair<std::string, uint64_t>> Snap = snapshot();
+  OS << "{";
+  for (size_t I = 0; I != Snap.size(); ++I)
+    OS << (I ? "," : "") << "\"" << Snap[I].first << "\":" << Snap[I].second;
+  OS << "}";
+  return OS.str();
+}
+
+bool selspec::metrics::writeJsonFile(const std::string &Path,
+                                     std::string &ErrorOut) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    ErrorOut = "cannot write metrics file '" + Path + "'";
+    return false;
+  }
+  OS << toJson() << '\n';
+  if (!OS) {
+    ErrorOut = "error writing metrics file '" + Path + "'";
+    return false;
+  }
+  return true;
+}

@@ -21,6 +21,8 @@
 #ifndef SELSPEC_SUPPORT_PHASETIMER_H
 #define SELSPEC_SUPPORT_PHASETIMER_H
 
+#include "support/TraceEmitter.h"
+
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -53,21 +55,30 @@ public:
   /// Renders the phase table ("-- phase times" block).
   void print(std::ostream &OS) const;
 
-  /// RAII measurement of one phase; no-op while the timer is disabled.
+  /// RAII measurement of one phase.  Feeds the flat phase table when the
+  /// timer is enabled and a Chrome-trace span when the process-wide
+  /// TraceEmitter is (either alone suffices); no-op when both are off.
   class Scope {
   public:
     Scope(PhaseTimer &T, const char *Phase)
-        : T(T), Phase(Phase), Active(T.enabled()) {
-      if (Active)
+        : T(T), Phase(Phase), Active(T.enabled()),
+          Tracing(TraceEmitter::global().enabled()) {
+      if (Active || Tracing)
         Start = std::chrono::steady_clock::now();
     }
     explicit Scope(const char *Phase) : Scope(global(), Phase) {}
     ~Scope() {
+      if (!Active && !Tracing)
+        return;
+      uint64_t Nanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count());
       if (Active)
-        T.record(Phase, static_cast<uint64_t>(
-                            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                std::chrono::steady_clock::now() - Start)
-                                .count()));
+        T.record(Phase, Nanos);
+      if (Tracing)
+        TraceEmitter::global().record(
+            Phase, TraceEmitter::global().sinceEpoch(Start), Nanos);
     }
     Scope(const Scope &) = delete;
     Scope &operator=(const Scope &) = delete;
@@ -76,6 +87,7 @@ public:
     PhaseTimer &T;
     const char *Phase;
     bool Active;
+    bool Tracing;
     std::chrono::steady_clock::time_point Start;
   };
 

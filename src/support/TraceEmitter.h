@@ -1,0 +1,85 @@
+//===- support/TraceEmitter.h - Chrome-trace span emitter ------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records completed spans (name + start + duration on one steady clock)
+/// and renders them in the Chrome trace-event JSON format, loadable in
+/// `chrome://tracing` and Perfetto (ui.perfetto.dev).  Spans come from
+/// `PhaseTimer::Scope` — every pipeline phase (parse, resolve, cha,
+/// profile, plan, specialize, optimize, slot-resolve, run) plus the
+/// profile-database load/save scopes — so one `micac --trace-out` file
+/// shows where a whole invocation's wall clock went.
+///
+/// Off by default; while disabled a Scope pays one relaxed atomic load.
+/// While enabled, each completed span takes a mutex for a vector push —
+/// spans are per-phase (a handful per pipeline), never per-node, so the
+/// cost is unmeasurable.  The buffer is capped (MaxSpans); overflowing
+/// spans are counted in `trace.spans_dropped` rather than growing without
+/// bound in a long-running server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_SUPPORT_TRACEEMITTER_H
+#define SELSPEC_SUPPORT_TRACEEMITTER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace selspec {
+
+class TraceEmitter {
+public:
+  struct Span {
+    /// String literal; span sources are compiled-in phase names.
+    const char *Name;
+    /// Nanoseconds since the emitter's epoch (first use of global()).
+    uint64_t StartNanos;
+    uint64_t DurNanos;
+  };
+
+  /// The process-wide emitter every span source reports into.
+  static TraceEmitter &global();
+
+  void setEnabled(bool E) { Enabled.store(E, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds of \p T past the emitter's epoch (0 for earlier times).
+  uint64_t sinceEpoch(std::chrono::steady_clock::time_point T) const;
+
+  /// Records one completed span; drops (and counts) past MaxSpans.
+  void record(const char *Name, uint64_t StartNanos, uint64_t DurNanos);
+
+  size_t numSpans() const;
+  uint64_t numDropped() const;
+  void reset();
+
+  /// Renders `{"traceEvents":[...],"displayTimeUnit":"ms"}`.
+  void print(std::ostream &OS) const;
+
+  /// print() to \p Path + newline; false + message in \p ErrorOut on I/O
+  /// failure.
+  bool writeFile(const std::string &Path, std::string &ErrorOut) const;
+
+  /// Spans kept before dropping; bounds a long-running server's memory.
+  static constexpr size_t MaxSpans = 1 << 16;
+
+private:
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex M;
+  std::vector<Span> Spans;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  uint64_t Dropped = 0;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_SUPPORT_TRACEEMITTER_H

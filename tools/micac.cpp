@@ -36,6 +36,10 @@
 ///   --max-objects N     live heap object-count limit              [16M]
 ///   --deadline-ms N     whole-invocation wall-clock deadline; phases
 ///                       and runs stop cooperatively with exit 23  [off]
+///   --metrics-json FILE write the process-wide counter registry as a
+///                       flat JSON object on exit (any command)
+///   --trace-out FILE    write a Chrome-trace-format (Perfetto-loadable)
+///                       span file of the pipeline phases on exit
 ///
 /// The SELSPEC_FAILPOINTS environment variable (name=fail|crash, comma
 /// separated; see support/FailPoint.h) arms deterministic fault injection
@@ -59,7 +63,9 @@
 #include "profile/ProfileDb.h"
 #include "specialize/Directives.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
 #include "support/PhaseTimer.h"
+#include "support/TraceEmitter.h"
 
 #include <algorithm>
 #include <charconv>
@@ -86,6 +92,8 @@ struct CliOptions {
   std::string DbPath = "profile.db";
   std::string ProfileDbPath;
   std::string DirectivesPath;
+  std::string MetricsJsonPath;
+  std::string TraceOutPath;
   ResourceLimits Limits;
   int64_t DeadlineMs = 0; // 0 = no deadline
 };
@@ -103,7 +111,8 @@ const CancelToken *ActiveCancel = nullptr;
       "  --input N  --profile-input N  --config NAME  --threshold T\n"
       "  --no-cascade  --no-stdlib  --feedback  --return-classes\n"
       "  --stats  --time-report  --db FILE  --profile-db FILE\n"
-      "  --max-depth N  --max-nodes N  --max-objects N  --deadline-ms N\n";
+      "  --max-depth N  --max-nodes N  --max-objects N  --deadline-ms N\n"
+      "  --metrics-json FILE  --trace-out FILE\n";
   std::exit(2);
 }
 
@@ -183,6 +192,10 @@ CliOptions parseArgs(int Argc, char **Argv) {
       O.DbPath = NextValue();
     else if (A == "--directives")
       O.DirectivesPath = NextValue();
+    else if (A == "--metrics-json")
+      O.MetricsJsonPath = NextValue();
+    else if (A == "--trace-out")
+      O.TraceOutPath = NextValue();
     else if (!A.empty() && A[0] == '-')
       usage(("unknown option " + A).c_str());
     else
@@ -487,17 +500,9 @@ int cmdProfile(const CliOptions &O) {
 
 } // namespace
 
-int main(int Argc, char **Argv) {
-  std::string FpError;
-  if (!failpoint::armFromEnv(FpError)) {
-    std::cerr << "micac: " << FpError << '\n';
-    return 2;
-  }
-  CliOptions O = parseArgs(Argc, Argv);
-  if (O.DeadlineMs > 0) {
-    GlobalCancel.setDeadline(Deadline::afterMillis(O.DeadlineMs));
-    ActiveCancel = &GlobalCancel;
-  }
+namespace {
+
+int runCommand(const CliOptions &O) {
   if (O.Command == "check")
     return cmdCheck(O);
   if (O.Command == "run")
@@ -511,4 +516,40 @@ int main(int Argc, char **Argv) {
   if (O.Command == "dump")
     return cmdDump(O);
   usage(("unknown command '" + O.Command + "'").c_str());
+}
+
+/// Writes the --metrics-json / --trace-out sinks after the command ran.
+/// A sink failure degrades a successful invocation to exit 1 but never
+/// masks the command's own failure code.
+int writeObservabilitySinks(const CliOptions &O, int Rc) {
+  std::string Err;
+  if (!O.TraceOutPath.empty() &&
+      !TraceEmitter::global().writeFile(O.TraceOutPath, Err)) {
+    std::cerr << "micac: " << Err << '\n';
+    Rc = Rc ? Rc : 1;
+  }
+  if (!O.MetricsJsonPath.empty() &&
+      !metrics::writeJsonFile(O.MetricsJsonPath, Err)) {
+    std::cerr << "micac: " << Err << '\n';
+    Rc = Rc ? Rc : 1;
+  }
+  return Rc;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string FpError;
+  if (!failpoint::armFromEnv(FpError)) {
+    std::cerr << "micac: " << FpError << '\n';
+    return 2;
+  }
+  CliOptions O = parseArgs(Argc, Argv);
+  if (O.DeadlineMs > 0) {
+    GlobalCancel.setDeadline(Deadline::afterMillis(O.DeadlineMs));
+    ActiveCancel = &GlobalCancel;
+  }
+  if (!O.TraceOutPath.empty())
+    TraceEmitter::global().setEnabled(true);
+  return writeObservabilitySinks(O, runCommand(O));
 }

@@ -40,21 +40,27 @@
 ///
 /// outcome is one of: "ok", "retried(n)" (ok after n retries),
 /// "trap:<kind>", "timeout", "gave-up".  Signalled workers also report
-/// "signal":N.  micad exits 0 once every request produced a result line
-/// (outcomes carry the per-job verdicts) and 2 on usage/input errors, so
-/// supervising it composes.
+/// "signal":N.  Workers that exited (rather than being killed) also
+/// report "metrics":{...} — the worker's own counter registry
+/// (dispatcher.*, interp.*, ...), shipped back over a pipe.  micad exits
+/// 0 once every request produced a result line (outcomes carry the
+/// per-job verdicts) and 2 on usage/input errors, so supervising it
+/// composes.
 ///
 /// Options:
 ///   --default-deadline-ms N   deadline for jobs that set none   [10000]
 ///   --default-retries N       retry budget default              [1]
 ///   --grace-ms N              SIGKILL lag past the deadline     [500]
 ///   --max-line-bytes N        reject longer request lines       [65536]
+///   --metrics-json FILE       write the server's supervision tallies
+///                             (micad.jobs, micad.retries, ...) on exit
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
 #include "interp/RuntimeTrap.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
 
 #include <cerrno>
 #include <charconv>
@@ -81,7 +87,20 @@ struct ServerOptions {
   int DefaultRetries = 1;
   int64_t GraceMs = 500;
   size_t MaxLineBytes = 65536;
+  std::string MetricsJsonPath;
 };
+
+// Supervision tallies, exported by --metrics-json.  Parent-side only:
+// each worker's own counters travel back over the metrics pipe and are
+// embedded per job, never merged into the parent registry.
+metrics::Counter CtrJobs("micad.jobs");
+metrics::Counter CtrOk("micad.ok");
+metrics::Counter CtrRetried("micad.retried");
+metrics::Counter CtrRetries("micad.retries");
+metrics::Counter CtrTimeout("micad.timeout");
+metrics::Counter CtrTrap("micad.trap");
+metrics::Counter CtrGaveUp("micad.gave_up");
+metrics::Counter CtrRejected("micad.rejected");
 
 struct Job {
   std::string Id;
@@ -100,7 +119,7 @@ struct Job {
     std::cerr << "micad: " << Message << "\n\n";
   std::cerr << "usage: micad [jobs-file] [--default-deadline-ms N]\n"
                "             [--default-retries N] [--grace-ms N]\n"
-               "             [--max-line-bytes N]\n"
+               "             [--max-line-bytes N] [--metrics-json FILE]\n"
                "jobs are key=value lines: src= id= config= input= "
                "profile-input=\n"
                "  deadline-ms= retries= inject= max-depth= max-nodes= "
@@ -215,6 +234,10 @@ struct AttemptResult {
   int Signal = 0;
   TrapKind TheTrap = TrapKind::None;
   int64_t WallMs = 0;
+  /// The worker's own counter registry as a compact JSON object, read off
+  /// the metrics pipe; empty when the worker died before writing it (or
+  /// wrote a torn payload).
+  std::string MetricsJson;
   bool retryable() const {
     return K == SoftTimeout || K == HardTimeout || K == Crash;
   }
@@ -234,20 +257,60 @@ AttemptResult superviseAttempt(const Job &J, bool ArmInject,
   AttemptResult R;
   std::cout.flush();
   std::cerr.flush();
+  // The worker reports its counter registry back over a pipe; the whole
+  // payload is a few hundred bytes, far below the pipe buffer, so the
+  // single write before _exit never blocks and the parent can read it
+  // after reaping.  A failed pipe() just loses the metrics, not the job.
+  int MetricsPipe[2] = {-1, -1};
+  if (pipe(MetricsPipe) != 0)
+    MetricsPipe[0] = MetricsPipe[1] = -1;
   pid_t Pid = fork();
   if (Pid < 0) {
     std::cerr << "micad: fork failed: " << std::strerror(errno) << '\n';
+    if (MetricsPipe[0] >= 0) {
+      close(MetricsPipe[0]);
+      close(MetricsPipe[1]);
+    }
     R.K = AttemptResult::Crash;
     return R;
   }
   if (Pid == 0) {
+    if (MetricsPipe[0] >= 0)
+      close(MetricsPipe[0]);
+    // Zero the inherited registry so the exported metrics are this job's
+    // alone, not the parent's supervision tallies.
+    metrics::resetAll();
     int Code = runJobInWorker(J, ArmInject);
     std::cout.flush();
     std::cerr.flush();
+    if (MetricsPipe[1] >= 0) {
+      std::string M = metrics::toJsonCompact();
+      ssize_t Unused = write(MetricsPipe[1], M.data(), M.size());
+      (void)Unused;
+      close(MetricsPipe[1]);
+    }
     // _exit: the worker shares the parent's stdio/atexit state and must
     // not run global destructors or flush inherited buffers twice.
     _exit(Code);
   }
+  if (MetricsPipe[1] >= 0)
+    close(MetricsPipe[1]);
+  // Drains the worker's metrics payload once it exited; validated as a
+  // brace-delimited object so a worker killed mid-write embeds nothing.
+  auto collectWorkerMetrics = [&] {
+    if (MetricsPipe[0] < 0)
+      return;
+    std::string Buf;
+    char Chunk[4096];
+    ssize_t N;
+    while ((N = read(MetricsPipe[0], Chunk, sizeof(Chunk))) > 0 &&
+           Buf.size() < 65536)
+      Buf.append(Chunk, static_cast<size_t>(N));
+    close(MetricsPipe[0]);
+    MetricsPipe[0] = -1;
+    if (Buf.size() >= 2 && Buf.front() == '{' && Buf.back() == '}')
+      R.MetricsJson = std::move(Buf);
+  };
 
   int64_t Start = nowMs();
   int64_t KillAfter = J.DeadlineMs > 0 ? J.DeadlineMs + O.GraceMs : -1;
@@ -261,11 +324,14 @@ AttemptResult superviseAttempt(const Job &J, bool ArmInject,
       std::cerr << "micad: waitpid failed: " << std::strerror(errno) << '\n';
       kill(Pid, SIGKILL);
       waitpid(Pid, &Status, 0);
+      if (MetricsPipe[0] >= 0)
+        close(MetricsPipe[0]);
       R.K = AttemptResult::Crash;
       return R;
     }
     if (Got == Pid) {
       R.WallMs = nowMs() - Start;
+      collectWorkerMetrics();
       if (WIFSIGNALED(Status)) {
         R.Signal = WTERMSIG(Status);
         R.K = SentKill ? AttemptResult::HardTimeout : AttemptResult::Crash;
@@ -330,7 +396,12 @@ void emitResult(const Job &J, const std::string &Outcome, int Attempts,
             << ",\"exit\":" << Last.ExitCode;
   if (Last.Signal)
     std::cout << ",\"signal\":" << Last.Signal;
-  std::cout << ",\"wall_ms\":" << Last.WallMs << "}" << std::endl;
+  std::cout << ",\"wall_ms\":" << Last.WallMs;
+  // The worker's own counters (dispatcher.*, interp.*, ...), embedded
+  // raw: collectWorkerMetrics already validated the payload shape.
+  if (!Last.MetricsJson.empty())
+    std::cout << ",\"metrics\":" << Last.MetricsJson;
+  std::cout << "}" << std::endl;
 }
 
 /// Runs one job to a final outcome, retrying transient failures.
@@ -342,6 +413,7 @@ void runJob(Job J, const ServerOptions &O, size_t LineNo) {
   if (J.Retries < 0)
     J.Retries = O.DefaultRetries;
 
+  CtrJobs.add();
   AttemptResult Last;
   int Attempts = 0;
   for (;;) {
@@ -350,6 +422,10 @@ void runJob(Job J, const ServerOptions &O, size_t LineNo) {
     // attempt only, so a retry demonstrates recovery.
     Last = superviseAttempt(J, /*ArmInject=*/Attempts == 1, O);
     if (Last.K == AttemptResult::Ok) {
+      CtrOk.add();
+      if (Attempts > 1)
+        CtrRetried.add();
+      CtrRetries.add(static_cast<uint64_t>(Attempts - 1));
       emitResult(J, Attempts == 1
                         ? "ok"
                         : "retried(" + std::to_string(Attempts - 1) + ")",
@@ -360,17 +436,21 @@ void runJob(Job J, const ServerOptions &O, size_t LineNo) {
       break;
     usleep(static_cast<useconds_t>(backoffMs(J.Id, Attempts) * 1000));
   }
+  CtrRetries.add(static_cast<uint64_t>(Attempts - 1));
 
   std::string Outcome;
   switch (Last.K) {
   case AttemptResult::Trap:
+    CtrTrap.add();
     Outcome = std::string("trap:") + trapKindName(Last.TheTrap);
     break;
   case AttemptResult::SoftTimeout:
   case AttemptResult::HardTimeout:
+    CtrTimeout.add();
     Outcome = "timeout";
     break;
   default:
+    CtrGaveUp.add();
     Outcome = "gave-up";
     break;
   }
@@ -400,6 +480,8 @@ ServerOptions parseArgs(int Argc, char **Argv) {
       O.GraceMs = NextInt("--grace-ms");
     else if (A == "--max-line-bytes")
       O.MaxLineBytes = static_cast<size_t>(NextInt("--max-line-bytes"));
+    else if (A == "--metrics-json")
+      O.MetricsJsonPath = NextValue();
     else if (!A.empty() && A[0] == '-')
       usage(("unknown option " + A).c_str());
     else if (O.JobsPath.empty())
@@ -445,6 +527,8 @@ int main(int Argc, char **Argv) {
       if (J.Id.empty())
         J.Id = "line-" + std::to_string(LineNo);
       std::cerr << "micad: line " << LineNo << ": " << Err << '\n';
+      CtrJobs.add();
+      CtrRejected.add();
       AttemptResult Rej;
       Rej.K = AttemptResult::Rejected;
       Rej.ExitCode = 2;
@@ -452,6 +536,11 @@ int main(int Argc, char **Argv) {
       continue;
     }
     runJob(std::move(J), O, LineNo);
+  }
+  if (!O.MetricsJsonPath.empty()) {
+    std::string Err;
+    if (!metrics::writeJsonFile(O.MetricsJsonPath, Err))
+      std::cerr << "micad: " << Err << '\n';
   }
   return 0;
 }

@@ -8,9 +8,11 @@
 
 #include "support/Metrics.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 using namespace selspec;
 using namespace selspec::bench;
@@ -47,7 +49,42 @@ namespace {
   std::exit(T.isTrap() ? trapExitCode(T.Kind) : 1);
 }
 
+/// The "tier" recorded by an existing BENCH_*.json, empty when the file
+/// does not exist or predates the field.
+std::string previousJsonTier(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return "";
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  const std::string Text = Buf.str();
+  const std::string Key = "\"tier\": \"";
+  size_t At = Text.find(Key);
+  if (At == std::string::npos)
+    return "";
+  At += Key.size();
+  size_t End = Text.find('"', At);
+  return End == std::string::npos ? "" : Text.substr(At, End - At);
+}
+
 } // namespace
+
+std::string selspec::bench::gitDescribe() {
+  std::string Out;
+  if (FILE *P = popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char Buf[128];
+    while (fgets(Buf, sizeof(Buf), P))
+      Out += Buf;
+    pclose(P);
+  }
+  while (!Out.empty() && (Out.back() == '\n' || Out.back() == '\r'))
+    Out.pop_back();
+  // Keep the JSON well-formed whatever the tree state produced.
+  for (char &Ch : Out)
+    if (Ch == '"' || Ch == '\\' || static_cast<unsigned char>(Ch) < 0x20)
+      Ch = '?';
+  return Out.empty() ? "unknown" : Out;
+}
 
 SuiteResult selspec::bench::runSuiteProgram(const BenchProgram &Program,
                                             const std::vector<Config> &Configs,
@@ -118,6 +155,15 @@ bool selspec::bench::writeBenchJson(const SuiteResult &R) {
     }
   }
   std::string Path = "BENCH_" + R.Program.Name + ".json";
+  // All configs in one SuiteResult ran on the Workbench's single tier.
+  const char *Tier =
+      tierName(R.ByConfig.empty() ? defaultTier() : R.ByConfig.front().Tier);
+  std::string PrevTier = previousJsonTier(Path);
+  if (!PrevTier.empty() && PrevTier != Tier)
+    std::cerr << "warning: " << Path << " was measured on the '" << PrevTier
+              << "' tier; overwriting with '" << Tier
+              << "' tier results — numbers are not comparable across"
+                 " tiers\n";
   std::ofstream OS(Path);
   if (!OS) {
     std::cerr << "warning: cannot write " << Path << '\n';
@@ -125,6 +171,8 @@ bool selspec::bench::writeBenchJson(const SuiteResult &R) {
   }
   OS << "{\n"
      << "  \"benchmark\": \"" << R.Program.Name << "\",\n"
+     << "  \"tier\": \"" << Tier << "\",\n"
+     << "  \"git_describe\": \"" << gitDescribe() << "\",\n"
      << "  \"train_input\": " << R.Program.TrainInput << ",\n"
      << "  \"test_input\": " << R.Program.TestInput << ",\n"
      << "  \"source_lines\": " << R.SourceLines << ",\n"
@@ -134,6 +182,7 @@ bool selspec::bench::writeBenchJson(const SuiteResult &R) {
     const RunStats &S = CR.Run;
     OS << "    {\n"
        << "      \"config\": \"" << configName(CR.Configuration) << "\",\n"
+       << "      \"tier\": \"" << tierName(CR.Tier) << "\",\n"
        << "      \"dispatches\": " << S.totalDispatches() << ",\n"
        << "      \"dynamic_dispatches\": " << S.DynamicDispatches << ",\n"
        << "      \"version_selects\": " << S.VersionSelects << ",\n"

@@ -64,10 +64,16 @@ SuiteResult runSuiteProgram(const BenchProgram &Program,
 
 /// Writes BENCH_<name>.json in the working directory: one record per
 /// configuration with the dispatch counters, modeled cycles and measured
-/// wall-clock, for machine consumption (the files are gitignored).
-/// Returns false (after a warning on stderr) if the file cannot be
-/// written; benches proceed regardless.
+/// wall-clock, plus the execution tier and `git describe` of the tree,
+/// for machine consumption (the files are gitignored).  Overwriting a
+/// file measured on a different tier warns on stderr.  Returns false
+/// (after a warning on stderr) if the file cannot be written; benches
+/// proceed regardless.
 bool writeBenchJson(const SuiteResult &R);
+
+/// `git describe --always --dirty` of the working tree, or "unknown"
+/// when git is unavailable — stamped into every BENCH_*.json.
+std::string gitDescribe();
 
 /// Prints the standard bench header.
 void printHeader(const std::string &Title, const std::string &PaperRef);

@@ -14,6 +14,8 @@
 
 #include "BenchCommon.h"
 
+#include "bytecode/BytecodeCompiler.h"
+#include "bytecode/BytecodeInterpreter.h"
 #include "runtime/DispatchTable.h"
 #include "runtime/Dispatcher.h"
 
@@ -160,6 +162,39 @@ void BM_EndToEndDispatchRichards(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_EndToEndDispatchRichards)->Arg(0)->Arg(1);
+
+void BM_EndToEndDispatchRichardsBytecode(benchmark::State &State) {
+  // Same run on the bytecode tier: per-site inline caches replace the
+  // dispatcher's PIC probe on the hot path, so the Base-vs-Selective gap
+  // here isolates what specialization still buys once sends are cached.
+  std::string Err;
+  std::unique_ptr<Workbench> W =
+      Workbench::fromFiles({"richards.mica"}, Err);
+  if (!W) {
+    fprintf(stderr, "%s\n", Err.c_str());
+    exit(1);
+  }
+  if (!W->collectProfile(50, Err)) {
+    fprintf(stderr, "%s\n", Err.c_str());
+    exit(1);
+  }
+  Config C = State.range(0) == 0 ? Config::Base : Config::Selective;
+  std::unique_ptr<CompiledProgram> CP = W->compileOnly(C);
+  BcModule Mod = compileToBytecode(*CP);
+  if (!Mod.Ok) {
+    fprintf(stderr, "bytecode lowering failed: %s\n", Mod.Error.c_str());
+    exit(1);
+  }
+  for (auto _ : State) {
+    BytecodeInterpreter I(*CP, Mod);
+    if (!I.callMain(50)) {
+      fprintf(stderr, "%s\n", I.errorMessage().c_str());
+      exit(1);
+    }
+    benchmark::DoNotOptimize(I.stats().Cycles);
+  }
+}
+BENCHMARK(BM_EndToEndDispatchRichardsBytecode)->Arg(0)->Arg(1);
 
 } // namespace
 

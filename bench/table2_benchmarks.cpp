@@ -7,12 +7,15 @@
 /// \file
 /// Table 2: the benchmark suite — name, size, description, plus the
 /// train/test inputs this reproduction uses and basic workload counts
-/// from a Base run.
+/// from a Base run.  Also runs the measured suite on the current
+/// execution tier and writes BENCH_table2_benchmarks.json, the aggregate
+/// wall-clock record the perf acceptance checks read.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include <fstream>
 #include <iostream>
 
 using namespace selspec;
@@ -42,5 +45,44 @@ int main() {
                "(as the paper's counts\ninclude Cecil's 8,500-line "
                "library); typechecker and compiler share the\nminilang "
                "front end, mirroring the paper's ~12,000 shared lines.\n";
+
+  // Measured suite on the current tier (also refreshes each program's
+  // BENCH_<name>.json), aggregated into one machine-readable file.
+  std::vector<SuiteResult> Results;
+  for (const BenchProgram &P : table2Suite())
+    Results.push_back(runSuiteProgram(P));
+
+  const char *Tier = tierName(Results.front().ByConfig.front().Tier);
+  std::ofstream OS("BENCH_table2_benchmarks.json");
+  if (!OS) {
+    std::cerr << "warning: cannot write BENCH_table2_benchmarks.json\n";
+    return 0;
+  }
+  OS << "{\n"
+     << "  \"tier\": \"" << Tier << "\",\n"
+     << "  \"git_describe\": \"" << gitDescribe() << "\",\n"
+     << "  \"programs\": [\n";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const SuiteResult &R = Results[I];
+    OS << "    {\n"
+       << "      \"benchmark\": \"" << R.Program.Name << "\",\n"
+       << "      \"source_lines\": " << R.SourceLines << ",\n"
+       << "      \"train_input\": " << R.Program.TrainInput << ",\n"
+       << "      \"test_input\": " << R.Program.TestInput << ",\n"
+       << "      \"configs\": [\n";
+    for (size_t J = 0; J != R.ByConfig.size(); ++J) {
+      const ConfigResult &CR = R.ByConfig[J];
+      OS << "        {\"config\": \"" << configName(CR.Configuration)
+         << "\", \"tier\": \"" << tierName(CR.Tier)
+         << "\", \"wall_ns\": " << CR.WallNanos
+         << ", \"cycles\": " << CR.Run.Cycles
+         << ", \"dispatches\": " << CR.Run.totalDispatches() << "}"
+         << (J + 1 == R.ByConfig.size() ? "" : ",") << "\n";
+    }
+    OS << "      ]\n    }" << (I + 1 == Results.size() ? "" : ",") << "\n";
+  }
+  OS << "  ]\n}\n";
+  std::cout << "\nWrote BENCH_table2_benchmarks.json (tier: " << Tier
+            << ").\n";
   return 0;
 }

@@ -1,0 +1,32 @@
+//===- bytecode/BytecodeCompiler.h - AST -> register bytecode --*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an optimized, slot-resolved CompiledProgram (post-SlotResolver,
+/// post-SelectiveSpecializer) to flat register bytecode: every non-builtin
+/// compiled method version plus every closure literal reachable from one
+/// becomes a BcFunction.  The lowering is total in practice; any body the
+/// compiler cannot express (unresolved variables, register file overflow)
+/// marks the module !Ok and the driver runs the AST tier instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_BYTECODE_BYTECODECOMPILER_H
+#define SELSPEC_BYTECODE_BYTECODECOMPILER_H
+
+#include "bytecode/Bytecode.h"
+
+namespace selspec {
+
+class CompiledProgram;
+
+/// Compiles every executable body of \p CP.  Publishes
+/// `bytecode.compiled_functions` / `bytecode.code_bytes` on success.
+BcModule compileToBytecode(const CompiledProgram &CP);
+
+} // namespace selspec
+
+#endif // SELSPEC_BYTECODE_BYTECODECOMPILER_H

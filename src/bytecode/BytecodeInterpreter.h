@@ -1,0 +1,168 @@
+//===- bytecode/BytecodeInterpreter.h - Register-bytecode tier -*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a BcModule: the flat register-bytecode twin of the AST
+/// Interpreter, with the same public surface (callMain/callGeneric,
+/// RunStats, RuntimeTrap, rendered errors) so the driver can select a
+/// tier without caring which one runs.  The dispatch loop is computed
+/// goto under GCC/Clang and a switch elsewhere; Frame/FramePool, the
+/// Dispatcher (as the inline caches' miss path), resource guards, the
+/// deadline poll and the cost model are shared with the AST tier, and the
+/// charged instruction stream reproduces the AST walker's accounting
+/// exactly — RunStats are bit-identical across tiers by construction,
+/// which tests/BytecodeTests.cpp enforces differentially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_BYTECODE_BYTECODEINTERPRETER_H
+#define SELSPEC_BYTECODE_BYTECODEINTERPRETER_H
+
+#include "bytecode/Bytecode.h"
+#include "interp/Interpreter.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace selspec {
+
+class BytecodeInterpreter {
+public:
+  /// \p Mod must be the compilation of \p CP (see compileToBytecode) and
+  /// must outlive the interpreter; its inline-cache state is mutated by
+  /// execution.
+  BytecodeInterpreter(CompiledProgram &CP, BcModule &Mod,
+                      RunOptions Opts = {}, CostModel Costs = {});
+
+  /// Publishes the accumulated RunStats (`interp.*`, summed with the AST
+  /// tier's) and the IC counters (`bytecode.*`).
+  ~BytecodeInterpreter();
+
+  bool callMain(int64_t Arg);
+  Value callGeneric(const std::string &Name, std::vector<Value> Args,
+                    bool &Ok);
+
+  const RunStats &stats() const { return Stats; }
+  const RuntimeTrap &trap() const { return Trap; }
+  const std::string &errorMessage() const { return Error; }
+  Dispatcher &dispatcher() { return Disp; }
+  Heap &heap() { return TheHeap; }
+  const CostModel &costs() const { return Costs; }
+
+  std::string valueToString(const Value &V) const;
+
+  uint64_t icHits() const { return IcHits; }
+  uint64_t icMisses() const { return IcMisses; }
+
+private:
+  struct Control {
+    enum class Kind : uint8_t { None, Return, Error };
+    Kind K = Kind::None;
+    uint64_t Activation = 0;
+    uint32_t Boundary = 0;
+    Value Val;
+
+    bool active() const { return K != Kind::None; }
+  };
+
+  Value execute(BcFunction &Fn, Frame &F, uint64_t Activation, Control &C);
+
+  Value callDyn(BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callStatic(BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callSelect(BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callPrim(BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callPred(BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callFeedback(BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callClosureValue(Value Callee, Value *Args, size_t N, SourceLoc Loc,
+                         Control &C);
+
+  Value bcInvokeMethod(MethodId M, int VersionIndex, Value *Args, size_t N,
+                       SourceLoc CallLoc, Control &C);
+  Value bcInvokeVersion(CompiledMethod &CM, Value *Args, size_t N,
+                        SourceLoc CallLoc, Control &C);
+  Value invokePrim(PrimOp Op, const Value *Args, SourceLoc Loc, Control &C);
+
+  /// Inline-cache probe/fill over ClassScratch.  A hit yields the cached
+  /// (method, version); under SELSPEC_IC_AUDIT=1 hits are re-verified
+  /// against full dispatch (`bytecode.ic_misdispatch`).
+  bool icFind(BcSite &Site, MethodId &Target, int &Version);
+  void icInsert(BcSite &Site, MethodId Target, int Version);
+
+  void gatherClasses(const Value *Args, size_t N) {
+    ClassScratch.clear();
+    for (size_t I = 0; I != N; ++I)
+      ClassScratch.push_back(Args[I].classOf());
+  }
+
+  void recordArc(CallSiteId Site, MethodId Callee);
+  Value fail(Control &C, TrapKind Kind, SourceLoc Loc, std::string Message);
+  void failTop(TrapKind Kind, std::string Message);
+  bool heapHasRoom() const {
+    return TheHeap.numAllocated() < Opts.Limits.MaxObjects;
+  }
+
+  [[gnu::cold]] [[gnu::noinline]] Value failPrimType(Control &C, PrimOp Op,
+                                                     SourceLoc Loc,
+                                                     const char *Expected);
+  [[gnu::cold]] [[gnu::noinline]] Value failBounds(Control &C, SourceLoc Loc,
+                                                   int64_t Index, size_t Size);
+  [[gnu::cold]] [[gnu::noinline]] Value failNoSlot(Control &C, SourceLoc Loc,
+                                                   ClassId Cls,
+                                                   Symbol SlotName);
+  [[gnu::cold]] [[gnu::noinline]] Value failDispatch(Control &C,
+                                                     const SendExpr *S);
+  [[gnu::cold]] [[gnu::noinline]] Value failNodeBudget(Control &C,
+                                                       SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failDepth(Control &C, SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failNativeStack(Control &C,
+                                                        SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failHeapLimit(Control &C,
+                                                      SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failDeadline(Control &C,
+                                                     SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failInjected(Control &C, SourceLoc Loc,
+                                                     const char *Name);
+
+  /// Same sampled poll cadence as the AST tier (RunStats-identical).
+  static constexpr uint64_t DeadlineCheckMask = 8191;
+
+  bool nativeStackLow() const {
+    char Probe;
+    uintptr_t Here = reinterpret_cast<uintptr_t>(&Probe);
+    size_t Used = StackBase >= Here ? StackBase - Here : Here - StackBase;
+    return Used > StackBudget;
+  }
+
+  CompiledProgram &CP;
+  const Program &P;
+  BcModule &Mod;
+  RunOptions Opts;
+  CostModel Costs;
+  Dispatcher Disp;
+  Heap TheHeap;
+  FramePool Frames;
+  std::vector<ClassId> ClassScratch;
+  RunStats Stats;
+  RuntimeTrap Trap;
+  std::string Error;
+  uint64_t NextActivation = 1;
+  uint32_t Depth = 0;
+  uintptr_t StackBase = 0;
+  size_t StackBudget;
+  uint64_t CurrentHome = 0;
+  std::vector<MethodId> CallStack;
+  /// Inline-cache observability (published as `bytecode.*` counters).
+  uint64_t IcHits = 0;
+  uint64_t IcMisses = 0;
+  uint64_t IcMisdispatches = 0;
+  /// SELSPEC_IC_AUDIT=1: re-verify every IC hit against full dispatch.
+  bool IcAudit = false;
+};
+
+} // namespace selspec
+
+#endif // SELSPEC_BYTECODE_BYTECODEINTERPRETER_H

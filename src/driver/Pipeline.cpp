@@ -6,6 +6,8 @@
 
 #include "driver/Pipeline.h"
 
+#include "bytecode/BytecodeCompiler.h"
+#include "bytecode/BytecodeInterpreter.h"
 #include "profile/ProfileDb.h"
 #include "support/FailPoint.h"
 #include "support/Metrics.h"
@@ -160,15 +162,35 @@ bool Workbench::collectProfile(int64_t Input, std::string &ErrorOut) {
   Opts.Profile = &Profile;
   Opts.Limits = Limits;
   Opts.Cancel = Cancel;
-  Interpreter I(*CP, Opts);
-  PhaseTimer::Scope Timing("profile");
-  if (!I.callMain(Input)) {
-    LastTrap = I.trap();
-    ErrorOut = "profile run failed: " + I.errorMessage();
-    return false;
+
+  // Both tiers share the callMain/trap/errorMessage surface and record
+  // identical profiles (arcs are gathered at the same sites).
+  auto RunProfile = [&](auto &I) {
+    PhaseTimer::Scope Timing("profile");
+    if (!I.callMain(Input)) {
+      LastTrap = I.trap();
+      ErrorOut = "profile run failed: " + I.errorMessage();
+      return false;
+    }
+    LastTrap.reset();
+    return true;
+  };
+
+  if (Tier == ExecTier::Bytecode) {
+    BcModule Mod;
+    {
+      PhaseTimer::Scope Timing("bytecode-compile");
+      Mod = compileToBytecode(*CP);
+    }
+    if (Mod.Ok) {
+      BytecodeInterpreter I(*CP, Mod, Opts);
+      return RunProfile(I);
+    }
+    Diags.warning(SourceLoc(), "bytecode tier unavailable (" + Mod.Error +
+                                   "); profiling on the AST tier");
   }
-  LastTrap.reset();
-  return true;
+  Interpreter I(*CP, Opts);
+  return RunProfile(I);
 }
 
 std::unique_ptr<CompiledProgram>
@@ -223,26 +245,55 @@ Workbench::runConfig(Config C, int64_t Input, std::string &ErrorOut,
   Opts.Output = &Output;
   Opts.Limits = Limits;
   Opts.Cancel = Cancel;
-  Interpreter I(*CP, Opts, Costs);
-  bool Ok;
-  {
-    PhaseTimer::Scope Timing("run");
-    auto Start = std::chrono::steady_clock::now();
-    Ok = I.callMain(Input);
-    R.WallNanos = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - Start)
-            .count());
+
+  // Pick the tier.  A program the bytecode compiler cannot lower degrades
+  // to the AST tier for this run (warning below); RunStats are identical
+  // either way, only wall clock differs.
+  ExecTier RunTier = Tier;
+  BcModule Mod;
+  if (RunTier == ExecTier::Bytecode) {
+    PhaseTimer::Scope Timing("bytecode-compile");
+    Mod = compileToBytecode(*CP);
+    if (!Mod.Ok) {
+      Diags.warning(SourceLoc(), "bytecode tier unavailable (" + Mod.Error +
+                                     "); falling back to the AST tier");
+      RunTier = ExecTier::Ast;
+    }
   }
-  if (!Ok) {
-    LastTrap = I.trap();
-    R.Trap = LastTrap.Kind;
-    ErrorOut = std::string(configName(C)) +
-               " run failed: " + I.errorMessage();
-    return std::nullopt;
+  R.Tier = RunTier;
+
+  auto Measure = [&](auto &I) {
+    bool Ok;
+    {
+      PhaseTimer::Scope Timing("run");
+      auto Start = std::chrono::steady_clock::now();
+      Ok = I.callMain(Input);
+      R.WallNanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count());
+    }
+    if (!Ok) {
+      LastTrap = I.trap();
+      R.Trap = LastTrap.Kind;
+      ErrorOut = std::string(configName(C)) +
+                 " run failed: " + I.errorMessage();
+      return false;
+    }
+    LastTrap.reset();
+    R.Run = I.stats();
+    return true;
+  };
+
+  if (RunTier == ExecTier::Bytecode) {
+    BytecodeInterpreter I(*CP, Mod, Opts, Costs);
+    if (!Measure(I))
+      return std::nullopt;
+  } else {
+    Interpreter I(*CP, Opts, Costs);
+    if (!Measure(I))
+      return std::nullopt;
   }
-  LastTrap.reset();
-  R.Run = I.stats();
   R.InvokedRoutines = CP->numInvokedRoutines();
   R.Output = Output.str();
   return R;

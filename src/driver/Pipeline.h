@@ -20,6 +20,7 @@
 
 #include "analysis/ApplicableClasses.h"
 #include "analysis/PassThroughArgs.h"
+#include "driver/Tier.h"
 #include "interp/Interpreter.h"
 #include "opt/Optimizer.h"
 #include "profile/CallGraph.h"
@@ -37,6 +38,10 @@ namespace selspec {
 /// Everything a bench row needs about one (config, input) execution.
 struct ConfigResult {
   Config Configuration = Config::Base;
+  /// Tier the measured run actually executed on (the requested tier, or
+  /// Ast after a bytecode-compilation fallback).  RunStats are tier-
+  /// independent by construction; WallNanos is not.
+  ExecTier Tier = ExecTier::Ast;
   /// Execution counters of the measured run.
   RunStats Run;
   /// Wall-clock time of the measured run (interpreter dispatch included),
@@ -103,6 +108,13 @@ public:
   void setLimits(const ResourceLimits &L) { Limits = L; }
   const ResourceLimits &limits() const { return Limits; }
 
+  /// Execution tier for profile and measured runs.  Defaults to
+  /// defaultTier() (bytecode, unless SELSPEC_TIER overrides).  When the
+  /// bytecode compiler cannot lower the program, runs fall back to the
+  /// AST tier with a warning in diagnostics().
+  void setTier(ExecTier T) { Tier = T; }
+  ExecTier tier() const { return Tier; }
+
   /// Cooperative stop signal checked at every phase boundary and polled
   /// inside the interpreter; an expired deadline fails the current phase
   /// with TrapKind::DeadlineExceeded instead of wedging the process.
@@ -145,6 +157,7 @@ private:
   std::unique_ptr<PassThroughAnalysis> PT;
   CallGraph Profile;
   ResourceLimits Limits;
+  ExecTier Tier = defaultTier();
   const CancelToken *Cancel = nullptr;
   RuntimeTrap LastTrap;
   Diagnostics Diags;

@@ -1,0 +1,36 @@
+//===- driver/Tier.cpp - Execution tier selection --------------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tier.h"
+
+#include <cstdlib>
+
+using namespace selspec;
+
+const char *selspec::tierName(ExecTier T) {
+  switch (T) {
+  case ExecTier::Ast:
+    return "ast";
+  case ExecTier::Bytecode:
+    return "bytecode";
+  }
+  return "?";
+}
+
+std::optional<ExecTier> selspec::parseTier(const std::string &Name) {
+  if (Name == "ast")
+    return ExecTier::Ast;
+  if (Name == "bytecode")
+    return ExecTier::Bytecode;
+  return std::nullopt;
+}
+
+ExecTier selspec::defaultTier() {
+  if (const char *Env = std::getenv("SELSPEC_TIER"))
+    if (std::optional<ExecTier> T = parseTier(Env))
+      return *T;
+  return ExecTier::Bytecode;
+}

@@ -1,0 +1,43 @@
+//===- driver/Tier.h - Execution tier selection ----------------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two execution tiers: the instrumented AST walker and the flat
+/// register-bytecode interpreter.  Both charge the identical cost model
+/// and produce bit-identical RunStats; the bytecode tier is the faster
+/// default, the AST tier remains the semantic reference.  Selection flows
+/// through `micac --tier=`, the SELSPEC_TIER environment variable (which
+/// also covers micad), and Workbench::setTier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_DRIVER_TIER_H
+#define SELSPEC_DRIVER_TIER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace selspec {
+
+enum class ExecTier : uint8_t {
+  Ast,      ///< Tree-walking reference interpreter.
+  Bytecode, ///< Flat register bytecode with baked-in inline caches.
+};
+
+/// "ast" / "bytecode".
+const char *tierName(ExecTier T);
+
+/// Parses a tier name; nullopt when unrecognized.
+std::optional<ExecTier> parseTier(const std::string &Name);
+
+/// The process default: Bytecode, unless SELSPEC_TIER names another tier
+/// (an unrecognized value is ignored).
+ExecTier defaultTier();
+
+} // namespace selspec
+
+#endif // SELSPEC_DRIVER_TIER_H

@@ -51,6 +51,9 @@ public:
     assert(I < Slots.size() && "slot index out of range");
     return Slots[I];
   }
+  /// Raw slot storage (the bytecode tier's register file: its temp
+  /// registers are the slots past the source layout's count).
+  Value *slotData() { return Slots.data(); }
   CellPtr &cell(uint32_t I) {
     assert(I < Cells.size() && "cell index out of range");
     return Cells[I];

@@ -137,6 +137,10 @@ public:
   const ClosureLitExpr *Lit = nullptr;
   std::vector<CellPtr> Captured;
   uint64_t HomeActivation = 0;
+  /// Bytecode tier: compiled body of Lit, stamped at closure creation so
+  /// calls skip the module's literal->function map.  Null under the AST
+  /// tier (which never reads it).
+  struct BcFunction *BcFn = nullptr;
 
 private:
   ClassId Class;

@@ -1,0 +1,534 @@
+//===- tests/BytecodeTests.cpp - Bytecode tier equivalence ------------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The tier-equivalence invariant: the bytecode interpreter must produce
+// RunStats bit-identical to the AST walker — every counter, Cycles, and the
+// full NodeMix histogram — plus identical output and identical traps, on the
+// same CompiledProgram.  Exercised over the four paper benchmarks under all
+// five configurations, and over targeted edge cases the bytecode compiler
+// must get right: deep closure nesting, wide-arity calls past the IC limit,
+// traps unwinding out of inlined callees, and non-local returns (caught and
+// escaped).  Also covers the disassembler and the tier plumbing in the
+// driver pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/BytecodeCompiler.h"
+#include "bytecode/BytecodeInterpreter.h"
+#include "bytecode/Disassembler.h"
+
+#include "TestUtil.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+/// Everything one tier's run produced, for field-by-field comparison.
+struct TierRun {
+  bool Ok = false;
+  RunStats Stats;
+  std::string Output;
+  TrapKind Trap = TrapKind::None;
+  std::string Error;
+};
+
+template <class InterpT> TierRun finish(InterpT &I, bool Ok,
+                                        const std::ostringstream &Out) {
+  TierRun R;
+  R.Ok = Ok;
+  R.Stats = I.stats();
+  R.Output = Out.str();
+  R.Trap = I.trap().Kind;
+  R.Error = I.errorMessage();
+  return R;
+}
+
+TierRun runAstTier(CompiledProgram &CP, int64_t Input,
+                   const ResourceLimits &Limits = {}) {
+  std::ostringstream Out;
+  RunOptions Opts;
+  Opts.Output = &Out;
+  Opts.Limits = Limits;
+  Interpreter I(CP, Opts);
+  return finish(I, I.callMain(Input), Out);
+}
+
+TierRun runBytecodeTier(CompiledProgram &CP, BcModule &Mod, int64_t Input,
+                        const ResourceLimits &Limits = {}) {
+  std::ostringstream Out;
+  RunOptions Opts;
+  Opts.Output = &Out;
+  Opts.Limits = Limits;
+  BytecodeInterpreter I(CP, Mod, Opts);
+  return finish(I, I.callMain(Input), Out);
+}
+
+/// Asserts every RunStats field matches, NodeMix bucket by bucket.
+void expectSameStats(const RunStats &Ast, const RunStats &Bc,
+                     const std::string &Label) {
+  EXPECT_EQ(Ast.DynamicDispatches, Bc.DynamicDispatches) << Label;
+  EXPECT_EQ(Ast.VersionSelects, Bc.VersionSelects) << Label;
+  EXPECT_EQ(Ast.StaticCalls, Bc.StaticCalls) << Label;
+  EXPECT_EQ(Ast.InlinePrims, Bc.InlinePrims) << Label;
+  EXPECT_EQ(Ast.PredictedHits, Bc.PredictedHits) << Label;
+  EXPECT_EQ(Ast.PredictedMisses, Bc.PredictedMisses) << Label;
+  EXPECT_EQ(Ast.FeedbackHits, Bc.FeedbackHits) << Label;
+  EXPECT_EQ(Ast.FeedbackMisses, Bc.FeedbackMisses) << Label;
+  EXPECT_EQ(Ast.ClosuresCreated, Bc.ClosuresCreated) << Label;
+  EXPECT_EQ(Ast.ClosureCalls, Bc.ClosureCalls) << Label;
+  EXPECT_EQ(Ast.Allocations, Bc.Allocations) << Label;
+  EXPECT_EQ(Ast.MethodInvocations, Bc.MethodInvocations) << Label;
+  EXPECT_EQ(Ast.NodesEvaluated, Bc.NodesEvaluated) << Label;
+  EXPECT_EQ(Ast.PeakDepth, Bc.PeakDepth) << Label;
+  EXPECT_EQ(Ast.Cycles, Bc.Cycles) << Label;
+  for (size_t K = 0; K != Expr::NumKinds; ++K)
+    EXPECT_EQ(Ast.NodeMix[K], Bc.NodeMix[K])
+        << Label << " NodeMix["
+        << exprKindName(static_cast<Expr::Kind>(K)) << ']';
+}
+
+void expectSameRun(const TierRun &Ast, const TierRun &Bc,
+                   const std::string &Label) {
+  EXPECT_EQ(Ast.Ok, Bc.Ok) << Label << "\n  ast: " << Ast.Error
+                           << "\n  bc:  " << Bc.Error;
+  EXPECT_EQ(Ast.Trap, Bc.Trap) << Label;
+  EXPECT_EQ(Ast.Error, Bc.Error) << Label;
+  EXPECT_EQ(Ast.Output, Bc.Output) << Label;
+  expectSameStats(Ast.Stats, Bc.Stats, Label);
+}
+
+constexpr Config AllConfigs[] = {Config::Base, Config::Cust, Config::CustMM,
+                                 Config::CHA, Config::Selective};
+
+/// Builds \p Sources, then for every configuration compiles once and runs
+/// the same CompiledProgram on both tiers, asserting identical results.
+/// Selective gets a profile gathered from a Base run at \p Input.
+void expectTiersAgree(const std::vector<std::string> &Sources, int64_t Input,
+                      const ResourceLimits &Limits = {}) {
+  std::unique_ptr<Program> P = buildProgram(Sources);
+  ASSERT_TRUE(P);
+
+  CallGraph CG;
+  {
+    std::unique_ptr<CompiledProgram> BaseCP = compileProgram(*P, Config::Base);
+    RunOptions Opts;
+    Opts.Profile = &CG;
+    Opts.Limits = Limits;
+    Interpreter I(*BaseCP, Opts);
+    I.callMain(Input); // A trapping profile run still yields partial arcs.
+  }
+
+  for (Config C : AllConfigs) {
+    std::unique_ptr<CompiledProgram> CP =
+        compileProgram(*P, C, CG.empty() ? nullptr : &CG);
+    ASSERT_TRUE(CP);
+    BcModule Mod = compileToBytecode(*CP);
+    ASSERT_TRUE(Mod.Ok) << configName(C)
+                        << ": bytecode compilation failed: " << Mod.Error;
+    TierRun Ast = runAstTier(*CP, Input, Limits);
+    TierRun Bc = runBytecodeTier(*CP, Mod, Input, Limits);
+    expectSameRun(Ast, Bc, std::string("config ") + configName(C));
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Paper benchmarks: full differential sweep (the acceptance gate).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BenchCase {
+  const char *Name;
+  std::vector<std::string> Files;
+  int64_t SmallInput;
+};
+
+const BenchCase BenchCases[] = {
+    {"richards", {"richards.mica"}, 30},
+    {"instsched", {"instsched.mica"}, 6},
+    {"typechecker", {"minilang.mica", "typechecker.mica"}, 8},
+    {"compiler", {"minilang.mica", "compiler.mica"}, 8},
+};
+
+} // namespace
+
+TEST(BytecodeDifferential, PaperBenchmarksAllConfigs) {
+  for (const BenchCase &Case : BenchCases) {
+    std::string Err;
+    std::unique_ptr<Workbench> W = Workbench::fromFiles(Case.Files, Err);
+    ASSERT_TRUE(W) << Case.Name << ": " << Err;
+    ASSERT_TRUE(W->collectProfile(Case.SmallInput, Err))
+        << Case.Name << ": " << Err;
+
+    SelectiveOptions Sel;
+    Sel.SpecializationThreshold = 50;
+    for (Config C : AllConfigs) {
+      std::unique_ptr<CompiledProgram> CP = W->compileOnly(C, Sel);
+      ASSERT_TRUE(CP) << Case.Name << '/' << configName(C);
+      BcModule Mod = compileToBytecode(*CP);
+      ASSERT_TRUE(Mod.Ok) << Case.Name << '/' << configName(C) << ": "
+                          << Mod.Error;
+      TierRun Ast = runAstTier(*CP, Case.SmallInput);
+      TierRun Bc = runBytecodeTier(*CP, Mod, Case.SmallInput);
+      ASSERT_TRUE(Ast.Ok) << Case.Name << '/' << configName(C) << ": "
+                          << Ast.Error;
+      expectSameRun(Ast, Bc,
+                    std::string(Case.Name) + "/" + configName(C));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler edge cases, run differentially under every configuration.
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeDifferential, DeepClosureNesting) {
+  expectTiersAgree({R"(
+    method main(n@Int) {
+      let f1 := fn(a) { fn(b) { fn(c) { fn(d) { a + b + c + d + n; }; }; }; };
+      let f2 := f1(1);
+      let f3 := f2(2);
+      let f4 := f3(3);
+      print(f4(4));
+    })"},
+                   10);
+}
+
+TEST(BytecodeDifferential, ClosureMutatesCapturesAcrossLevels) {
+  expectTiersAgree({R"(
+    method apply(f) { f(); }
+    method main(n@Int) {
+      let count := 0;
+      let bump := fn() { count := count + 1; fn() { count := count + 10; }; };
+      let inner := bump();
+      apply(inner);
+      apply(bump());
+      print(count);
+    })"},
+                   0);
+}
+
+TEST(BytecodeDifferential, WideArityCallsPastIcLimit) {
+  // Arity 9 exceeds BcIcMaxArity (6): every send at this site must take the
+  // inline cache's miss path yet still reproduce AST accounting exactly.
+  expectTiersAgree({R"(
+    method wide(a@Int, b@Int, c@Int, d@Int, e@Int, f@Int, g@Int, h@Int, i@Int) {
+      a + b + c + d + e + f + g + h + i;
+    }
+    method main(n@Int) {
+      let k := 0; let total := 0;
+      while (k < 5) {
+        total := total + wide(1, 2, 3, 4, 5, 6, 7, 8, k);
+        k := k + 1;
+      }
+      print(total);
+    })"},
+                   0);
+}
+
+TEST(BytecodeDifferential, TrapInCalleeUnwindsInlinedRegions) {
+  // The out-of-bounds trap fires inside a callee that inlining configs fold
+  // into the caller; Error control must unwind through inlined regions
+  // without being caught as a non-local return.
+  expectTiersAgree({R"(
+    method helper(x@Int) { at(array(1), x); }
+    method main(n@Int) {
+      let i := 0;
+      while (i < 3) { helper(5); i := i + 1; }
+      print("unreached");
+    })"},
+                   0);
+}
+
+TEST(BytecodeDifferential, NonLocalReturnThroughClosure) {
+  expectTiersAgree({R"(
+    method each(n@Int, body) {
+      let i := 0;
+      while (i < n) { body(i); i := i + 1; }
+    }
+    method find(n@Int, target@Int) {
+      each(n, fn(i) { if (i == target) { return "found"; } });
+      "missing";
+    }
+    method main(n@Int) {
+      print(find(10, 4));
+      print(find(10, 12));
+    })"},
+                   0);
+}
+
+TEST(BytecodeDifferential, EscapedNonLocalReturnTraps) {
+  // Calling the closure after its home activation died must trap
+  // identically on both tiers.
+  expectTiersAgree({R"(
+    method makeEsc(n@Int) { fn() { return n; }; }
+    method main(n@Int) {
+      let f := makeEsc(7);
+      f();
+      print("unreached");
+    })"},
+                   0);
+}
+
+TEST(BytecodeDifferential, PolymorphicDispatchAndSlots) {
+  expectTiersAgree({R"(
+    class Shape { slot tag; }
+    class Circle isa Shape { slot r; }
+    class Square isa Shape { slot s; }
+    method area(x@Circle) { x.r * x.r * 3; }
+    method area(x@Square) { x.s * x.s; }
+    method main(n@Int) {
+      let a := array(2);
+      atPut(a, 0, new Circle { tag := 1, r := 2 });
+      atPut(a, 1, new Square { tag := 2, s := 3 });
+      let i := 0; let total := 0;
+      while (i < n) {
+        total := total + area(at(a, i - (i / 2) * 2));
+        i := i + 1;
+      }
+      print(total);
+    })"},
+                   20);
+}
+
+TEST(BytecodeDifferential, RecursionAndArithmetic) {
+  expectTiersAgree({R"(
+    method fib(n@Int) { if (n < 2) { n; } else { fib(n - 1) + fib(n - 2); } }
+    method main(n@Int) { print(fib(n)); })"},
+                   15);
+}
+
+TEST(BytecodeDifferential, NotUnderstoodTrap) {
+  expectTiersAgree({R"(
+    class A { slot x; }
+    method foo(a@A) { a.x; }
+    method main(n@Int) { foo(3); })"},
+                   0);
+}
+
+//===----------------------------------------------------------------------===//
+// Resource guards: every limit must trap at the identical charged node.
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeDifferential, NodeBudgetTrap) {
+  ResourceLimits Limits;
+  Limits.MaxNodes = 5000;
+  expectTiersAgree({R"(
+    method main(n@Int) {
+      let i := 0;
+      while (true) { i := i + 1; }
+    })"},
+                   0, Limits);
+}
+
+TEST(BytecodeDifferential, DepthLimitTrap) {
+  ResourceLimits Limits;
+  Limits.MaxDepth = 64; // Fires long before the native-stack backstop.
+  expectTiersAgree({R"(
+    method down(n@Int) { down(n + 1); }
+    method main(n@Int) { down(0); })"},
+                   0, Limits);
+}
+
+TEST(BytecodeDifferential, HeapLimitTrap) {
+  ResourceLimits Limits;
+  Limits.MaxObjects = 16;
+  expectTiersAgree({R"(
+    class Node { slot next; }
+    method main(n@Int) {
+      let i := 0;
+      while (i < 1000) { new Node { next := nil }; i := i + 1; }
+    })"},
+                   0, Limits);
+}
+
+//===----------------------------------------------------------------------===//
+// Inline caches: behavior observability.
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeIc, MonomorphicSiteHitsAfterFirstSend) {
+  // The receiver flows through an array load so its class is opaque to the
+  // intraprocedural analysis and the send stays a dynamic-dispatch site.
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A { slot v; }
+    class B isa A { slot w; }
+    method get(a@A) { a.v; }
+    method main(n@Int) {
+      let arr := array(1);
+      atPut(arr, 0, new A { v := 41 });
+      let i := 0; let total := 0;
+      while (i < n) { total := total + get(at(arr, 0)); i := i + 1; }
+      print(total);
+    })"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  BcModule Mod = compileToBytecode(*CP);
+  ASSERT_TRUE(Mod.Ok) << Mod.Error;
+
+  RunOptions Opts;
+  BytecodeInterpreter I(*CP, Mod, Opts);
+  ASSERT_TRUE(I.callMain(100)) << I.errorMessage();
+  // Under Base every send is a dynamic dispatch; after the first miss the
+  // monomorphic site must hit its inline cache.
+  EXPECT_GT(I.icHits(), 90u);
+  EXPECT_GT(I.icMisses(), 0u);
+  EXPECT_LT(I.icMisses(), 20u);
+}
+
+TEST(BytecodeIc, CacheStateSurvivesAcrossRunsOfOneModule) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A { slot v; }
+    class B isa A { slot w; }
+    method get(a@A) { a.v; }
+    method main(n@Int) {
+      let arr := array(1);
+      atPut(arr, 0, new A { v := n });
+      print(get(at(arr, 0)));
+    })"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  BcModule Mod = compileToBytecode(*CP);
+  ASSERT_TRUE(Mod.Ok) << Mod.Error;
+
+  uint64_t FirstMisses;
+  {
+    BytecodeInterpreter I(*CP, Mod, {});
+    ASSERT_TRUE(I.callMain(1));
+    FirstMisses = I.icMisses();
+    EXPECT_GT(FirstMisses, 0u);
+  }
+  {
+    // Same module, warm caches: the second interpreter inherits the filled
+    // IC ways and must miss strictly less.
+    BytecodeInterpreter I(*CP, Mod, {});
+    ASSERT_TRUE(I.callMain(2));
+    EXPECT_LT(I.icMisses(), FirstMisses);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler module structure and the disassembler.
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeModule, CompilesEveryVersionAndClosure) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    method twice(f) { f(); f(); }
+    method main(n@Int) {
+      let x := 0;
+      twice(fn() { x := x + 1; });
+      print(x);
+    })"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  BcModule Mod = compileToBytecode(*CP);
+  ASSERT_TRUE(Mod.Ok) << Mod.Error;
+  EXPECT_GT(Mod.NumFunctions, 0u);
+  EXPECT_GT(Mod.CodeBytes, 0u);
+  // Every compiled function carries charged instructions.
+  for (const auto &Fn : Mod.Functions) {
+    EXPECT_FALSE(Fn->Code.empty());
+    EXPECT_EQ(Fn->Code.size(), Fn->Locs.size());
+  }
+}
+
+TEST(BytecodeModule, DisassemblerListsFunctionsAndSites) {
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A { slot v; }
+    class B isa A { slot w; }
+    method get(a@A) { a.v; }
+    method main(n@Int) {
+      let arr := array(1);
+      atPut(arr, 0, new A { v := n });
+      print(get(at(arr, 0)));
+    })"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  BcModule Mod = compileToBytecode(*CP);
+  ASSERT_TRUE(Mod.Ok) << Mod.Error;
+
+  std::ostringstream OS;
+  disassemble(Mod, *P, OS);
+  std::string Listing = OS.str();
+  EXPECT_NE(Listing.find("main"), std::string::npos);
+  EXPECT_NE(Listing.find("get"), std::string::npos);
+  EXPECT_NE(Listing.find("CallDyn"), std::string::npos);
+  EXPECT_NE(Listing.find("Charge"), std::string::npos);
+  EXPECT_NE(Listing.find("RetLocal"), std::string::npos) << Listing;
+}
+
+//===----------------------------------------------------------------------===//
+// Driver plumbing: tier selection, fallback surface, metrics.
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeTier, ParseAndNames) {
+  EXPECT_EQ(parseTier("ast"), ExecTier::Ast);
+  EXPECT_EQ(parseTier("bytecode"), ExecTier::Bytecode);
+  EXPECT_FALSE(parseTier("jit").has_value());
+  EXPECT_STREQ(tierName(ExecTier::Ast), "ast");
+  EXPECT_STREQ(tierName(ExecTier::Bytecode), "bytecode");
+}
+
+TEST(BytecodeTier, WorkbenchRunsIdenticalStatsOnBothTiers) {
+  const char *Source = R"(
+    method fib(n@Int) { if (n < 2) { n; } else { fib(n - 1) + fib(n - 2); } }
+    method main(n@Int) { print(fib(n)); })";
+
+  std::optional<ConfigResult> Results[2];
+  ExecTier Tiers[2] = {ExecTier::Ast, ExecTier::Bytecode};
+  for (int T = 0; T != 2; ++T) {
+    std::string Err;
+    std::unique_ptr<Workbench> W = Workbench::fromSources({Source}, Err);
+    ASSERT_TRUE(W) << Err;
+    W->setTier(Tiers[T]);
+    ASSERT_TRUE(W->collectProfile(10, Err)) << Err;
+    Results[T] = W->runConfig(Config::Selective, 10, Err);
+    ASSERT_TRUE(Results[T]) << Err;
+    EXPECT_EQ(Results[T]->Tier, Tiers[T]);
+  }
+  EXPECT_EQ(Results[0]->Output, Results[1]->Output);
+  expectSameStats(Results[0]->Run, Results[1]->Run, "workbench tiers");
+}
+
+TEST(BytecodeTier, PublishesBytecodeCounters) {
+  metrics::resetAll();
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class A { slot v; }
+    class B isa A { slot w; }
+    method get(a@A) { a.v; }
+    method main(n@Int) {
+      let arr := array(1);
+      atPut(arr, 0, new A { v := n });
+      print(get(at(arr, 0)));
+    })"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  BcModule Mod = compileToBytecode(*CP);
+  ASSERT_TRUE(Mod.Ok) << Mod.Error;
+  {
+    BytecodeInterpreter I(*CP, Mod, {});
+    ASSERT_TRUE(I.callMain(1));
+  }
+  std::vector<std::pair<std::string, uint64_t>> S = metrics::snapshot();
+  auto value = [&](const std::string &Name) -> int64_t {
+    for (const auto &C : S)
+      if (C.first == Name)
+        return static_cast<int64_t>(C.second);
+    return -1;
+  };
+  EXPECT_GT(value("bytecode.compiled_functions"), 0);
+  EXPECT_GT(value("bytecode.code_bytes"), 0);
+  EXPECT_GE(value("bytecode.ic_hits"), 0);
+  EXPECT_GT(value("bytecode.ic_misses"), 0);
+  EXPECT_GT(value("interp.method_invocations"), 0);
+}

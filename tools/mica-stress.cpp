@@ -19,6 +19,15 @@
 ///
 ///   mica-stress [--seed S] [--iterations N] [--jobs N] [--failpoints]
 ///               [--max-seconds N] [--iter-seed S] [--verbose]
+///               [--differential]
+///
+/// --differential switches every iteration to tier-equivalence checking:
+/// the generated program is compiled once under a random configuration and
+/// executed on BOTH tiers (AST walker and register bytecode); result,
+/// trap kind, rendered error, printed output and the full RunStats —
+/// including the NodeMix histogram — must match exactly.  Any divergence
+/// is reported with the iteration seed and fails the invocation (exit 1),
+/// same as a crash.
 ///
 /// Iterations run in forked, supervised workers (--jobs of them; each
 /// worker executes its share of the iteration list while drawing every
@@ -41,6 +50,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bytecode/BytecodeCompiler.h"
+#include "bytecode/BytecodeInterpreter.h"
 #include "driver/Pipeline.h"
 #include "fuzz/Mutator.h"
 #include "fuzz/ProgramGen.h"
@@ -74,6 +85,8 @@ struct Outcomes {
   uint64_t InjectedFailures = 0; ///< armed failpoint fired somewhere
   uint64_t Completed = 0;    ///< measured run finished normally
   uint64_t Iterations = 0;   ///< iterations this worker executed
+  uint64_t BcFallbacks = 0;  ///< bytecode compiler could not lower (diff mode)
+  uint64_t Mismatches = 0;   ///< tier divergence found (diff mode; fails run)
 
   void add(const Outcomes &O) {
     LoadRejects += O.LoadRejects;
@@ -84,6 +97,8 @@ struct Outcomes {
     InjectedFailures += O.InjectedFailures;
     Completed += O.Completed;
     Iterations += O.Iterations;
+    BcFallbacks += O.BcFallbacks;
+    Mismatches += O.Mismatches;
   }
 };
 
@@ -96,13 +111,15 @@ struct StressOptions {
   bool Verbose = false;
   bool HaveIterSeed = false;
   uint64_t IterSeed = 0;
+  bool Differential = false;
 };
 
 [[noreturn]] void usage(const char *Message) {
   std::cerr << "mica-stress: " << Message << '\n'
             << "usage: mica-stress [--seed S] [--iterations N] [--jobs N]\n"
                "                   [--failpoints] [--max-seconds N]\n"
-               "                   [--iter-seed S] [--verbose]\n";
+               "                   [--iter-seed S] [--verbose]\n"
+               "                   [--differential]\n";
   std::exit(2);
 }
 
@@ -129,7 +146,170 @@ void statusWrite(const std::string &Text) {
   (void)pwrite(StatusFd, Text.data(), Text.size(), 0);
 }
 
+/// One tier's observable result for the differential comparison.
+struct TierResult {
+  bool Ok = false;
+  TrapKind Trap = TrapKind::None;
+  std::string Error;
+  std::string Output;
+  RunStats Stats;
+};
+
+template <class InterpT>
+TierResult runOneTier(InterpT &I, int64_t Input,
+                      const std::ostringstream &Out) {
+  TierResult R;
+  R.Ok = I.callMain(Input);
+  R.Trap = I.trap().Kind;
+  R.Error = I.errorMessage();
+  R.Output = Out.str();
+  R.Stats = I.stats();
+  return R;
+}
+
+/// Appends a description of every differing field to \p Why; true when the
+/// two runs agree exactly.
+bool sameTierResult(const TierResult &A, const TierResult &B,
+                    std::string &Why) {
+  auto Field = [&](const char *Name, uint64_t X, uint64_t Y) {
+    if (X != Y)
+      Why += std::string(" ") + Name + "=" + std::to_string(X) + "/" +
+             std::to_string(Y);
+  };
+  if (A.Ok != B.Ok)
+    Why += " ok";
+  if (A.Trap != B.Trap)
+    Why += std::string(" trap=") + trapKindName(A.Trap) + "/" +
+           trapKindName(B.Trap);
+  if (A.Error != B.Error)
+    Why += " error-text";
+  if (A.Output != B.Output)
+    Why += " output";
+  Field("dispatches", A.Stats.DynamicDispatches, B.Stats.DynamicDispatches);
+  Field("selects", A.Stats.VersionSelects, B.Stats.VersionSelects);
+  Field("static", A.Stats.StaticCalls, B.Stats.StaticCalls);
+  Field("prims", A.Stats.InlinePrims, B.Stats.InlinePrims);
+  Field("pred-hit", A.Stats.PredictedHits, B.Stats.PredictedHits);
+  Field("pred-miss", A.Stats.PredictedMisses, B.Stats.PredictedMisses);
+  Field("fb-hit", A.Stats.FeedbackHits, B.Stats.FeedbackHits);
+  Field("fb-miss", A.Stats.FeedbackMisses, B.Stats.FeedbackMisses);
+  Field("closures", A.Stats.ClosuresCreated, B.Stats.ClosuresCreated);
+  Field("closure-calls", A.Stats.ClosureCalls, B.Stats.ClosureCalls);
+  Field("allocs", A.Stats.Allocations, B.Stats.Allocations);
+  Field("invokes", A.Stats.MethodInvocations, B.Stats.MethodInvocations);
+  Field("nodes", A.Stats.NodesEvaluated, B.Stats.NodesEvaluated);
+  Field("depth", A.Stats.PeakDepth, B.Stats.PeakDepth);
+  Field("cycles", A.Stats.Cycles, B.Stats.Cycles);
+  for (size_t K = 0; K != Expr::NumKinds; ++K)
+    if (A.Stats.NodeMix[K] != B.Stats.NodeMix[K])
+      Why += std::string(" mix[") +
+             exprKindName(static_cast<Expr::Kind>(K)) + "]=" +
+             std::to_string(A.Stats.NodeMix[K]) + "/" +
+             std::to_string(B.Stats.NodeMix[K]);
+  return Why.empty();
+}
+
+/// Differential iteration: compile once, execute on both tiers, demand
+/// exact agreement.
+void runDifferentialIteration(uint64_t IterSeed, const StressOptions &SO,
+                              Outcomes &O) {
+  ++O.Iterations;
+  fuzz::Rng R(IterSeed);
+
+  std::string Trace = "seed=" + std::to_string(IterSeed) + " differential";
+  auto Mark = [&](const std::string &Note) {
+    Trace += ' ';
+    Trace += Note;
+    statusWrite(Trace + '\n');
+    if (SO.Verbose)
+      std::cerr << "  " << Note << '\n';
+  };
+  statusWrite(Trace + '\n');
+
+  std::string Src = fuzz::generateProgram(R.next());
+  std::string Err;
+  Mark("load");
+  std::unique_ptr<Workbench> W = Workbench::fromSources({Src}, Err, false);
+  if (!W) {
+    Mark("load-rejected");
+    ++O.LoadRejects;
+    return;
+  }
+
+  // Tight limits so the depth guard (not the native-stack backstop, whose
+  // trip point differs per tier by frame size) bounds runaway recursion.
+  ResourceLimits Limits;
+  Limits.MaxNodes = 200000;
+  Limits.MaxDepth = 64;
+  Limits.MaxObjects = 20000;
+  W->setLimits(Limits);
+  W->setTier(ExecTier::Ast); // the profile run is not under test here
+
+  Mark("profile");
+  if (!W->collectProfile(2 + R.below(4), Err)) {
+    ++O.ProfileTraps;
+    Mark(std::string("profile-trapped=") + trapKindName(W->lastTrap().Kind));
+  }
+
+  static const Config Configs[] = {Config::Base, Config::Cust,
+                                   Config::CustMM, Config::CHA,
+                                   Config::Selective};
+  Config Cfg = Configs[R.below(5)];
+  int64_t Input = 2 + R.below(6);
+  Mark(std::string("compile config=") + configName(Cfg));
+  std::unique_ptr<CompiledProgram> CP = W->compileOnly(Cfg);
+  if (!CP) {
+    Mark("compile-gated");
+    return;
+  }
+  BcModule Mod = compileToBytecode(*CP);
+  if (!Mod.Ok) {
+    // Not a divergence — the driver would fall back — but worth counting:
+    // the lowering is meant to be total.
+    Mark("bytecode-fallback: " + Mod.Error);
+    ++O.BcFallbacks;
+    return;
+  }
+
+  Mark("run-both");
+  TierResult Ast, Bc;
+  {
+    std::ostringstream Out;
+    RunOptions Opts;
+    Opts.Output = &Out;
+    Opts.Limits = Limits;
+    Interpreter I(*CP, Opts);
+    Ast = runOneTier(I, Input, Out);
+  }
+  {
+    std::ostringstream Out;
+    RunOptions Opts;
+    Opts.Output = &Out;
+    Opts.Limits = Limits;
+    BytecodeInterpreter I(*CP, Mod, Opts);
+    Bc = runOneTier(I, Input, Out);
+  }
+
+  std::string Why;
+  if (!sameTierResult(Ast, Bc, Why)) {
+    ++O.Mismatches;
+    Mark("MISMATCH:" + Why);
+    std::cerr << "mica-stress: tier mismatch at seed " << IterSeed
+              << " config=" << configName(Cfg) << " input=" << Input << ":"
+              << Why << "\n  repro: mica-stress --differential --iter-seed "
+              << IterSeed << '\n';
+    return;
+  }
+  if (Ast.Ok)
+    ++O.Completed;
+  else
+    ++O.RunTraps;
+  Mark("agreed");
+}
+
 void runIteration(uint64_t IterSeed, const StressOptions &SO, Outcomes &O) {
+  if (SO.Differential)
+    return runDifferentialIteration(IterSeed, SO, O);
   ++O.Iterations;
   fuzz::Rng R(IterSeed);
 
@@ -266,7 +446,9 @@ void writeDone(const Outcomes &O) {
               std::to_string(O.ProfileCorruptAccepts) + ' ' +
               std::to_string(O.InjectedFailures) + ' ' +
               std::to_string(O.Completed) + ' ' +
-              std::to_string(O.Iterations) + '\n');
+              std::to_string(O.Iterations) + ' ' +
+              std::to_string(O.BcFallbacks) + ' ' +
+              std::to_string(O.Mismatches) + '\n');
 }
 
 bool parseDone(const std::string &Text, Outcomes &O) {
@@ -276,7 +458,8 @@ bool parseDone(const std::string &Text, Outcomes &O) {
   return static_cast<bool>(IS >> O.LoadRejects >> O.ProfileTraps >>
                            O.RunTraps >> O.ProfileCorruptRejects >>
                            O.ProfileCorruptAccepts >> O.InjectedFailures >>
-                           O.Completed >> O.Iterations);
+                           O.Completed >> O.Iterations >> O.BcFallbacks >>
+                           O.Mismatches);
 }
 
 std::string readAll(const std::string &Path) {
@@ -307,7 +490,8 @@ void reportCrash(const StressOptions &SO, unsigned Index, int Signal,
               << (Sp == std::string::npos ? "(none)" : Line.substr(Sp + 1))
               << '\n'
               << "  repro: mica-stress --iter-seed " << Seed
-              << (SO.Failpoints ? " --failpoints" : "") << '\n';
+              << (SO.Failpoints ? " --failpoints" : "")
+              << (SO.Differential ? " --differential" : "") << '\n';
   } else {
     std::cerr << "  no checkpoint recorded (crash before first iteration)\n";
   }
@@ -341,6 +525,8 @@ int main(int Argc, char **Argv) {
       SO.IterSeed = parseU64(NextValue(), "--iter-seed");
     } else if (A == "--verbose")
       SO.Verbose = true;
+    else if (A == "--differential")
+      SO.Differential = true;
     else
       usage(("unknown option " + A).c_str());
   }
@@ -421,5 +607,11 @@ int main(int Argc, char **Argv) {
             << "\n  corrupt db accepted: " << Total.ProfileCorruptAccepts
             << "\n  injected failures:   " << Total.InjectedFailures
             << "\n  completed runs:      " << Total.Completed << '\n';
-  return Crashed ? 1 : 0;
+  if (SO.Differential)
+    std::cout << "  bytecode fallbacks:  " << Total.BcFallbacks
+              << "\n  tier mismatches:     " << Total.Mismatches << '\n';
+  if (Total.Mismatches)
+    std::cerr << "mica-stress: " << Total.Mismatches
+              << " tier mismatch(es) — the bytecode tier diverged\n";
+  return (Crashed || Total.Mismatches) ? 1 : 0;
 }

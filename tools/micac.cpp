@@ -18,6 +18,11 @@
 ///   --input N           main() argument for the measured run   [10]
 ///   --profile-input N   main() argument for the training run   [= input]
 ///   --config NAME       base|cust|cust-mm|cha|selective        [selective]
+///   --tier NAME         execution tier: ast|bytecode           [bytecode,
+///                       or the SELSPEC_TIER environment variable]
+///   --dump-bytecode     run/dump: print the register-bytecode listing of
+///                       the compiled program (opcodes, sites, inline-cache
+///                       state) to stdout
 ///   --threshold T       SpecializationThreshold                [1000]
 ///   --no-cascade        disable cascading specializations
 ///   --no-stdlib         do not prepend mica/stdlib.mica
@@ -56,6 +61,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bytecode/BytecodeCompiler.h"
+#include "bytecode/Disassembler.h"
 #include "driver/Pipeline.h"
 #include "interp/RuntimeTrap.h"
 #include "lang/AstPrinter.h"
@@ -96,6 +103,8 @@ struct CliOptions {
   std::string TraceOutPath;
   ResourceLimits Limits;
   int64_t DeadlineMs = 0; // 0 = no deadline
+  std::optional<ExecTier> Tier;
+  bool DumpBytecode = false;
 };
 
 /// Whole-invocation stop signal; armed in main() when --deadline-ms is
@@ -109,6 +118,7 @@ const CancelToken *ActiveCancel = nullptr;
   std::cerr <<
       "usage: micac <check|run|report|profile|plan|dump> <files...> [options]\n"
       "  --input N  --profile-input N  --config NAME  --threshold T\n"
+      "  --tier NAME  --dump-bytecode\n"
       "  --no-cascade  --no-stdlib  --feedback  --return-classes\n"
       "  --stats  --time-report  --db FILE  --profile-db FILE\n"
       "  --max-depth N  --max-nodes N  --max-objects N  --deadline-ms N\n"
@@ -174,7 +184,15 @@ CliOptions parseArgs(int Argc, char **Argv) {
       O.DeadlineMs = parseIntArg<int64_t>(NextValue(), "--deadline-ms");
       if (O.DeadlineMs <= 0)
         usage("--deadline-ms must be at least 1");
-    } else if (A == "--profile-db")
+    } else if (A == "--tier" || A.rfind("--tier=", 0) == 0) {
+      std::string Name = A == "--tier" ? NextValue() : A.substr(7);
+      std::optional<ExecTier> T = parseTier(Name);
+      if (!T)
+        usage(("unknown --tier value '" + Name + "' (ast|bytecode)").c_str());
+      O.Tier = *T;
+    } else if (A == "--dump-bytecode")
+      O.DumpBytecode = true;
+    else if (A == "--profile-db")
       O.ProfileDbPath = NextValue();
     else if (A == "--no-cascade")
       O.Sel.CascadeSpecializations = false;
@@ -241,6 +259,8 @@ std::unique_ptr<Workbench> load(const CliOptions &O) {
                   : 1);
   }
   W->setLimits(O.Limits);
+  if (O.Tier)
+    W->setTier(*O.Tier);
   return W;
 }
 
@@ -257,6 +277,26 @@ void flushDiags(Workbench &W) {
 /// a runtime trap, 1 otherwise (load/compile diagnostics).
 int failureExit(const RuntimeTrap &T) {
   return T.isTrap() ? trapExitCode(T.Kind) : 1;
+}
+
+/// Compiles under the selected configuration and prints the register-
+/// bytecode listing (--dump-bytecode).  Returns the exit code.
+int dumpBytecodeListing(Workbench &W, const CliOptions &O) {
+  std::unique_ptr<CompiledProgram> CP =
+      W.compileOnly(O.Configuration, O.Sel, O.Opt);
+  flushDiags(W);
+  if (!CP) {
+    if (W.lastTrap().isTrap())
+      std::cerr << "micac: " << W.lastTrap().Message << '\n';
+    return failureExit(W.lastTrap());
+  }
+  BcModule Mod = compileToBytecode(*CP);
+  if (!Mod.Ok) {
+    std::cerr << "micac: bytecode compilation failed: " << Mod.Error << '\n';
+    return 1;
+  }
+  disassemble(Mod, W.program(), std::cout);
+  return 0;
 }
 
 void printStats(const ConfigResult &R) {
@@ -364,6 +404,11 @@ int cmdRun(const CliOptions &O) {
       return failureExit(W->lastTrap());
     }
   }
+  if (O.DumpBytecode) {
+    int Rc = dumpBytecodeListing(*W, O);
+    if (Rc)
+      return Rc;
+  }
   std::optional<ConfigResult> R =
       W->runConfig(O.Configuration, O.Input, Err, O.Sel, O.Opt);
   flushDiags(*W);
@@ -391,6 +436,8 @@ int cmdDump(const CliOptions &O) {
       return failureExit(W->lastTrap());
     }
   }
+  if (O.DumpBytecode)
+    return dumpBytecodeListing(*W, O);
   std::unique_ptr<CompiledProgram> CP =
       W->compileOnly(O.Configuration, O.Sel, O.Opt);
   flushDiags(*W);

@@ -1,0 +1,367 @@
+//===- bench/load_serve.cpp - Snapshot-serving throughput bench -----------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays the four Table 2 benchmarks as a job stream against two
+/// serving strategies and reports throughput and latency percentiles:
+///
+///   threaded — the in-process pool (driver/Serve.h): each distinct
+///     (program, config) is compiled once into an immutable
+///     CompiledSnapshot and shared by all worker threads; a job is one
+///     CompiledSnapshot::run().
+///   fork — the PR 5 resilience baseline (micad's default isolation):
+///     every job forks a worker that runs the whole pipeline
+///     (parse -> profile -> optimize -> measured run) in its own process.
+///
+/// Every threaded job's RunStats are checked bit-identical against a
+/// single-threaded reference run of the same (program, config) — the
+/// snapshot immutability contract makes concurrency invisible to the
+/// counters.  Results go to stdout and BENCH_load_serve.json, with the
+/// process counter registry (serve.*, snapshot.*, interp.*, ...)
+/// embedded.
+///
+/// Environment: SELSPEC_LOAD_THREADS (default 8), SELSPEC_LOAD_JOBS
+/// (threaded job count, default 64), SELSPEC_LOAD_FORK_JOBS (fork
+/// baseline job count, default 16 — it pays a full compile per job).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "driver/Serve.h"
+#include "driver/Snapshot.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace selspec;
+using namespace selspec::bench;
+
+namespace {
+
+uint64_t envOr(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  return static_cast<uint64_t>(std::strtoull(V, nullptr, 10));
+}
+
+bool statsEqual(const RunStats &A, const RunStats &B) {
+  return A.DynamicDispatches == B.DynamicDispatches &&
+         A.VersionSelects == B.VersionSelects &&
+         A.StaticCalls == B.StaticCalls && A.InlinePrims == B.InlinePrims &&
+         A.PredictedHits == B.PredictedHits &&
+         A.PredictedMisses == B.PredictedMisses &&
+         A.FeedbackHits == B.FeedbackHits &&
+         A.FeedbackMisses == B.FeedbackMisses &&
+         A.ClosuresCreated == B.ClosuresCreated &&
+         A.ClosureCalls == B.ClosureCalls &&
+         A.Allocations == B.Allocations &&
+         A.MethodInvocations == B.MethodInvocations &&
+         A.NodesEvaluated == B.NodesEvaluated &&
+         A.PeakDepth == B.PeakDepth && A.Cycles == B.Cycles &&
+         A.NodeMix == B.NodeMix;
+}
+
+struct Percentiles {
+  double P50Us = 0, P95Us = 0, P99Us = 0;
+};
+
+Percentiles percentiles(std::vector<uint64_t> LatenciesNs) {
+  Percentiles P;
+  if (LatenciesNs.empty())
+    return P;
+  std::sort(LatenciesNs.begin(), LatenciesNs.end());
+  auto At = [&](double Q) {
+    size_t I = static_cast<size_t>(Q * (LatenciesNs.size() - 1) + 0.5);
+    return LatenciesNs[I] / 1000.0;
+  };
+  P.P50Us = At(0.50);
+  P.P95Us = At(0.95);
+  P.P99Us = At(0.99);
+  return P;
+}
+
+struct ModeResult {
+  uint64_t Jobs = 0;
+  uint64_t Failures = 0;
+  double WallMs = 0;
+  double JobsPerSec = 0;
+  Percentiles Lat;
+};
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One prebuilt (program, config) unit of the job mix.
+struct ServedProgram {
+  const BenchProgram *Program;
+  std::shared_ptr<const CompiledSnapshot> Snapshot;
+  /// Request-sized workload: a served job is one request, not a full
+  /// benchmark run — train on TrainInput, serve TrainInput/20.
+  int64_t ServeInput = 1;
+  RunStats Reference; ///< single-threaded baseline RunStats
+};
+
+int64_t serveInputFor(const BenchProgram &BP) {
+  int64_t Div =
+      static_cast<int64_t>(envOr("SELSPEC_LOAD_INPUT_DIV", 20));
+  int64_t In = BP.TrainInput / (Div > 0 ? Div : 1);
+  return In > 0 ? In : 1;
+}
+
+/// Builds the four snapshots (Selective config, profile on the train
+/// input, bytecode tier) and their single-threaded reference stats.
+std::vector<ServedProgram> buildSnapshots() {
+  std::vector<ServedProgram> Out;
+  for (const BenchProgram &BP : table2Suite()) {
+    std::string Err;
+    std::shared_ptr<Workbench> WB = Workbench::fromFiles(BP.Files, Err);
+    if (!WB) {
+      std::cerr << "load_serve: " << BP.Name << ": " << Err << '\n';
+      std::exit(1);
+    }
+    WB->setTier(ExecTier::Bytecode);
+    if (!WB->collectProfile(BP.TrainInput, Err)) {
+      std::cerr << "load_serve: " << BP.Name << ": profile: " << Err << '\n';
+      std::exit(1);
+    }
+    std::shared_ptr<const CompiledSnapshot> Snap =
+        WB->buildSnapshot(Config::Selective, Err, {}, {}, WB);
+    if (!Snap) {
+      std::cerr << "load_serve: " << BP.Name << ": " << Err << '\n';
+      std::exit(1);
+    }
+    int64_t ServeInput = serveInputFor(BP);
+    CompiledSnapshot::JobResult Ref = Snap->run(ServeInput);
+    if (!Ref.Ok) {
+      std::cerr << "load_serve: " << BP.Name
+                << ": reference run failed: " << Ref.Error << '\n';
+      std::exit(1);
+    }
+    Out.push_back(ServedProgram{&BP, std::move(Snap), ServeInput, Ref.R.Run});
+  }
+  return Out;
+}
+
+ModeResult runThreaded(const std::vector<ServedProgram> &Programs,
+                       unsigned Threads, uint64_t Jobs, bool &StatsIdentical) {
+  ModeResult M;
+  std::mutex ResultM;
+  std::vector<uint64_t> Latencies;
+  uint64_t Mismatches = 0, Failures = 0;
+
+  {
+    ServeEngine::Options EO;
+    EO.Threads = Threads;
+    EO.QueueCapacity = Threads * 4;
+    ServeEngine Engine(EO, [&](ServeEngine::Completion &&Cmp) {
+      // Completions are serialized by the engine; the lock guards
+      // against the final drain in shutdown().
+      std::lock_guard<std::mutex> Lock(ResultM);
+      Latencies.push_back(Cmp.QueueNanos + Cmp.RunNanos);
+      if (!Cmp.Result.Ok) {
+        ++Failures;
+        return;
+      }
+      // The job id is its sequence number; every job's RunStats must be
+      // bit-identical to the single-threaded reference of its program —
+      // concurrency is invisible to the counters.
+      size_t Idx = std::strtoull(Cmp.TheJob.Id.c_str(), nullptr, 10) %
+                   Programs.size();
+      if (!statsEqual(Cmp.Result.R.Run, Programs[Idx].Reference))
+        ++Mismatches;
+    });
+
+    uint64_t Start = nowNs();
+    for (uint64_t I = 0; I != Jobs; ++I) {
+      const ServedProgram &SP = Programs[I % Programs.size()];
+      ServeEngine::Job J;
+      J.Id = std::to_string(I);
+      J.Snapshot = SP.Snapshot;
+      J.Input = SP.ServeInput;
+      J.CaptureOutput = false;
+      J.CollectMetricsDelta = false;
+      Engine.submit(std::move(J));
+    }
+    Engine.shutdown(false);
+    M.WallMs = (nowNs() - Start) / 1e6;
+  }
+
+  M.Jobs = Jobs;
+  M.Failures = Failures;
+  M.JobsPerSec = M.WallMs > 0 ? Jobs / (M.WallMs / 1000.0) : 0;
+  M.Lat = percentiles(std::move(Latencies));
+  StatsIdentical = Mismatches == 0 && Failures == 0;
+  return M;
+}
+
+/// Forked-worker baseline: every job is a fork that runs the whole
+/// pipeline, exactly like micad's default isolation.  Up to \p Width
+/// workers run concurrently.
+ModeResult runForkBaseline(const std::vector<ServedProgram> &Programs,
+                           unsigned Width, uint64_t Jobs) {
+  ModeResult M;
+  std::vector<uint64_t> Latencies;
+  std::map<pid_t, uint64_t> StartedAt;
+
+  auto SpawnJob = [&](uint64_t I) -> pid_t {
+    const ServedProgram &SP = Programs[I % Programs.size()];
+    const BenchProgram &BP = *SP.Program;
+    int64_t ServeInput = SP.ServeInput;
+    pid_t Pid = fork();
+    if (Pid != 0)
+      return Pid;
+    // Worker: the full pipeline, one job, _exit (no atexit/stdio replay).
+    std::string Err;
+    std::unique_ptr<Workbench> WB = Workbench::fromFiles(BP.Files, Err);
+    if (!WB)
+      _exit(1);
+    WB->setTier(ExecTier::Bytecode);
+    if (!WB->collectProfile(BP.TrainInput, Err))
+      _exit(1);
+    std::optional<ConfigResult> R =
+        WB->runConfig(Config::Selective, ServeInput, Err);
+    _exit(R ? 0 : 1);
+  };
+
+  uint64_t Start = nowNs();
+  uint64_t Spawned = 0;
+  unsigned Live = 0;
+  while (Spawned < Jobs || Live > 0) {
+    while (Spawned < Jobs && Live < Width) {
+      pid_t Pid = SpawnJob(Spawned);
+      if (Pid < 0) {
+        std::cerr << "load_serve: fork failed: " << std::strerror(errno)
+                  << '\n';
+        std::exit(1);
+      }
+      StartedAt[Pid] = nowNs();
+      ++Spawned;
+      ++Live;
+    }
+    int Status = 0;
+    pid_t Got = wait(&Status);
+    if (Got < 0)
+      continue;
+    auto It = StartedAt.find(Got);
+    if (It == StartedAt.end())
+      continue;
+    Latencies.push_back(nowNs() - It->second);
+    StartedAt.erase(It);
+    --Live;
+    if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0)
+      ++M.Failures;
+  }
+  M.WallMs = (nowNs() - Start) / 1e6;
+  M.Jobs = Jobs;
+  M.JobsPerSec = M.WallMs > 0 ? Jobs / (M.WallMs / 1000.0) : 0;
+  M.Lat = percentiles(std::move(Latencies));
+  return M;
+}
+
+void printMode(const char *Name, const ModeResult &M) {
+  std::printf("  %-9s %5llu jobs  %9.1f ms  %8.1f jobs/s  "
+              "p50 %8.0f us  p95 %8.0f us  p99 %8.0f us  failures %llu\n",
+              Name, static_cast<unsigned long long>(M.Jobs), M.WallMs,
+              M.JobsPerSec, M.Lat.P50Us, M.Lat.P95Us, M.Lat.P99Us,
+              static_cast<unsigned long long>(M.Failures));
+}
+
+void publishCounters(const char *Mode, const ModeResult &M) {
+  // The registry keeps the name pointer, so dynamic names must outlive
+  // the process — leaked on purpose, like the counters themselves.
+  auto Name = [&](const char *Suffix) {
+    return (new std::string(std::string("load_serve.") + Mode + Suffix))
+        ->c_str();
+  };
+  metrics::named(Name(".jobs")).add(M.Jobs);
+  metrics::named(Name(".failures")).add(M.Failures);
+  metrics::named(Name(".jobs_per_sec_milli"))
+      .add(static_cast<uint64_t>(M.JobsPerSec * 1000.0));
+  metrics::named(Name(".p50_us")).add(static_cast<uint64_t>(M.Lat.P50Us));
+  metrics::named(Name(".p95_us")).add(static_cast<uint64_t>(M.Lat.P95Us));
+  metrics::named(Name(".p99_us")).add(static_cast<uint64_t>(M.Lat.P99Us));
+}
+
+void modeJson(std::ostream &OS, const char *Name, const ModeResult &M) {
+  OS << "    \"" << Name << "\": {\"jobs\": " << M.Jobs
+     << ", \"failures\": " << M.Failures << ", \"wall_ms\": " << M.WallMs
+     << ", \"jobs_per_sec\": " << M.JobsPerSec
+     << ", \"p50_us\": " << M.Lat.P50Us << ", \"p95_us\": " << M.Lat.P95Us
+     << ", \"p99_us\": " << M.Lat.P99Us << "}";
+}
+
+} // namespace
+
+int main() {
+  printHeader("load_serve — snapshot serving throughput",
+              "snapshot thread-pool serving vs fork-per-job isolation");
+
+  unsigned Threads = static_cast<unsigned>(envOr("SELSPEC_LOAD_THREADS", 8));
+  uint64_t ThreadJobs = envOr("SELSPEC_LOAD_JOBS", 64);
+  uint64_t ForkJobs = envOr("SELSPEC_LOAD_FORK_JOBS", 16);
+
+  std::vector<ServedProgram> Programs = buildSnapshots();
+  std::printf("%zu snapshots (Selective, bytecode tier), %u threads\n\n",
+              Programs.size(), Threads);
+
+  bool StatsIdentical = false;
+  ModeResult Threaded =
+      runThreaded(Programs, Threads, ThreadJobs, StatsIdentical);
+  printMode("threaded", Threaded);
+
+  ModeResult Forked = runForkBaseline(Programs, Threads, ForkJobs);
+  printMode("fork", Forked);
+
+  double Speedup =
+      Forked.JobsPerSec > 0 ? Threaded.JobsPerSec / Forked.JobsPerSec : 0;
+  std::printf("\n  throughput: threaded/fork = %.2fx   per-job RunStats "
+              "identical: %s\n",
+              Speedup, StatsIdentical ? "yes" : "NO");
+
+  publishCounters("threaded", Threaded);
+  publishCounters("fork", Forked);
+  metrics::named("load_serve.speedup_milli")
+      .add(static_cast<uint64_t>(Speedup * 1000.0));
+
+  std::ofstream OS("BENCH_load_serve.json");
+  if (!OS) {
+    std::cerr << "load_serve: cannot write BENCH_load_serve.json\n";
+  } else {
+    OS << "{\n  \"bench\": \"load_serve\",\n  \"git\": \"" << gitDescribe()
+       << "\",\n  \"tier\": \"bytecode\",\n  \"threads\": " << Threads
+       << ",\n  \"modes\": {\n";
+    modeJson(OS, "threaded", Threaded);
+    OS << ",\n";
+    modeJson(OS, "fork", Forked);
+    OS << "\n  },\n  \"speedup_jobs_per_sec\": " << Speedup
+       << ",\n  \"stats_identical\": " << (StatsIdentical ? "true" : "false")
+       << ",\n  \"counters\": " << metrics::toJsonCompact() << "\n}\n";
+  }
+
+  if (!StatsIdentical) {
+    std::cerr << "load_serve: per-job RunStats diverged from the "
+                 "single-threaded reference\n";
+    return 1;
+  }
+  return 0;
+}

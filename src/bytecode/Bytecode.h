@@ -21,14 +21,20 @@
 /// into a leaf instruction (literals, variable reads) or carried by a
 /// dedicated Charge instruction preceding the node's child code.
 ///
-/// Call sites carry their inline-cache state directly in the instruction
-/// stream's side table (BcSite): a small array of (class tuple -> method,
-/// version) entries consulted before the Dispatcher's PIC/memo machinery,
-/// so the hot dispatch path is a handful of compares instead of hash
-/// probes.  IC state is observability only — a hit returns exactly what
-/// Dispatcher::lookup + CompiledProgram::selectVersion would return for
-/// the same immutable program, which the SELSPEC_IC_AUDIT=1 mode
-/// re-verifies (counting `bytecode.ic_misdispatch`).
+/// Call sites consult a small inline cache of (class tuple -> method,
+/// version) entries before the Dispatcher's PIC/memo machinery, so the
+/// hot dispatch path is a handful of compares instead of hash probes.
+/// The mutable IC state does NOT live in the module: a BcModule is part
+/// of an immutable, thread-shared CompiledSnapshot, so each BcSite (and
+/// each slot-access site) carries only a dense index (IcSlot/CacheSlot)
+/// into a per-interpreter — hence per-thread — IC side-table that the
+/// BytecodeInterpreter allocates from NumIcSlots/NumSlotCacheSlots.  The
+/// 12-byte instruction encoding is unchanged; instructions still name
+/// sites, sites name side-table slots.  IC state is observability only —
+/// a hit returns exactly what Dispatcher::lookup +
+/// CompiledProgram::selectVersion would return for the same immutable
+/// program, which the SELSPEC_IC_AUDIT=1 mode re-verifies (counting
+/// `bytecode.ic_misdispatch`).
 ///
 /// Non-local returns: boundary-B returns lexically inside their matching
 /// InlinedExpr region resolve statically to a move + jump; all others
@@ -134,8 +140,9 @@ struct Insn {
 constexpr unsigned BcIcEntries = 4;
 constexpr unsigned BcIcMaxArity = 6;
 
-/// One baked-in inline-cache entry: an argument-class tuple with the
-/// dispatch result (target method and its selected compiled version).
+/// One inline-cache entry: an argument-class tuple with the dispatch
+/// result (target method and its selected compiled version).  Lives in
+/// the interpreter's per-thread IC side-table, never in the module.
 struct BcIcEntry {
   uint8_t Arity = 0xff; ///< 0xff = empty.
   ClassId Classes[BcIcMaxArity];
@@ -144,8 +151,9 @@ struct BcIcEntry {
 };
 
 /// Per-send-site record: the resolved SendExpr (generic, site id, binding
-/// annotation, location) plus compile-time-cached primitive info and the
-/// inline-cache slots.
+/// annotation, location) plus compile-time-cached primitive info.
+/// Immutable after compilation; the run-time IC state lives in the
+/// interpreter's side-table at index IcSlot.
 struct BcSite {
   const SendExpr *S = nullptr;
   /// InlinePrim/Predicted target primitive, resolved at compile time.
@@ -153,17 +161,17 @@ struct BcSite {
   /// FeedbackGuard: whether the predicted target is a builtin, and its op.
   bool TargetIsBuiltin = false;
   PrimOp TargetPrim = PrimOp::None;
-  /// Baked-in IC state (mutable at run time).
-  BcIcEntry Ic[BcIcEntries];
-  uint8_t IcVictim = 0; ///< round-robin replacement cursor.
+  /// Module-dense index of this site's per-thread inline cache
+  /// (< BcModule::NumIcSlots).
+  uint32_t IcSlot = 0;
 };
 
-/// Per slot-access site: the slot name plus a one-entry (class -> layout
-/// index) cache.
+/// Per slot-access site: the slot name plus the module-dense index of its
+/// per-thread one-entry (class -> layout index) cache
+/// (< BcModule::NumSlotCacheSlots).  Immutable after compilation.
 struct BcSlotSite {
   Symbol Name;
-  ClassId CachedClass; ///< invalid id = empty.
-  int32_t CachedIndex = -1;
+  uint32_t CacheSlot = 0;
 };
 
 /// Per `new` site: the resolved NewExpr and its class's layout size.
@@ -226,12 +234,20 @@ struct BcFunction {
 };
 
 /// A compiled program: one BcFunction per non-builtin compiled method
-/// version plus one per reachable closure literal.
+/// version plus one per reachable closure literal.  Immutable once
+/// compiled — execution state (inline caches, slot caches) lives in each
+/// BytecodeInterpreter's side-tables, sized by the slot counts below —
+/// so one module can back any number of concurrent interpreters.
 struct BcModule {
   std::vector<std::unique_ptr<BcFunction>> Functions;
   /// CompiledMethod::Index -> function (null for builtins).
   std::vector<BcFunction *> ByVersion;
   std::unordered_map<const ClosureLitExpr *, BcFunction *> ByClosure;
+  /// Module-wide count of send-site IC slots (BcSite::IcSlot range).
+  uint32_t NumIcSlots = 0;
+  /// Module-wide count of slot-access cache slots (BcSlotSite::CacheSlot
+  /// range).
+  uint32_t NumSlotCacheSlots = 0;
   /// Total instruction-stream bytes (the `bytecode.code_bytes` counter).
   uint64_t CodeBytes = 0;
   /// Compiled function count (methods + closures).

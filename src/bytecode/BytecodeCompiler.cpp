@@ -371,6 +371,7 @@ bool ModuleBuilder::compileExpr(const Expr *E, uint32_t Dst) {
       break;
     }
     }
+    Site.IcSlot = Mod.NumIcSlots++;
     S.Fn->Sites.push_back(Site);
     emit(Op, Loc, 0, Dst, Dst, static_cast<uint32_t>(Sd->Args.size()),
          static_cast<uint32_t>(S.Fn->Sites.size() - 1));
@@ -432,7 +433,7 @@ bool ModuleBuilder::compileExpr(const Expr *E, uint32_t Dst) {
     emit(BcOp::Charge, Loc, Kind);
     if (!compileExpr(G->Object.get(), Dst))
       return false;
-    S.Fn->SlotSites.push_back(BcSlotSite{G->SlotName, ClassId(), -1});
+    S.Fn->SlotSites.push_back(BcSlotSite{G->SlotName, Mod.NumSlotCacheSlots++});
     emit(BcOp::GetSlot, Loc, 0, Dst, Dst, 0,
          static_cast<uint32_t>(S.Fn->SlotSites.size() - 1));
     return true;
@@ -445,7 +446,7 @@ bool ModuleBuilder::compileExpr(const Expr *E, uint32_t Dst) {
       return false;
     if (!compileExpr(St->Value.get(), Dst + 1))
       return false;
-    S.Fn->SlotSites.push_back(BcSlotSite{St->SlotName, ClassId(), -1});
+    S.Fn->SlotSites.push_back(BcSlotSite{St->SlotName, Mod.NumSlotCacheSlots++});
     emit(BcOp::SetSlot, Loc, 0, Dst, Dst, Dst + 1,
          static_cast<uint32_t>(S.Fn->SlotSites.size() - 1));
     return true;

@@ -75,9 +75,12 @@ metrics::Counter CtrIcMisses("bytecode.ic_misses");
 metrics::Counter CtrIcMisdispatch("bytecode.ic_misdispatch");
 } // namespace
 
-BytecodeInterpreter::BytecodeInterpreter(CompiledProgram &CP, BcModule &Mod,
-                                         RunOptions Opts, CostModel Costs)
-    : CP(CP), P(CP.program()), Mod(Mod), Opts(Opts), Costs(Costs), Disp(P),
+BytecodeInterpreter::BytecodeInterpreter(const CompiledProgram &CP,
+                                         const BcModule &Mod, RunOptions Opts,
+                                         CostModel Costs)
+    : CP(CP), P(CP.program()), Mod(Mod), Opts(Opts), Costs(Costs),
+      Disp(Opts.Tables ? Dispatcher(*Opts.Tables) : Dispatcher(P)),
+      IcTable(Mod.NumIcSlots), SlotCaches(Mod.NumSlotCacheSlots),
       StackBudget(nativeStackBudget()) {
   assert(Mod.Ok && "executing a module that failed to compile");
   const char *Audit = std::getenv("SELSPEC_IC_AUDIT");
@@ -250,14 +253,14 @@ void BytecodeInterpreter::recordArc(CallSiteId Site, MethodId Callee) {
 // Inline caches
 //===----------------------------------------------------------------------===//
 
-bool BytecodeInterpreter::icFind(BcSite &Site, MethodId &Target,
+bool BytecodeInterpreter::icFind(const BcSite &Site, MethodId &Target,
                                  int &Version) {
   const size_t N = ClassScratch.size();
   if (N > BcIcMaxArity) {
     ++IcMisses;
     return false;
   }
-  for (BcIcEntry &E : Site.Ic) {
+  for (BcIcEntry &E : IcTable[Site.IcSlot].Ways) {
     if (E.Arity != N)
       continue;
     bool Match = true;
@@ -289,22 +292,22 @@ bool BytecodeInterpreter::icFind(BcSite &Site, MethodId &Target,
   return false;
 }
 
-void BytecodeInterpreter::icInsert(BcSite &Site, MethodId Target,
+void BytecodeInterpreter::icInsert(const BcSite &Site, MethodId Target,
                                    int Version) {
   const size_t N = ClassScratch.size();
   if (N > BcIcMaxArity)
     return;
+  IcSlotState &Slot = IcTable[Site.IcSlot];
   // Fill an empty way first; evict round-robin once the site is full.
   BcIcEntry *E = nullptr;
-  for (BcIcEntry &Way : Site.Ic)
+  for (BcIcEntry &Way : Slot.Ways)
     if (Way.Arity == 0xff) {
       E = &Way;
       break;
     }
   if (!E) {
-    E = &Site.Ic[Site.IcVictim];
-    Site.IcVictim =
-        static_cast<uint8_t>((Site.IcVictim + 1) % BcIcEntries);
+    E = &Slot.Ways[Slot.Victim];
+    Slot.Victim = static_cast<uint8_t>((Slot.Victim + 1) % BcIcEntries);
   }
   E->Arity = static_cast<uint8_t>(N);
   for (size_t I = 0; I != N; ++I)
@@ -317,7 +320,7 @@ void BytecodeInterpreter::icInsert(BcSite &Site, MethodId Target,
 // Call helpers (one per send-binding kind, mirroring evalSend)
 //===----------------------------------------------------------------------===//
 
-Value BytecodeInterpreter::callDyn(BcSite &Site, Value *Args, size_t N,
+Value BytecodeInterpreter::callDyn(const BcSite &Site, Value *Args, size_t N,
                                    Control &C) {
   const SendExpr *S = Site.S;
   gatherClasses(Args, N);
@@ -338,10 +341,10 @@ Value BytecodeInterpreter::callDyn(BcSite &Site, Value *Args, size_t N,
   return bcInvokeMethod(Target, Version, Args, N, S->getLoc(), C);
 }
 
-Value BytecodeInterpreter::callStatic(BcSite &Site, Value *Args, size_t N,
+Value BytecodeInterpreter::callStatic(const BcSite &Site, Value *Args, size_t N,
                                       Control &C) {
   const SendExpr *S = Site.S;
-  CompiledMethod &CM = CP.version(S->Binding.TargetVersion);
+  const CompiledMethod &CM = CP.version(S->Binding.TargetVersion);
   if (Opts.ValidateBindings) {
     std::vector<ClassId> Classes;
     for (size_t I = 0; I != N; ++I)
@@ -364,7 +367,7 @@ Value BytecodeInterpreter::callStatic(BcSite &Site, Value *Args, size_t N,
   return bcInvokeVersion(CM, Args, N, S->getLoc(), C);
 }
 
-Value BytecodeInterpreter::callSelect(BcSite &Site, Value *Args, size_t N,
+Value BytecodeInterpreter::callSelect(const BcSite &Site, Value *Args, size_t N,
                                       Control &C) {
   const SendExpr *S = Site.S;
   gatherClasses(Args, N);
@@ -390,7 +393,7 @@ Value BytecodeInterpreter::callSelect(BcSite &Site, Value *Args, size_t N,
   return bcInvokeMethod(Target, Version, Args, N, S->getLoc(), C);
 }
 
-Value BytecodeInterpreter::callPrim(BcSite &Site, Value *Args, size_t N,
+Value BytecodeInterpreter::callPrim(const BcSite &Site, Value *Args, size_t N,
                                     Control &C) {
   const SendExpr *S = Site.S;
   if (Opts.ValidateBindings) {
@@ -408,7 +411,7 @@ Value BytecodeInterpreter::callPrim(BcSite &Site, Value *Args, size_t N,
   return invokePrim(Site.Prim, Args, S->getLoc(), C);
 }
 
-Value BytecodeInterpreter::callFeedback(BcSite &Site, Value *Args, size_t N,
+Value BytecodeInterpreter::callFeedback(const BcSite &Site, Value *Args, size_t N,
                                         Control &C) {
   const SendExpr *S = Site.S;
   gatherClasses(Args, N);
@@ -442,7 +445,7 @@ Value BytecodeInterpreter::callFeedback(BcSite &Site, Value *Args, size_t N,
   return bcInvokeMethod(Real, Version, Args, N, S->getLoc(), C);
 }
 
-Value BytecodeInterpreter::callPred(BcSite &Site, Value *Args, size_t N,
+Value BytecodeInterpreter::callPred(const BcSite &Site, Value *Args, size_t N,
                                     Control &C) {
   const SendExpr *S = Site.S;
   Stats.Cycles += Costs.PredictTestCost;
@@ -518,11 +521,11 @@ Value BytecodeInterpreter::bcInvokeMethod(MethodId M, int VersionIndex,
                          Args, N, CallLoc, C);
 }
 
-Value BytecodeInterpreter::bcInvokeVersion(CompiledMethod &CM, Value *Args,
+Value BytecodeInterpreter::bcInvokeVersion(const CompiledMethod &CM, Value *Args,
                                            size_t N, SourceLoc CallLoc,
                                            Control &C) {
   const MethodInfo &M = P.method(CM.Source);
-  CM.Invoked = true;
+  CP.markInvoked(CM.Index);
 
   if (M.isBuiltin())
     return invokePrim(M.Prim, Args, CallLoc, C);
@@ -566,7 +569,7 @@ Value BytecodeInterpreter::bcInvokeVersion(CompiledMethod &CM, Value *Args,
 // The dispatch loop
 //===----------------------------------------------------------------------===//
 
-Value BytecodeInterpreter::execute(BcFunction &Fn, Frame &F,
+Value BytecodeInterpreter::execute(const BcFunction &Fn, Frame &F,
                                    uint64_t Activation, Control &C) {
   const Insn *const Code = Fn.Code.data();
   const SourceLoc *const Locs = Fn.Locs.data();
@@ -950,7 +953,7 @@ L_MakeClosure: {
   }
   ++Stats.ClosuresCreated;
   Stats.Cycles += Costs.ClosureCreateCost;
-  BcClosureRef &Ref = Fn.Closures[I.D];
+  const BcClosureRef &Ref = Fn.Closures[I.D];
   std::vector<CellPtr> Captured;
   Captured.reserve(Ref.Lit->Captures.size());
   for (const CaptureSpec &CS : Ref.Lit->Captures)
@@ -988,7 +991,8 @@ L_InitSlot: {
 
 L_GetSlot: {
   const Insn &I = *Ip;
-  BcSlotSite &SS = Fn.SlotSites[I.D];
+  const BcSlotSite &SS = Fn.SlotSites[I.D];
+  SlotCacheState &SC = SlotCaches[SS.CacheSlot];
   const Value &ObjV = R[I.B];
   if (!ObjV.isObject() ||
       ObjV.asObject()->payload() != Obj::Payload::Instance) {
@@ -999,16 +1003,16 @@ L_GetSlot: {
   }
   Obj *O = ObjV.asObject();
   int Idx;
-  if (SS.CachedIndex >= 0 && O->getClass() == SS.CachedClass) {
-    Idx = SS.CachedIndex;
+  if (SC.CachedIndex >= 0 && O->getClass() == SC.CachedClass) {
+    Idx = SC.CachedIndex;
   } else {
     Idx = P.Classes.slotIndex(O->getClass(), SS.Name);
     if (Idx < 0) {
       failNoSlot(C, Locs[Ip - Code], O->getClass(), SS.Name);
       return Value::nil();
     }
-    SS.CachedClass = O->getClass();
-    SS.CachedIndex = Idx;
+    SC.CachedClass = O->getClass();
+    SC.CachedIndex = Idx;
   }
   Stats.Cycles += Costs.SlotCost;
   R[I.A] = O->Slots[Idx];
@@ -1018,7 +1022,8 @@ L_GetSlot: {
 
 L_SetSlot: {
   const Insn &I = *Ip;
-  BcSlotSite &SS = Fn.SlotSites[I.D];
+  const BcSlotSite &SS = Fn.SlotSites[I.D];
+  SlotCacheState &SC = SlotCaches[SS.CacheSlot];
   const Value &ObjV = R[I.B];
   if (!ObjV.isObject() ||
       ObjV.asObject()->payload() != Obj::Payload::Instance) {
@@ -1028,16 +1033,16 @@ L_SetSlot: {
   }
   Obj *O = ObjV.asObject();
   int Idx;
-  if (SS.CachedIndex >= 0 && O->getClass() == SS.CachedClass) {
-    Idx = SS.CachedIndex;
+  if (SC.CachedIndex >= 0 && O->getClass() == SC.CachedClass) {
+    Idx = SC.CachedIndex;
   } else {
     Idx = P.Classes.slotIndex(O->getClass(), SS.Name);
     if (Idx < 0) {
       failNoSlot(C, Locs[Ip - Code], O->getClass(), SS.Name);
       return Value::nil();
     }
-    SS.CachedClass = O->getClass();
-    SS.CachedIndex = Idx;
+    SC.CachedClass = O->getClass();
+    SC.CachedIndex = Idx;
   }
   Stats.Cycles += Costs.SlotCost;
   O->Slots[Idx] = R[I.C];

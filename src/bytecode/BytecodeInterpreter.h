@@ -33,9 +33,11 @@ namespace selspec {
 class BytecodeInterpreter {
 public:
   /// \p Mod must be the compilation of \p CP (see compileToBytecode) and
-  /// must outlive the interpreter; its inline-cache state is mutated by
-  /// execution.
-  BytecodeInterpreter(CompiledProgram &CP, BcModule &Mod,
+  /// must outlive the interpreter.  Both are shared, never mutated: all
+  /// adaptive state (inline caches, slot caches, dispatcher memo/PICs)
+  /// lives in per-interpreter side-tables, so any number of concurrent
+  /// interpreters may execute one (CP, Mod) snapshot.
+  BytecodeInterpreter(const CompiledProgram &CP, const BcModule &Mod,
                       RunOptions Opts = {}, CostModel Costs = {});
 
   /// Publishes the accumulated RunStats (`interp.*`, summed with the AST
@@ -57,6 +59,7 @@ public:
 
   uint64_t icHits() const { return IcHits; }
   uint64_t icMisses() const { return IcMisses; }
+  uint64_t icMisdispatches() const { return IcMisdispatches; }
 
 private:
   struct Control {
@@ -69,28 +72,31 @@ private:
     bool active() const { return K != Kind::None; }
   };
 
-  Value execute(BcFunction &Fn, Frame &F, uint64_t Activation, Control &C);
+  Value execute(const BcFunction &Fn, Frame &F, uint64_t Activation,
+                Control &C);
 
-  Value callDyn(BcSite &Site, Value *Args, size_t N, Control &C);
-  Value callStatic(BcSite &Site, Value *Args, size_t N, Control &C);
-  Value callSelect(BcSite &Site, Value *Args, size_t N, Control &C);
-  Value callPrim(BcSite &Site, Value *Args, size_t N, Control &C);
-  Value callPred(BcSite &Site, Value *Args, size_t N, Control &C);
-  Value callFeedback(BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callDyn(const BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callStatic(const BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callSelect(const BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callPrim(const BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callPred(const BcSite &Site, Value *Args, size_t N, Control &C);
+  Value callFeedback(const BcSite &Site, Value *Args, size_t N, Control &C);
   Value callClosureValue(Value Callee, Value *Args, size_t N, SourceLoc Loc,
                          Control &C);
 
   Value bcInvokeMethod(MethodId M, int VersionIndex, Value *Args, size_t N,
                        SourceLoc CallLoc, Control &C);
-  Value bcInvokeVersion(CompiledMethod &CM, Value *Args, size_t N,
+  Value bcInvokeVersion(const CompiledMethod &CM, Value *Args, size_t N,
                         SourceLoc CallLoc, Control &C);
   Value invokePrim(PrimOp Op, const Value *Args, SourceLoc Loc, Control &C);
 
-  /// Inline-cache probe/fill over ClassScratch.  A hit yields the cached
-  /// (method, version); under SELSPEC_IC_AUDIT=1 hits are re-verified
-  /// against full dispatch (`bytecode.ic_misdispatch`).
-  bool icFind(BcSite &Site, MethodId &Target, int &Version);
-  void icInsert(BcSite &Site, MethodId Target, int Version);
+  /// Inline-cache probe/fill over ClassScratch, against this
+  /// interpreter's side-table entry for the site (IcTable[Site.IcSlot]).
+  /// A hit yields the cached (method, version); under SELSPEC_IC_AUDIT=1
+  /// hits are re-verified against full dispatch
+  /// (`bytecode.ic_misdispatch`).
+  bool icFind(const BcSite &Site, MethodId &Target, int &Version);
+  void icInsert(const BcSite &Site, MethodId Target, int Version);
 
   void gatherClasses(const Value *Args, size_t N) {
     ClassScratch.clear();
@@ -137,14 +143,31 @@ private:
     return Used > StackBudget;
   }
 
-  CompiledProgram &CP;
+  /// One send site's per-thread inline cache: the BcIcEntry ways plus the
+  /// round-robin replacement cursor, indexed by BcSite::IcSlot.
+  struct IcSlotState {
+    BcIcEntry Ways[BcIcEntries];
+    uint8_t Victim = 0;
+  };
+  /// One slot-access site's per-thread (class -> layout index) cache,
+  /// indexed by BcSlotSite::CacheSlot.
+  struct SlotCacheState {
+    ClassId CachedClass; ///< invalid id = empty.
+    int32_t CachedIndex = -1;
+  };
+
+  const CompiledProgram &CP;
   const Program &P;
-  BcModule &Mod;
+  const BcModule &Mod;
   RunOptions Opts;
   CostModel Costs;
   Dispatcher Disp;
   Heap TheHeap;
   FramePool Frames;
+  /// Per-thread IC side-tables (the module itself is immutable and
+  /// shared): sized once from Mod.NumIcSlots / Mod.NumSlotCacheSlots.
+  std::vector<IcSlotState> IcTable;
+  std::vector<SlotCacheState> SlotCaches;
   std::vector<ClassId> ClassScratch;
   RunStats Stats;
   RuntimeTrap Trap;

@@ -206,20 +206,9 @@ void printSite(const BcSite &Site, size_t Idx, const Program &P,
     OS << " prim=" << primOpName(Site.Prim);
   if (S->Binding.Kind == SendBindKind::FeedbackGuard && Site.TargetIsBuiltin)
     OS << " target-prim=" << primOpName(Site.TargetPrim);
-  OS << '\n';
-  for (unsigned W = 0; W != BcIcEntries; ++W) {
-    const BcIcEntry &E = Site.Ic[W];
-    if (E.Arity == 0xff)
-      continue;
-    OS << "        ic[" << W << "]: (";
-    for (unsigned I = 0; I != E.Arity; ++I) {
-      if (I)
-        OS << ", ";
-      OS << P.Syms.name(P.Classes.info(E.Classes[I]).Name);
-    }
-    OS << ") -> " << P.methodLabel(E.Target) << " version=" << E.Version
-       << '\n';
-  }
+  // IC contents are per-thread interpreter state now, not module state;
+  // the module only records which side-table slot the site owns.
+  OS << " ic-slot=" << Site.IcSlot << '\n';
 }
 
 } // namespace
@@ -243,12 +232,8 @@ void selspec::disassemble(const BcFunction &Fn, const Program &P,
     OS << "  slot sites:\n";
     for (size_t I = 0; I != Fn.SlotSites.size(); ++I) {
       const BcSlotSite &SS = Fn.SlotSites[I];
-      OS << "    [" << I << "] '" << P.Syms.name(SS.Name) << '\'';
-      if (SS.CachedIndex >= 0)
-        OS << " cached: "
-           << P.Syms.name(P.Classes.info(SS.CachedClass).Name) << " -> "
-           << SS.CachedIndex;
-      OS << '\n';
+      OS << "    [" << I << "] '" << P.Syms.name(SS.Name)
+         << "' cache-slot=" << SS.CacheSlot << '\n';
     }
   }
   if (!Fn.Regions.empty()) {

@@ -8,6 +8,7 @@
 
 #include "bytecode/BytecodeCompiler.h"
 #include "bytecode/BytecodeInterpreter.h"
+#include "driver/Snapshot.h"
 #include "profile/ProfileDb.h"
 #include "support/FailPoint.h"
 #include "support/Metrics.h"
@@ -213,88 +214,26 @@ Workbench::runConfig(Config C, int64_t Input, std::string &ErrorOut,
                      const SelectiveOptions &Sel,
                      const OptimizerOptions &OptOpts,
                      const CostModel &Costs) {
-  if (!phaseGate("pipeline.plan", "planning", ErrorOut))
+  // The single-shot path is a degenerate serve: build the immutable
+  // snapshot, run one job against it.
+  std::shared_ptr<const CompiledSnapshot> Snap =
+      buildSnapshot(C, ErrorOut, Sel, OptOpts);
+  if (!Snap)
     return std::nullopt;
-  SpecializationPlan Plan =
-      makePlan(C, *P, *AC, *PT, Profile.empty() ? nullptr : &Profile, Sel,
-               &Diags);
 
-  ConfigResult R;
-  R.Configuration = C;
-  if (C == Config::Selective && !Profile.empty()) {
-    // Re-run the specializer just for its statistics (cheap).
-    SelectiveSpecializer Specializer(*P, *AC, *PT, Profile, Sel);
-    Specializer.run();
-    R.Specializer = Specializer.stats();
-  }
-
-  if (!phaseGate("pipeline.optimize", "optimization", ErrorOut))
+  if (!phaseGate("pipeline.measured-run", "measured run", ErrorOut))
     return std::nullopt;
-  Optimizer Opt(*P, *AC, OptOpts, Profile.empty() ? nullptr : &Profile);
-  std::unique_ptr<CompiledProgram> CP = Opt.compile(Plan);
-  R.Opt = Opt.stats();
-  R.CompiledRoutines = CP->numCompiledRoutines();
-  R.CodeSize = CP->totalCodeSize();
 
-  if (!phaseGate("pipeline.measured-run", "measured run", ErrorOut)) {
-    R.Trap = LastTrap.Kind;
+  CompiledSnapshot::JobOptions JO;
+  JO.Limits = Limits;
+  JO.Cancel = Cancel;
+  JO.Costs = Costs;
+  CompiledSnapshot::JobResult J = Snap->run(Input, JO);
+  if (!J.Ok) {
+    LastTrap = J.Trap;
+    ErrorOut = std::string(configName(C)) + " run failed: " + J.Error;
     return std::nullopt;
   }
-  std::ostringstream Output;
-  RunOptions Opts;
-  Opts.Output = &Output;
-  Opts.Limits = Limits;
-  Opts.Cancel = Cancel;
-
-  // Pick the tier.  A program the bytecode compiler cannot lower degrades
-  // to the AST tier for this run (warning below); RunStats are identical
-  // either way, only wall clock differs.
-  ExecTier RunTier = Tier;
-  BcModule Mod;
-  if (RunTier == ExecTier::Bytecode) {
-    PhaseTimer::Scope Timing("bytecode-compile");
-    Mod = compileToBytecode(*CP);
-    if (!Mod.Ok) {
-      Diags.warning(SourceLoc(), "bytecode tier unavailable (" + Mod.Error +
-                                     "); falling back to the AST tier");
-      RunTier = ExecTier::Ast;
-    }
-  }
-  R.Tier = RunTier;
-
-  auto Measure = [&](auto &I) {
-    bool Ok;
-    {
-      PhaseTimer::Scope Timing("run");
-      auto Start = std::chrono::steady_clock::now();
-      Ok = I.callMain(Input);
-      R.WallNanos = static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - Start)
-              .count());
-    }
-    if (!Ok) {
-      LastTrap = I.trap();
-      R.Trap = LastTrap.Kind;
-      ErrorOut = std::string(configName(C)) +
-                 " run failed: " + I.errorMessage();
-      return false;
-    }
-    LastTrap.reset();
-    R.Run = I.stats();
-    return true;
-  };
-
-  if (RunTier == ExecTier::Bytecode) {
-    BytecodeInterpreter I(*CP, Mod, Opts, Costs);
-    if (!Measure(I))
-      return std::nullopt;
-  } else {
-    Interpreter I(*CP, Opts, Costs);
-    if (!Measure(I))
-      return std::nullopt;
-  }
-  R.InvokedRoutines = CP->numInvokedRoutines();
-  R.Output = Output.str();
-  return R;
+  LastTrap.reset();
+  return J.R;
 }

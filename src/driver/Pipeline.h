@@ -35,6 +35,8 @@
 
 namespace selspec {
 
+class CompiledSnapshot;
+
 /// Everything a bench row needs about one (config, input) execution.
 struct ConfigResult {
   Config Configuration = Config::Base;
@@ -81,12 +83,27 @@ public:
   /// weighted call graph.  May be called several times (profiles merge).
   bool collectProfile(int64_t Input, std::string &ErrorOut);
 
-  /// Compiles under \p C and runs `main(Input)`.
+  /// Compiles under \p C and runs `main(Input)`.  Implemented as
+  /// buildSnapshot() + CompiledSnapshot::run(): the single-shot path is a
+  /// degenerate serve of one job.
   std::optional<ConfigResult>
   runConfig(Config C, int64_t Input, std::string &ErrorOut,
             const SelectiveOptions &Sel = {},
             const OptimizerOptions &OptOpts = {},
             const CostModel &Costs = {});
+
+  /// Compiles under \p C into an immutable, shareable CompiledSnapshot
+  /// (driver/Snapshot.h) that any number of threads can run() jobs
+  /// against concurrently.  Null when a phase gate stopped compilation
+  /// (armed failpoint or expired deadline) — reason in \p ErrorOut /
+  /// diagnostics() / lastTrap().  Pass this workbench's own shared_ptr as
+  /// \p Keep to let the snapshot outlive the caller (serving); with a
+  /// null \p Keep the workbench must outlive the snapshot.
+  std::shared_ptr<const CompiledSnapshot>
+  buildSnapshot(Config C, std::string &ErrorOut,
+                const SelectiveOptions &Sel = {},
+                const OptimizerOptions &OptOpts = {},
+                std::shared_ptr<Workbench> Keep = nullptr);
 
   /// Compiles under \p C without running (plan/code-space studies).
   /// Null when a phase gate stopped compilation (armed failpoint or an

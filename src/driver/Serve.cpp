@@ -1,0 +1,168 @@
+//===- driver/Serve.cpp - In-process thread-pool job serving --------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serve.h"
+
+#include "support/Metrics.h"
+
+using namespace selspec;
+
+namespace {
+
+metrics::Counter CtrSubmitted("serve.jobs_submitted");
+metrics::Counter CtrCompleted("serve.jobs_completed");
+metrics::Counter CtrCancelledQueued("serve.jobs_cancelled_queued");
+metrics::Counter CtrCancelSignals("serve.cancel_signals");
+
+uint64_t nanosSince(std::chrono::steady_clock::time_point Start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+} // namespace
+
+ServeEngine::ServeEngine(const Options &O, CompletionFn OnDoneFn)
+    : OnDone(std::move(OnDoneFn)),
+      NumThreads(O.Threads < 1 ? 1u : O.Threads),
+      Capacity(O.QueueCapacity < 1 ? 1u : O.QueueCapacity),
+      Active(NumThreads, nullptr) {
+  Workers.reserve(NumThreads);
+  for (unsigned Slot = 0; Slot != NumThreads; ++Slot)
+    Workers.emplace_back([this, Slot] { workerLoop(Slot); });
+}
+
+ServeEngine::~ServeEngine() { shutdown(false); }
+
+bool ServeEngine::submit(Job J) {
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    NotFull.wait(Lock, [&] { return Queue.size() < Capacity || Closed; });
+    if (Closed)
+      return false;
+    Queue.push_back(QueuedJob{std::move(J), std::chrono::steady_clock::now()});
+  }
+  CtrSubmitted.add();
+  NotEmpty.notify_one();
+  return true;
+}
+
+void ServeEngine::close() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Closed = true;
+  }
+  // Wake blocked submitters (they observe Closed and bail) and idle
+  // workers (they drain the queue, then exit).
+  NotFull.notify_all();
+  NotEmpty.notify_all();
+}
+
+void ServeEngine::cancelInFlight() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (CancelToken *Tok : Active)
+    if (Tok) {
+      Tok->requestCancel();
+      CtrCancelSignals.add();
+    }
+}
+
+void ServeEngine::shutdown(bool CancelQueued) {
+  close();
+
+  std::deque<QueuedJob> Dropped;
+  if (CancelQueued) {
+    std::lock_guard<std::mutex> Lock(M);
+    Dropped.swap(Queue);
+  }
+  for (QueuedJob &QJ : Dropped) {
+    Completion Cmp;
+    Cmp.TheJob = std::move(QJ.J);
+    Cmp.Cancelled = true;
+    Cmp.QueueNanos = nanosSince(QJ.Enqueued);
+    CtrCancelledQueued.add();
+    std::lock_guard<std::mutex> DoneLock(DoneM);
+    OnDone(std::move(Cmp));
+  }
+  NotEmpty.notify_all();
+
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    AllDone.wait(Lock, [&] { return Queue.empty() && Running == 0; });
+    if (Joined)
+      return;
+    Joined = true;
+  }
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+size_t ServeEngine::queued() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Queue.size();
+}
+
+size_t ServeEngine::inFlight() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Running;
+}
+
+void ServeEngine::workerLoop(unsigned Slot) {
+  for (;;) {
+    QueuedJob QJ;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      NotEmpty.wait(Lock, [&] { return !Queue.empty() || Closed; });
+      if (Queue.empty())
+        return; // Closed and drained.
+      QJ = std::move(Queue.front());
+      Queue.pop_front();
+      ++Running;
+    }
+    NotFull.notify_one();
+
+    // The token lives on this worker's stack for the duration of the
+    // job; it is reachable by cancelInFlight() only through Active[Slot],
+    // which is set and cleared under M.
+    CancelToken Tok;
+    if (QJ.J.DeadlineMs > 0)
+      Tok.setDeadline(Deadline::afterMillis(QJ.J.DeadlineMs));
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Active[Slot] = &Tok;
+    }
+
+    Completion Cmp;
+    Cmp.QueueNanos = nanosSince(QJ.Enqueued);
+
+    CompiledSnapshot::JobOptions JO;
+    JO.Limits = QJ.J.Limits;
+    JO.Cancel = &Tok;
+    JO.Costs = QJ.J.Costs;
+    JO.CaptureOutput = QJ.J.CaptureOutput;
+    JO.CollectMetricsDelta = QJ.J.CollectMetricsDelta;
+
+    auto Start = std::chrono::steady_clock::now();
+    Cmp.Result = QJ.J.Snapshot->run(QJ.J.Input, JO);
+    Cmp.RunNanos = nanosSince(Start);
+    Cmp.TheJob = std::move(QJ.J);
+    CtrCompleted.add();
+
+    {
+      std::lock_guard<std::mutex> DoneLock(DoneM);
+      OnDone(std::move(Cmp));
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Active[Slot] = nullptr;
+      --Running;
+      if (Queue.empty() && Running == 0)
+        AllDone.notify_all();
+    }
+  }
+}

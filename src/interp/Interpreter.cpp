@@ -54,9 +54,10 @@ metrics::Counter CtrCycles("interp.cycles");
 metrics::Counter CtrDeadlineExpired("deadline.expired");
 } // namespace
 
-Interpreter::Interpreter(CompiledProgram &CP, RunOptions Opts,
+Interpreter::Interpreter(const CompiledProgram &CP, RunOptions Opts,
                          CostModel Costs)
-    : CP(CP), P(CP.program()), Opts(Opts), Costs(Costs), Disp(P),
+    : CP(CP), P(CP.program()), Opts(Opts), Costs(Costs),
+      Disp(Opts.Tables ? Dispatcher(*Opts.Tables) : Dispatcher(P)),
       StackBudget(nativeStackBudget()) {}
 
 Interpreter::~Interpreter() {
@@ -563,10 +564,10 @@ Value Interpreter::invokeMethod(MethodId M, int VersionIndex,
                        ArgsBase, CallLoc, C);
 }
 
-Value Interpreter::invokeVersion(CompiledMethod &CM, size_t ArgsBase,
+Value Interpreter::invokeVersion(const CompiledMethod &CM, size_t ArgsBase,
                                  SourceLoc CallLoc, Control &C) {
   const MethodInfo &M = P.method(CM.Source);
-  CM.Invoked = true;
+  CP.markInvoked(CM.Index);
 
   if (M.isBuiltin())
     return invokePrim(M.Prim, ArgStack.data() + ArgsBase, CallLoc, C);
@@ -635,7 +636,7 @@ Value Interpreter::evalSend(const SendExpr *S, Frame &F, Control &C) {
     return dispatchCall(S, ArgsBase, C);
 
   case SendBindKind::Static: {
-    CompiledMethod &CM = CP.version(S->Binding.TargetVersion);
+    const CompiledMethod &CM = CP.version(S->Binding.TargetVersion);
     if (Opts.ValidateBindings) {
       std::vector<ClassId> Classes;
       for (size_t I = ArgsBase; I != ArgStack.size(); ++I)

@@ -85,11 +85,19 @@ struct RunOptions {
   /// DeadlineExceeded.  Null disables the checks beyond one predictable
   /// branch per node.
   const CancelToken *Cancel = nullptr;
+  /// Shared immutable dispatch tables (a CompiledSnapshot's).  When set,
+  /// the interpreter's Dispatcher becomes a per-thread cache over them
+  /// instead of owning its own; lookup results are identical either way.
+  /// Must outlive the interpreter.
+  const DispatchTables *Tables = nullptr;
 };
 
 class Interpreter {
 public:
-  explicit Interpreter(CompiledProgram &CP, RunOptions Opts = {},
+  /// \p CP is shared, not owned: interpreters only read it (the atomic
+  /// invoked bits are the documented exception), so any number of
+  /// concurrent interpreters may execute one snapshot.
+  explicit Interpreter(const CompiledProgram &CP, RunOptions Opts = {},
                        CostModel Costs = {});
 
   /// Publishes the accumulated RunStats onto the process-wide metrics
@@ -137,8 +145,8 @@ private:
   // push (and may reallocate) above them.
   Value invokeMethod(MethodId M, int VersionIndex, size_t ArgsBase,
                      SourceLoc CallLoc, Control &C);
-  Value invokeVersion(CompiledMethod &CM, size_t ArgsBase, SourceLoc CallLoc,
-                      Control &C);
+  Value invokeVersion(const CompiledMethod &CM, size_t ArgsBase,
+                      SourceLoc CallLoc, Control &C);
   /// \p Args points at the callee's arguments on ArgStack; primitives
   /// never re-enter eval, so the pointer stays valid throughout.
   Value invokePrim(PrimOp Op, const Value *Args, SourceLoc Loc, Control &C);
@@ -198,7 +206,7 @@ private:
     return Used > StackBudget;
   }
 
-  CompiledProgram &CP;
+  const CompiledProgram &CP;
   const Program &P;
   RunOptions Opts;
   CostModel Costs;

@@ -15,6 +15,7 @@ uint32_t CompiledProgram::addVersion(CompiledMethod CM) {
   CM.Index = Index;
   ByMethod[CM.Source.value()].push_back(Index);
   Versions.push_back(std::move(CM));
+  InvokedBits.emplace_back(0);
   return Index;
 }
 
@@ -43,7 +44,7 @@ unsigned CompiledProgram::numCompiledRoutines() const {
 unsigned CompiledProgram::numInvokedRoutines() const {
   unsigned N = 0;
   for (const CompiledMethod &CM : Versions)
-    if (CM.Invoked && !P.method(CM.Source).isBuiltin())
+    if (invoked(CM.Index) && !P.method(CM.Source).isBuiltin())
       ++N;
   return N;
 }
@@ -57,6 +58,6 @@ uint64_t CompiledProgram::totalCodeSize() const {
 }
 
 void CompiledProgram::resetInvoked() {
-  for (CompiledMethod &CM : Versions)
-    CM.Invoked = false;
+  for (std::atomic<uint8_t> &Bit : InvokedBits)
+    Bit.store(0, std::memory_order_relaxed);
 }

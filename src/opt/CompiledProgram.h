@@ -19,6 +19,8 @@
 #include "lang/Ast.h"
 #include "specialize/SpecTuple.h"
 
+#include <atomic>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -40,9 +42,6 @@ struct CompiledMethod {
   FrameLayout Layout;
   /// Code-space estimate (optimized AST nodes + dispatch stubs).
   unsigned CodeSize = 0;
-  /// Set when the interpreter invokes this version (dynamic-compilation
-  /// counting for Figure 6).
-  bool Invoked = false;
 };
 
 class CompiledProgram {
@@ -73,6 +72,19 @@ public:
   /// compilation bug if dispatch really chose \p M).
   int selectVersion(MethodId M, const std::vector<ClassId> &ArgClasses) const;
 
+  /// Marks version \p Index invoked (dynamic-compilation counting for
+  /// Figure 6).  Const and thread-safe by design: a snapshot is shared as
+  /// `const CompiledProgram &` across serving threads, and the invoked
+  /// bits are the one piece of instrumentation the interpreters still
+  /// write — monotonic relaxed stores on dedicated atomics, so concurrent
+  /// marking is race-free and never perturbs RunStats.
+  void markInvoked(uint32_t Index) const {
+    InvokedBits[Index].store(1, std::memory_order_relaxed);
+  }
+  bool invoked(uint32_t Index) const {
+    return InvokedBits[Index].load(std::memory_order_relaxed) != 0;
+  }
+
   /// Figure 6 statistics: compiled routine counts over *user* methods.
   unsigned numCompiledRoutines() const;
   unsigned numInvokedRoutines() const;
@@ -85,6 +97,11 @@ private:
   bool UseCHA;
   std::vector<CompiledMethod> Versions;
   std::vector<std::vector<uint32_t>> ByMethod;
+  /// One invoked bit per version.  A deque because atomics are immovable
+  /// and addVersion grows the set; deque growth never relocates elements,
+  /// so raced markInvoked pointers stay valid.  `mutable` + atomic is the
+  /// documented exception to snapshot immutability (see markInvoked).
+  mutable std::deque<std::atomic<uint8_t>> InvokedBits;
 };
 
 } // namespace selspec

@@ -22,12 +22,12 @@ metrics::Counter CtrMemoCollisions("dispatcher.memo_collisions");
 } // namespace
 
 Dispatcher::~Dispatcher() {
-  CtrLookups.add(S.Lookups);
-  CtrPicHits.add(S.PicHits);
-  CtrMemoHits.add(S.MemoHits);
-  CtrFullLookups.add(S.FullLookups);
-  CtrMegamorphicSites.add(S.MegamorphicSites);
-  CtrMemoCollisions.add(S.MemoCollisions);
+  CtrLookups.add(Cache.S.Lookups);
+  CtrPicHits.add(Cache.S.PicHits);
+  CtrMemoHits.add(Cache.S.MemoHits);
+  CtrFullLookups.add(Cache.S.FullLookups);
+  CtrMegamorphicSites.add(Cache.S.MegamorphicSites);
+  CtrMemoCollisions.add(Cache.S.MemoCollisions);
 }
 
 uint64_t Dispatcher::tupleKey(GenericId G,
@@ -44,8 +44,8 @@ uint64_t Dispatcher::tupleKey(GenericId G,
 }
 
 unsigned Dispatcher::picSize(CallSiteId Site) const {
-  auto It = Pics.find(Site.value());
-  return It == Pics.end()
+  auto It = Cache.Pics.find(Site.value());
+  return It == Cache.Pics.end()
              ? 0
              : static_cast<unsigned>(It->second.Entries.size());
 }
@@ -53,20 +53,20 @@ unsigned Dispatcher::picSize(CallSiteId Site) const {
 MethodId Dispatcher::lookup(GenericId G,
                             const std::vector<ClassId> &ArgClasses,
                             CallSiteId Site) {
-  ++S.Lookups;
+  ++Cache.S.Lookups;
 
   // Probe the site's PIC if it already has one; never create a record on
   // the probe itself, or every failed/one-shot site would own an empty
   // Pic forever.
   struct Pic *SitePic = nullptr;
   if (Site.isValid()) {
-    auto PicIt = Pics.find(Site.value());
-    if (PicIt != Pics.end()) {
+    auto PicIt = Cache.Pics.find(Site.value());
+    if (PicIt != Cache.Pics.end()) {
       SitePic = &PicIt->second;
       if (!SitePic->Megamorphic) {
         for (const PicEntry &E : SitePic->Entries) {
           if (E.Classes == ArgClasses) {
-            ++S.PicHits;
+            ++Cache.S.PicHits;
             return E.Target;
           }
         }
@@ -76,27 +76,27 @@ MethodId Dispatcher::lookup(GenericId G,
 
   uint64_t Key = tupleKey(G, ArgClasses);
   MethodId Target;
-  auto It = Memo.find(Key);
-  if (It != Memo.end() && It->second.Generic == G &&
+  auto It = Cache.Memo.find(Key);
+  if (It != Cache.Memo.end() && It->second.Generic == G &&
       It->second.Classes == ArgClasses) {
-    ++S.MemoHits;
+    ++Cache.S.MemoHits;
     Target = It->second.Target;
   } else {
-    if (It != Memo.end())
-      ++S.MemoCollisions;
-    ++S.FullLookups;
-    Target = P.dispatch(G, ArgClasses);
-    if (It != Memo.end())
+    if (It != Cache.Memo.end())
+      ++Cache.S.MemoCollisions;
+    ++Cache.S.FullLookups;
+    Target = Tables->dispatch(G, ArgClasses);
+    if (It != Cache.Memo.end())
       It->second = {G, ArgClasses, Target};
     else
-      Memo.emplace(Key, MemoEntry{G, ArgClasses, Target});
+      Cache.Memo.emplace(Key, MemoEntry{G, ArgClasses, Target});
   }
 
   if (Site.isValid() && Target.isValid()) {
     // Only materialize the Pic once there is a valid target to cache.
     // (unordered_map insertion never invalidates references to other
     // elements, so a SitePic found above stays usable.)
-    Pic &ThePic = SitePic ? *SitePic : Pics[Site.value()];
+    Pic &ThePic = SitePic ? *SitePic : Cache.Pics[Site.value()];
     if (!ThePic.Megamorphic) {
       // Insert first; demote only when the cap is actually exceeded, so a
       // site that observes exactly PicCapacity tuples keeps serving PIC
@@ -108,7 +108,7 @@ MethodId Dispatcher::lookup(GenericId G,
         ThePic.Megamorphic = true;
         ThePic.Entries.clear();
         ThePic.Entries.shrink_to_fit();
-        ++S.MegamorphicSites;
+        ++Cache.S.MegamorphicSites;
       }
     }
   }

@@ -14,6 +14,15 @@
 /// applicable rule (Program::dispatch).  Hit/miss statistics feed both the
 /// dispatch-cost microbenchmarks and the profiling-overhead experiment.
 ///
+/// The machinery is split along the sharing boundary that concurrent
+/// serving needs: DispatchTables is the immutable half (the dispatch rule
+/// over an immutable Program — owned by a CompiledSnapshot, built once,
+/// safely shared by any number of threads), while Dispatcher is the
+/// adaptive per-thread half (PIC sites, memo table, statistics) layered
+/// over a DispatchTables it does not own.  Nothing in a lookup ever
+/// writes through the tables, so concurrent Dispatchers never share
+/// mutable state.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SELSPEC_RUNTIME_DISPATCHER_H
@@ -21,19 +30,53 @@
 
 #include "hierarchy/Program.h"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 namespace selspec {
 
+/// The immutable half of dispatch: the most-specific-applicable rule over
+/// a resolved Program.  Instances are logically const after construction
+/// — dispatch() never mutates — so one DispatchTables can back the
+/// per-thread Dispatchers of every serving thread simultaneously.
+class DispatchTables {
+public:
+  explicit DispatchTables(const Program &P) : P(P) {}
+
+  const Program &program() const { return P; }
+
+  /// Full multi-method lookup (Program::dispatch): the authoritative,
+  /// cache-free answer every cache layer above must agree with.
+  MethodId dispatch(GenericId G,
+                    const std::vector<ClassId> &ArgClasses) const {
+    return P.dispatch(G, ArgClasses);
+  }
+
+private:
+  const Program &P;
+};
+
+/// The adaptive, per-thread half of dispatch: PICs + memo + statistics
+/// over a shared immutable DispatchTables.
 class Dispatcher {
 public:
   /// \p PicCapacity bounds each call site's inline cache; sites that
   /// observe more class tuples go "megamorphic" and stop caching locally
   /// (they still use the global memo table), as real PIC implementations
   /// do (Hölzle et al. use ~8).
+  ///
+  /// This convenience overload owns its tables; single-threaded callers
+  /// keep working unchanged.
   explicit Dispatcher(const Program &P, unsigned PicCapacity = 8)
-      : P(P), PicCapacity(PicCapacity) {}
+      : Owned(std::make_unique<DispatchTables>(P)), Tables(Owned.get()),
+        PicCapacity(PicCapacity) {}
+
+  /// Per-thread cache over shared immutable \p Tables (which must outlive
+  /// this Dispatcher).  This is the serving configuration: one snapshot's
+  /// tables, one Dispatcher per thread.
+  explicit Dispatcher(const DispatchTables &Tables, unsigned PicCapacity = 8)
+      : Tables(&Tables), PicCapacity(PicCapacity) {}
 
   /// Statistics for the microbenchmarks and overhead studies.
   struct Stats {
@@ -60,15 +103,26 @@ public:
   MethodId lookup(GenericId G, const std::vector<ClassId> &ArgClasses,
                   CallSiteId Site);
 
-  const Stats &stats() const { return S; }
-  void resetStats() { S = Stats(); }
+  const Stats &stats() const { return Cache.S; }
+  void resetStats() { Cache.S = Stats(); }
+
+  /// Drops the adaptive state (every PIC and the memo table) without
+  /// touching Stats or the shared tables: the next lookup of any tuple is
+  /// a full lookup again.  Used when a snapshot is reused across profile
+  /// generations; deliberately independent of resetStats() (tested).
+  void clearCaches() {
+    Cache.Pics.clear();
+    Cache.Memo.clear();
+  }
+
+  const DispatchTables &tables() const { return *Tables; }
 
   /// Number of PIC entries of \p Site (its observed polymorphism degree).
   unsigned picSize(CallSiteId Site) const;
 
   /// Number of sites that own a PIC record (populated or megamorphic);
   /// sites that only ever missed into the memo never allocate one.
-  size_t numPicSites() const { return Pics.size(); }
+  size_t numPicSites() const { return Cache.Pics.size(); }
 
   /// The memo key: an FNV-style mix of the generic id and the argument
   /// classes.  Collidable by construction (10 bits shifted per argument,
@@ -95,11 +149,20 @@ private:
     MethodId Target;
   };
 
-  const Program &P;
+  /// Everything a lookup mutates, gathered so the thread-ownership
+  /// boundary is explicit: one DispatchCache per thread, never shared.
+  struct DispatchCache {
+    Stats S;
+    std::unordered_map<uint32_t, Pic> Pics;
+    std::unordered_map<uint64_t, MemoEntry> Memo;
+  };
+
+  /// Set only by the table-owning convenience constructor.
+  std::unique_ptr<DispatchTables> Owned;
+  /// Never null; points at Owned or at a caller-shared snapshot's tables.
+  const DispatchTables *Tables;
   unsigned PicCapacity;
-  Stats S;
-  std::unordered_map<uint32_t, Pic> Pics;
-  std::unordered_map<uint64_t, MemoEntry> Memo;
+  DispatchCache Cache;
 };
 
 } // namespace selspec

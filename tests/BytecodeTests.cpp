@@ -386,7 +386,12 @@ TEST(BytecodeIc, MonomorphicSiteHitsAfterFirstSend) {
   EXPECT_LT(I.icMisses(), 20u);
 }
 
-TEST(BytecodeIc, CacheStateSurvivesAcrossRunsOfOneModule) {
+TEST(BytecodeIc, IcStateIsPerInterpreterNotBakedIntoModule) {
+  // The snapshot-immutability contract: a BcModule carries no run-time IC
+  // state, so a fresh interpreter over the same module starts cold — its
+  // miss profile is identical to the first interpreter's, not warmed by
+  // it.  (Within one interpreter, warming still works: see
+  // MonomorphicSiteHitsAfterFirstSend.)
   std::unique_ptr<Program> P = buildProgram({R"(
     class A { slot v; }
     class B isa A { slot w; }
@@ -400,6 +405,7 @@ TEST(BytecodeIc, CacheStateSurvivesAcrossRunsOfOneModule) {
   std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
   BcModule Mod = compileToBytecode(*CP);
   ASSERT_TRUE(Mod.Ok) << Mod.Error;
+  EXPECT_GT(Mod.NumIcSlots, 0u);
 
   uint64_t FirstMisses;
   {
@@ -409,11 +415,9 @@ TEST(BytecodeIc, CacheStateSurvivesAcrossRunsOfOneModule) {
     EXPECT_GT(FirstMisses, 0u);
   }
   {
-    // Same module, warm caches: the second interpreter inherits the filled
-    // IC ways and must miss strictly less.
     BytecodeInterpreter I(*CP, Mod, {});
     ASSERT_TRUE(I.callMain(2));
-    EXPECT_LT(I.icMisses(), FirstMisses);
+    EXPECT_EQ(I.icMisses(), FirstMisses);
   }
 }
 

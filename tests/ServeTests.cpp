@@ -1,0 +1,418 @@
+//===- tests/ServeTests.cpp - Snapshots, thread-pool serving ----------------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The immutability contract of DESIGN.md section 11, enforced:
+//
+//   - every (config, benchmark) job served from a shared CompiledSnapshot
+//     on an 8-thread pool produces RunStats bit-identical to the same job
+//     run single-threaded, on both execution tiers;
+//   - per-job metrics deltas sum exactly to the process-wide registry
+//     totals;
+//   - deadlines and shutdown cancel jobs cooperatively;
+//   - SnapshotCache builds each key once and never caches failures;
+//   - Dispatcher::clearCaches() and resetStats() are independent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serve.h"
+#include "driver/Snapshot.h"
+#include "runtime/Dispatcher.h"
+#include "support/Metrics.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace selspec;
+using namespace selspec::test;
+
+namespace {
+
+/// Full bitwise RunStats comparison, NodeMix included: the serving
+/// guarantee is *identical* counters, not merely identical output.
+bool statsEqual(const RunStats &A, const RunStats &B) {
+  return A.DynamicDispatches == B.DynamicDispatches &&
+         A.VersionSelects == B.VersionSelects &&
+         A.StaticCalls == B.StaticCalls && A.InlinePrims == B.InlinePrims &&
+         A.PredictedHits == B.PredictedHits &&
+         A.PredictedMisses == B.PredictedMisses &&
+         A.FeedbackHits == B.FeedbackHits &&
+         A.FeedbackMisses == B.FeedbackMisses &&
+         A.ClosuresCreated == B.ClosuresCreated &&
+         A.ClosureCalls == B.ClosureCalls &&
+         A.Allocations == B.Allocations &&
+         A.MethodInvocations == B.MethodInvocations &&
+         A.NodesEvaluated == B.NodesEvaluated &&
+         A.PeakDepth == B.PeakDepth && A.Cycles == B.Cycles &&
+         A.NodeMix == B.NodeMix;
+}
+
+struct BenchCase {
+  const char *Name;
+  std::vector<std::string> Files;
+  int64_t Input;
+};
+
+const BenchCase Benches[] = {
+    {"richards", {"richards.mica"}, 30},
+    {"instsched", {"instsched.mica"}, 6},
+    {"typechecker", {"minilang.mica", "typechecker.mica"}, 8},
+    {"compiler", {"minilang.mica", "compiler.mica"}, 8},
+};
+
+const Config AllConfigs[] = {Config::Base, Config::Cust, Config::CustMM,
+                             Config::CHA, Config::Selective};
+
+/// One shared snapshot plus its single-threaded reference result.
+struct ServedUnit {
+  std::string Label;
+  std::shared_ptr<const CompiledSnapshot> Snap;
+  int64_t Input = 0;
+  RunStats Ref;
+  std::string RefOutput;
+};
+
+/// Builds snapshots for every (benchmark, config) pair on \p T, records a
+/// single-threaded reference run for each, then replays every job twice
+/// on an 8-thread pool and demands bit-identical RunStats and output.
+void runConcurrencyStress(ExecTier T) {
+  std::vector<ServedUnit> Units;
+  std::vector<std::shared_ptr<Workbench>> Keepers;
+
+  for (const BenchCase &B : Benches) {
+    std::string Err;
+    std::shared_ptr<Workbench> WB = Workbench::fromFiles(B.Files, Err);
+    ASSERT_TRUE(WB) << B.Name << ": " << Err;
+    WB->setTier(T);
+    ASSERT_TRUE(WB->collectProfile(B.Input, Err)) << B.Name << ": " << Err;
+    Keepers.push_back(WB);
+
+    for (Config C : AllConfigs) {
+      SelectiveOptions Sel;
+      Sel.SpecializationThreshold = 50;
+      std::shared_ptr<const CompiledSnapshot> Snap =
+          WB->buildSnapshot(C, Err, Sel, {}, WB);
+      ASSERT_TRUE(Snap) << B.Name << "/" << configName(C) << ": " << Err;
+      EXPECT_EQ(Snap->tier(), T)
+          << B.Name << "/" << configName(C) << " fell back off the "
+          << "requested tier";
+
+      CompiledSnapshot::JobResult Ref = Snap->run(B.Input);
+      ASSERT_TRUE(Ref.Ok)
+          << B.Name << "/" << configName(C) << ": " << Ref.Error;
+
+      ServedUnit U;
+      U.Label = std::string(B.Name) + "/" + configName(C);
+      U.Snap = Snap;
+      U.Input = B.Input;
+      U.Ref = Ref.R.Run;
+      U.RefOutput = Ref.R.Output;
+      Units.push_back(std::move(U));
+    }
+  }
+  ASSERT_EQ(Units.size(), 20u) << "5 configs x 4 benchmarks";
+
+  // Storm: every unit twice, interleaved across 8 workers.  Completions
+  // are serialized by the engine, so plain writes below are safe.
+  std::vector<std::string> Problems;
+  size_t Completions = 0;
+  {
+    ServeEngine::Options EO;
+    EO.Threads = 8;
+    EO.QueueCapacity = 16;
+    ServeEngine Engine(EO, [&](ServeEngine::Completion &&Cmp) {
+      ++Completions;
+      size_t Idx = std::strtoull(Cmp.TheJob.Id.c_str(), nullptr, 10) %
+                   Units.size();
+      const ServedUnit &U = Units[Idx];
+      if (Cmp.Cancelled || !Cmp.Result.Ok)
+        Problems.push_back(U.Label + ": job failed: " + Cmp.Result.Error);
+      else if (!statsEqual(Cmp.Result.R.Run, U.Ref))
+        Problems.push_back(U.Label + ": RunStats differ from the "
+                                     "single-thread reference");
+      else if (Cmp.Result.R.Output != U.RefOutput)
+        Problems.push_back(U.Label + ": output differs from the "
+                                     "single-thread reference");
+    });
+    for (size_t I = 0; I != 2 * Units.size(); ++I) {
+      ServeEngine::Job J;
+      J.Id = std::to_string(I);
+      J.Snapshot = Units[I % Units.size()].Snap;
+      J.Input = Units[I % Units.size()].Input;
+      J.CollectMetricsDelta = false;
+      ASSERT_TRUE(Engine.submit(std::move(J)));
+    }
+    Engine.shutdown(false);
+  }
+
+  EXPECT_EQ(Completions, 2 * Units.size());
+  for (const std::string &P : Problems)
+    ADD_FAILURE() << P;
+}
+
+} // namespace
+
+TEST(ServeStress, BytecodeTierJobsMatchSingleThreadBaseline) {
+  runConcurrencyStress(ExecTier::Bytecode);
+}
+
+TEST(ServeStress, AstTierJobsMatchSingleThreadBaseline) {
+  runConcurrencyStress(ExecTier::Ast);
+}
+
+// Per-job MetricsDelta entries, summed over all jobs, must equal the
+// process-wide registry totals for those counters — per-job observability
+// is exact, not sampled.  resetAll() runs *after* the build and reference
+// run so only the served jobs contribute.
+TEST(Serve, MetricsDeltasSumToRegistryTotals) {
+  std::string Err;
+  std::shared_ptr<Workbench> WB = Workbench::fromFiles({"richards.mica"}, Err);
+  ASSERT_TRUE(WB) << Err;
+  WB->setTier(ExecTier::Bytecode);
+  ASSERT_TRUE(WB->collectProfile(10, Err)) << Err;
+  std::shared_ptr<const CompiledSnapshot> Snap =
+      WB->buildSnapshot(Config::CHA, Err, {}, {}, WB);
+  ASSERT_TRUE(Snap) << Err;
+
+  metrics::resetAll();
+
+  std::map<std::string, uint64_t> Sums;
+  size_t JobsOk = 0;
+  {
+    ServeEngine::Options EO;
+    EO.Threads = 4;
+    ServeEngine Engine(EO, [&](ServeEngine::Completion &&Cmp) {
+      ASSERT_TRUE(Cmp.Result.Ok) << Cmp.Result.Error;
+      ++JobsOk;
+      EXPECT_FALSE(Cmp.Result.MetricsDelta.empty());
+      for (const auto &KV : Cmp.Result.MetricsDelta)
+        Sums[KV.first] += KV.second;
+    });
+    for (int I = 0; I != 12; ++I) {
+      ServeEngine::Job J;
+      J.Id = std::to_string(I);
+      J.Snapshot = Snap;
+      J.Input = 10;
+      J.CollectMetricsDelta = true;
+      ASSERT_TRUE(Engine.submit(std::move(J)));
+    }
+    Engine.shutdown(false);
+  }
+  ASSERT_EQ(JobsOk, 12u);
+
+  std::map<std::string, uint64_t> Registry;
+  for (const auto &KV : metrics::snapshot())
+    Registry[KV.first] = KV.second;
+
+  EXPECT_GT(Sums.at("interp.nodes_evaluated"), 0u);
+  EXPECT_GT(Sums.at("dispatcher.lookups"), 0u);
+  for (const auto &KV : Sums)
+    EXPECT_EQ(KV.second, Registry[KV.first])
+        << "per-job deltas for " << KV.first
+        << " do not sum to the registry total";
+}
+
+TEST(Serve, DeadlineCancelsJobCooperatively) {
+  std::string Err;
+  std::shared_ptr<Workbench> WB = Workbench::fromFiles({"richards.mica"}, Err);
+  ASSERT_TRUE(WB) << Err;
+  WB->setTier(ExecTier::Bytecode);
+  std::shared_ptr<const CompiledSnapshot> Snap =
+      WB->buildSnapshot(Config::Base, Err, {}, {}, WB);
+  ASSERT_TRUE(Snap) << Err;
+
+  bool SawDeadlineTrap = false;
+  {
+    ServeEngine::Options EO;
+    EO.Threads = 1;
+    ServeEngine Engine(EO, [&](ServeEngine::Completion &&Cmp) {
+      EXPECT_FALSE(Cmp.Result.Ok);
+      EXPECT_FALSE(Cmp.Cancelled) << "job started; must trap, not drop";
+      if (Cmp.Result.Trap.Kind == TrapKind::DeadlineExceeded)
+        SawDeadlineTrap = true;
+    });
+    ServeEngine::Job J;
+    J.Id = "slow";
+    J.Snapshot = Snap;
+    J.Input = 1000000; // minutes of work, uncancelled
+    J.DeadlineMs = 20;
+    ASSERT_TRUE(Engine.submit(std::move(J)));
+    Engine.shutdown(false);
+  }
+  EXPECT_TRUE(SawDeadlineTrap);
+}
+
+// shutdown(CancelQueued=true) after cancelInFlight(): the running job
+// traps at its next poll, jobs still in the queue come back Cancelled
+// without ever starting.  This is micad's SIGTERM drain path.
+TEST(Serve, ShutdownCancelsInFlightAndDropsQueued) {
+  std::string Err;
+  std::shared_ptr<Workbench> WB = Workbench::fromFiles({"richards.mica"}, Err);
+  ASSERT_TRUE(WB) << Err;
+  WB->setTier(ExecTier::Bytecode);
+  std::shared_ptr<const CompiledSnapshot> Snap =
+      WB->buildSnapshot(Config::Base, Err, {}, {}, WB);
+  ASSERT_TRUE(Snap) << Err;
+
+  size_t Completions = 0, Dropped = 0, Started = 0;
+  {
+    ServeEngine::Options EO;
+    EO.Threads = 1;
+    EO.QueueCapacity = 8;
+    ServeEngine Engine(EO, [&](ServeEngine::Completion &&Cmp) {
+      ++Completions;
+      if (Cmp.Cancelled) {
+        ++Dropped;
+        return;
+      }
+      ++Started;
+      // Anything that got to run was cancelled cooperatively — nothing
+      // this slow finishes before the drain (backstop deadline included).
+      EXPECT_FALSE(Cmp.Result.Ok);
+      EXPECT_EQ(Cmp.Result.Trap.Kind, TrapKind::DeadlineExceeded);
+    });
+    for (int I = 0; I != 4; ++I) {
+      ServeEngine::Job J;
+      J.Id = std::to_string(I);
+      J.Snapshot = Snap;
+      J.Input = 1000000;
+      J.DeadlineMs = 2000; // backstop so a racing dequeue stays bounded
+      ASSERT_TRUE(Engine.submit(std::move(J)));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Engine.cancelInFlight();
+    Engine.shutdown(/*CancelQueued=*/true);
+  }
+  EXPECT_EQ(Completions, 4u) << "every submitted job must complete";
+  EXPECT_GE(Started, 1u);
+  EXPECT_GE(Dropped, 2u) << "most of the queue must drain as Cancelled";
+}
+
+TEST(SnapshotCacheTest, BuildsOnceAcrossThreads) {
+  std::string Err;
+  std::shared_ptr<Workbench> WB = Workbench::fromFiles({"richards.mica"}, Err);
+  ASSERT_TRUE(WB) << Err;
+  WB->setTier(ExecTier::Bytecode);
+
+  SnapshotCache Cache;
+  const std::string Key = SnapshotCache::makeKey(
+      {"richards.mica"}, Config::CHA, ExecTier::Bytecode, "none");
+
+  std::atomic<int> Builds{0};
+  SnapshotCache::Builder Build =
+      [&](std::string &BErr) -> std::shared_ptr<const CompiledSnapshot> {
+    ++Builds;
+    // Widen the race window so every thread is in getOrBuild before the
+    // one build finishes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return WB->buildSnapshot(Config::CHA, BErr, {}, {}, WB);
+  };
+
+  std::vector<std::shared_ptr<const CompiledSnapshot>> Got(8);
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I != Got.size(); ++I)
+    Threads.emplace_back([&, I] {
+      std::string TErr;
+      Got[I] = Cache.getOrBuild(Key, Build, TErr);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Builds.load(), 1) << "one build per key, however many waiters";
+  ASSERT_TRUE(Got[0]);
+  for (const auto &Snap : Got)
+    EXPECT_EQ(Snap.get(), Got[0].get()) << "all callers share one snapshot";
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(SnapshotCacheTest, FailedBuildsAreNotCached) {
+  std::string Err;
+  std::shared_ptr<Workbench> WB = Workbench::fromFiles({"richards.mica"}, Err);
+  ASSERT_TRUE(WB) << Err;
+
+  SnapshotCache Cache;
+  const std::string Key = SnapshotCache::makeKey(
+      {"richards.mica"}, Config::Base, ExecTier::Bytecode, "none");
+
+  std::string GErr;
+  std::shared_ptr<const CompiledSnapshot> Snap = Cache.getOrBuild(
+      Key,
+      [](std::string &BErr) -> std::shared_ptr<const CompiledSnapshot> {
+        BErr = "synthetic build failure";
+        return nullptr;
+      },
+      GErr);
+  EXPECT_FALSE(Snap);
+  EXPECT_NE(GErr.find("synthetic build failure"), std::string::npos);
+  EXPECT_EQ(Cache.size(), 0u) << "failures must not be cached";
+
+  // The same key retries and succeeds.
+  GErr.clear();
+  Snap = Cache.getOrBuild(
+      Key,
+      [&](std::string &BErr) -> std::shared_ptr<const CompiledSnapshot> {
+        return WB->buildSnapshot(Config::Base, BErr, {}, {}, WB);
+      },
+      GErr);
+  ASSERT_TRUE(Snap) << GErr;
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+// Satellite: clearCaches() drops the adaptive dispatch state (PICs, memo)
+// without touching the counters; resetStats() zeroes the counters without
+// touching the caches.
+TEST(DispatcherState, ClearCachesAndResetStatsAreIndependent) {
+  // The receiver's class is laundered through pick() so Base's
+  // intraprocedural analysis cannot bind area() statically — the send
+  // stays a real dynamic dispatch that exercises the PIC/memo caches.
+  std::unique_ptr<Program> P = buildProgram({R"(
+    class Shape; class Circle isa Shape; class Square isa Shape;
+    method area(s@Circle) { 3; }
+    method area(s@Square) { 4; }
+    method pick(n@Int) {
+      if (n % 2 == 0) { new Circle; } else { new Square; }
+    }
+    method main(n@Int) {
+      let i := 0; let acc := 0;
+      while (i < n) { acc := acc + area(pick(i)); i := i + 1; }
+      acc;
+    })"});
+  ASSERT_TRUE(P);
+  std::unique_ptr<CompiledProgram> CP = compileProgram(*P, Config::Base);
+  ASSERT_TRUE(CP);
+
+  Interpreter I(*CP);
+  ASSERT_TRUE(I.callMain(50)) << I.errorMessage();
+  Dispatcher &D = I.dispatcher();
+
+  const uint64_t Lookups = D.stats().Lookups;
+  ASSERT_GT(Lookups, 0u);
+  ASSERT_GT(D.numPicSites(), 0u);
+
+  // Dropping the caches preserves the counters.
+  D.clearCaches();
+  EXPECT_EQ(D.numPicSites(), 0u);
+  EXPECT_EQ(D.stats().Lookups, Lookups);
+
+  // Re-run: the caches repopulate and the counters keep accumulating.
+  ASSERT_TRUE(I.callMain(50)) << I.errorMessage();
+  EXPECT_GT(D.numPicSites(), 0u);
+  EXPECT_GT(D.stats().Lookups, Lookups);
+
+  // Zeroing the counters preserves the caches.
+  const size_t Pics = D.numPicSites();
+  D.resetStats();
+  EXPECT_EQ(D.stats().Lookups, 0u);
+  EXPECT_EQ(D.numPicSites(), Pics);
+}

@@ -7,8 +7,9 @@
 /// \file
 /// A long-running batch front end for the pipeline, built for resilience
 /// experiments: jobs arrive as newline-delimited requests, each job runs
-/// in a forked worker process under a watchdog, and the parent emits one
-/// JSON result line per job no matter how the worker dies.
+/// in a forked worker process under a watchdog — or, with --threads, on an
+/// in-process thread pool over shared CompiledSnapshots — and the server
+/// emits one JSON result line per job no matter how the job dies.
 ///
 ///   micad [jobs-file] [options]          (reads stdin when no file given)
 ///
@@ -39,25 +40,49 @@
 ///    "attempts":1,"retries_used":0,"exit":23,"wall_ms":104}
 ///
 /// outcome is one of: "ok", "retried(n)" (ok after n retries),
-/// "trap:<kind>", "timeout", "gave-up".  Signalled workers also report
-/// "signal":N.  Workers that exited (rather than being killed) also
-/// report "metrics":{...} — the worker's own counter registry
-/// (dispatcher.*, interp.*, ...), shipped back over a pipe.  micad exits
-/// 0 once every request produced a result line (outcomes carry the
-/// per-job verdicts) and 2 on usage/input errors, so supervising it
-/// composes.
+/// "trap:<kind>", "timeout", "cancelled" (shutdown drained the job before
+/// it ran), "gave-up".  Signalled workers also report "signal":N.
+/// Workers that exited (rather than being killed) also report
+/// "metrics":{...} — in fork isolation the worker's own counter registry
+/// (dispatcher.*, interp.*, ...) shipped back over a pipe; in thread
+/// isolation the job's exact per-counter deltas against the shared
+/// registry (they sum to the process-wide totals).  micad exits 0 once
+/// every request produced a result line (outcomes carry the per-job
+/// verdicts) and 2 on usage/input errors, so supervising it composes.
+///
+/// Isolation: --isolation=fork (default) is the crash-proof path above.
+/// --threads=N (implies --isolation=thread unless overridden) serves jobs
+/// from an in-process pool instead: each distinct (src, config, profile)
+/// is compiled once into an immutable CompiledSnapshot (driver/Snapshot.h)
+/// and shared by every worker thread; per-job deadlines stay cooperative
+/// (CancelToken polled at the interpreter's charge cadence) but cover the
+/// run only — the compile/profile happens once per snapshot key, outside
+/// any single job's deadline (fork isolation times the whole worker,
+/// compile included).  Jobs with
+/// inject= always take the fork path — failpoints are process-global and
+/// must not poison pooled neighbours.  Thread isolation never retries: in
+/// one process, failures are deterministic.
+///
+/// Shutdown: SIGTERM/SIGINT drain gracefully — stop accepting requests,
+/// cancel in-flight jobs cooperatively (fork isolation: SIGKILL the
+/// worker), report still-queued jobs as "cancelled", flush --metrics-json,
+/// exit 0.
 ///
 /// Options:
 ///   --default-deadline-ms N   deadline for jobs that set none   [10000]
-///   --default-retries N       retry budget default              [1]
+///   --default-retries N       retry budget default (fork)       [1]
 ///   --grace-ms N              SIGKILL lag past the deadline     [500]
 ///   --max-line-bytes N        reject longer request lines       [65536]
-///   --metrics-json FILE       write the server's supervision tallies
-///                             (micad.jobs, micad.retries, ...) on exit
+///   --threads N               in-process pool width             [1]
+///   --isolation thread|fork   job isolation mechanism           [fork]
+///   --queue-capacity N        thread-mode submit backpressure   [4*threads]
+///   --metrics-json FILE       write the server's counter registry on exit
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "driver/Serve.h"
+#include "driver/Snapshot.h"
 #include "interp/RuntimeTrap.h"
 #include "support/FailPoint.h"
 #include "support/Metrics.h"
@@ -66,11 +91,15 @@
 #include <charconv>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <sys/types.h>
@@ -81,14 +110,37 @@ using namespace selspec;
 
 namespace {
 
+enum class Isolation { Fork, Thread };
+
 struct ServerOptions {
   std::string JobsPath; // empty = stdin
   int64_t DefaultDeadlineMs = 10000;
   int DefaultRetries = 1;
   int64_t GraceMs = 500;
   size_t MaxLineBytes = 65536;
+  unsigned Threads = 1;
+  Isolation Iso = Isolation::Fork;
+  size_t QueueCapacity = 0; // 0 = 4 * Threads
   std::string MetricsJsonPath;
 };
+
+/// SIGTERM/SIGINT request a graceful drain.  sig_atomic_t flag only in
+/// the handler; everything else happens on the main thread afterwards.
+volatile sig_atomic_t ShutdownRequested = 0;
+
+void onShutdownSignal(int) { ShutdownRequested = 1; }
+
+void installShutdownHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onShutdownSignal;
+  sigemptyset(&SA.sa_mask);
+  // No SA_RESTART: a blocking read on the request stream returns EINTR so
+  // the accept loop observes the flag instead of wedging on a quiet tty.
+  SA.sa_flags = 0;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+}
 
 // Supervision tallies, exported by --metrics-json.  Parent-side only:
 // each worker's own counters travel back over the metrics pipe and are
@@ -101,6 +153,7 @@ metrics::Counter CtrTimeout("micad.timeout");
 metrics::Counter CtrTrap("micad.trap");
 metrics::Counter CtrGaveUp("micad.gave_up");
 metrics::Counter CtrRejected("micad.rejected");
+metrics::Counter CtrCancelled("micad.cancelled");
 
 struct Job {
   std::string Id;
@@ -120,6 +173,8 @@ struct Job {
   std::cerr << "usage: micad [jobs-file] [--default-deadline-ms N]\n"
                "             [--default-retries N] [--grace-ms N]\n"
                "             [--max-line-bytes N] [--metrics-json FILE]\n"
+               "             [--threads N] [--isolation thread|fork]\n"
+               "             [--queue-capacity N]\n"
                "jobs are key=value lines: src= id= config= input= "
                "profile-input=\n"
                "  deadline-ms= retries= inject= max-depth= max-nodes= "
@@ -229,7 +284,15 @@ int runJobInWorker(const Job &J, bool ArmInject) {
 
 /// How one worker attempt ended, as observed by the supervisor.
 struct AttemptResult {
-  enum Kind { Ok, Trap, SoftTimeout, HardTimeout, Crash, Rejected } K = Ok;
+  enum Kind {
+    Ok,
+    Trap,
+    SoftTimeout,
+    HardTimeout,
+    Crash,
+    Rejected,
+    Cancelled ///< server shutdown interrupted the attempt; final.
+  } K = Ok;
   int ExitCode = 0;
   int Signal = 0;
   TrapKind TheTrap = TrapKind::None;
@@ -315,6 +378,7 @@ AttemptResult superviseAttempt(const Job &J, bool ArmInject,
   int64_t Start = nowMs();
   int64_t KillAfter = J.DeadlineMs > 0 ? J.DeadlineMs + O.GraceMs : -1;
   bool SentKill = false;
+  bool KilledByShutdown = false;
   for (;;) {
     int Status = 0;
     pid_t Got = waitpid(Pid, &Status, WNOHANG);
@@ -334,7 +398,10 @@ AttemptResult superviseAttempt(const Job &J, bool ArmInject,
       collectWorkerMetrics();
       if (WIFSIGNALED(Status)) {
         R.Signal = WTERMSIG(Status);
-        R.K = SentKill ? AttemptResult::HardTimeout : AttemptResult::Crash;
+        R.K = KilledByShutdown
+                  ? AttemptResult::Cancelled
+                  : (SentKill ? AttemptResult::HardTimeout
+                              : AttemptResult::Crash);
         return R;
       }
       R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : 70;
@@ -350,6 +417,14 @@ AttemptResult superviseAttempt(const Job &J, bool ArmInject,
         R.K = AttemptResult::Rejected; // diagnostics / bad job, final
       }
       return R;
+    }
+    // Graceful drain: an in-flight fork-mode attempt cannot be asked
+    // politely (the deadline token lives in the child), so shutdown
+    // kills it and reports the job cancelled.
+    if (ShutdownRequested && !SentKill) {
+      kill(Pid, SIGKILL);
+      SentKill = true;
+      KilledByShutdown = true;
     }
     if (KillAfter >= 0 && !SentKill && nowMs() - Start >= KillAfter) {
       kill(Pid, SIGKILL);
@@ -449,6 +524,10 @@ void runJob(Job J, const ServerOptions &O, size_t LineNo) {
     CtrTimeout.add();
     Outcome = "timeout";
     break;
+  case AttemptResult::Cancelled:
+    CtrCancelled.add();
+    Outcome = "cancelled";
+    break;
   default:
     CtrGaveUp.add();
     Outcome = "gave-up";
@@ -457,11 +536,192 @@ void runJob(Job J, const ServerOptions &O, size_t LineNo) {
   emitResult(J, Outcome, Attempts, Last);
 }
 
+/// Renders a job's per-counter metrics delta as a compact JSON object,
+/// shape-compatible with the fork path's worker-registry payload.
+std::string deltaJson(
+    const std::vector<std::pair<std::string, uint64_t>> &Delta) {
+  if (Delta.empty())
+    return std::string();
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, Value] : Delta) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += jsonEscape(Name);
+    Out += "\":";
+    Out += std::to_string(Value);
+  }
+  Out += '}';
+  return Out;
+}
+
+/// In-process serving: a snapshot cache plus a ServeEngine whose
+/// completions are rendered as the same JSON result lines the fork path
+/// emits.  One instance per server process; dispatch() runs on the accept
+/// thread, emit() on worker threads (serialized by the engine).
+class ThreadServer {
+public:
+  explicit ThreadServer(const ServerOptions &O)
+      : Engine(engineOptions(O),
+               [this](ServeEngine::Completion &&Cmp) { emit(std::move(Cmp)); }) {}
+
+  /// Compiles (or reuses) the job's snapshot and enqueues it.  Builds run
+  /// on the accept thread: they are cached, and serializing them keeps
+  /// the pool for measured runs only.
+  void dispatch(Job J, const ServerOptions &O, size_t LineNo) {
+    if (J.Id.empty())
+      J.Id = "line-" + std::to_string(LineNo);
+    if (J.DeadlineMs < 0)
+      J.DeadlineMs = O.DefaultDeadlineMs;
+    CtrJobs.add();
+
+    std::string Err;
+    std::shared_ptr<const CompiledSnapshot> Snap = snapshotFor(J, Err);
+    if (!Snap) {
+      std::cerr << "micad: job '" << J.Id << "': " << Err << '\n';
+      CtrGaveUp.add();
+      AttemptResult R;
+      R.K = AttemptResult::Rejected;
+      R.ExitCode = 1;
+      emitResult(J, "gave-up", 1, R);
+      return;
+    }
+
+    ServeEngine::Job SJ;
+    SJ.Id = std::to_string(NextTicket);
+    SJ.Snapshot = std::move(Snap);
+    SJ.Input = J.Input;
+    SJ.DeadlineMs = J.DeadlineMs;
+    SJ.Limits = J.Limits;
+    SJ.CollectMetricsDelta = true;
+    {
+      std::lock_guard<std::mutex> Lock(PendingM);
+      Pending.emplace(NextTicket, std::move(J));
+    }
+    ++NextTicket;
+    Engine.submit(std::move(SJ));
+  }
+
+  /// Graceful drain: stop admission, cooperatively cancel in-flight jobs
+  /// when a shutdown signal asked for it, report still-queued jobs as
+  /// cancelled, join the pool.
+  void shutdown() {
+    if (ShutdownRequested)
+      Engine.cancelInFlight();
+    Engine.shutdown(/*CancelQueued=*/ShutdownRequested != 0);
+  }
+
+private:
+  static ServeEngine::Options engineOptions(const ServerOptions &O) {
+    ServeEngine::Options EO;
+    EO.Threads = O.Threads;
+    EO.QueueCapacity =
+        O.QueueCapacity ? O.QueueCapacity : static_cast<size_t>(O.Threads) * 4;
+    return EO;
+  }
+
+  std::shared_ptr<const CompiledSnapshot> snapshotFor(const Job &J,
+                                                      std::string &Err) {
+    std::string Key = SnapshotCache::makeKey(
+        {J.Src}, J.Configuration, defaultTier(), std::to_string(J.ProfileInput));
+    return Cache.getOrBuild(
+        Key,
+        [&](std::string &E) -> std::shared_ptr<const CompiledSnapshot> {
+          std::shared_ptr<Workbench> WB = Workbench::fromFiles({J.Src}, E);
+          if (!WB)
+            return nullptr;
+          WB->setLimits(J.Limits);
+          if (J.Configuration == Config::Selective &&
+              !WB->collectProfile(J.ProfileInput, E))
+            return nullptr;
+          // The snapshot keeps its workbench alive (profile, AST) for as
+          // long as any thread still runs jobs against it.
+          std::shared_ptr<const CompiledSnapshot> S =
+              WB->buildSnapshot(J.Configuration, E, {}, {}, WB);
+          std::string D = WB->diagnostics().toString();
+          if (!D.empty())
+            std::cerr << D;
+          return S;
+        },
+        Err);
+  }
+
+  void emit(ServeEngine::Completion &&Cmp) {
+    Job J;
+    {
+      std::lock_guard<std::mutex> Lock(PendingM);
+      uint64_t Ticket = std::strtoull(Cmp.TheJob.Id.c_str(), nullptr, 10);
+      auto It = Pending.find(Ticket);
+      if (It == Pending.end())
+        return; // can't happen: every submit registered a ticket
+      J = std::move(It->second);
+      Pending.erase(It);
+    }
+    if (Cmp.Cancelled) {
+      CtrCancelled.add();
+      AttemptResult R;
+      R.K = AttemptResult::Cancelled;
+      emitResult(J, "cancelled", 0, R);
+      return;
+    }
+    const CompiledSnapshot::JobResult &JR = Cmp.Result;
+    AttemptResult R;
+    R.WallMs = static_cast<int64_t>(Cmp.RunNanos / 1000000);
+    R.MetricsJson = deltaJson(JR.MetricsDelta);
+    if (JR.Ok) {
+      CtrOk.add();
+      emitResult(J, "ok", 1, R);
+      return;
+    }
+    std::cerr << "micad: job '" << J.Id << "': " << JR.Error << '\n';
+    if (JR.Trap.Kind == TrapKind::DeadlineExceeded) {
+      CtrTimeout.add();
+      R.K = AttemptResult::SoftTimeout;
+      R.TheTrap = TrapKind::DeadlineExceeded;
+      R.ExitCode = trapExitCode(TrapKind::DeadlineExceeded);
+      emitResult(J, "timeout", 1, R);
+    } else if (JR.Trap.isTrap()) {
+      CtrTrap.add();
+      R.K = AttemptResult::Trap;
+      R.TheTrap = JR.Trap.Kind;
+      R.ExitCode = trapExitCode(JR.Trap.Kind);
+      emitResult(J, std::string("trap:") + trapKindName(JR.Trap.Kind), 1, R);
+    } else {
+      CtrGaveUp.add();
+      R.K = AttemptResult::Rejected;
+      R.ExitCode = 1;
+      emitResult(J, "gave-up", 1, R);
+    }
+  }
+
+  SnapshotCache Cache;
+  std::mutex PendingM;
+  std::unordered_map<uint64_t, Job> Pending;
+  uint64_t NextTicket = 1;
+  ServeEngine Engine; // last: its threads may call emit() immediately
+};
+
 ServerOptions parseArgs(int Argc, char **Argv) {
   ServerOptions O;
+  bool IsolationExplicit = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string Inline;
+    bool HasInline = false;
+    if (A.size() > 2 && A[0] == '-' && A[1] == '-') {
+      size_t Eq = A.find('=');
+      if (Eq != std::string::npos) {
+        Inline = A.substr(Eq + 1);
+        HasInline = true;
+        A = A.substr(0, Eq);
+      }
+    }
     auto NextValue = [&]() -> std::string {
+      if (HasInline)
+        return Inline;
       if (I + 1 >= Argc)
         usage(("missing value after " + A).c_str());
       return Argv[++I];
@@ -480,6 +740,23 @@ ServerOptions parseArgs(int Argc, char **Argv) {
       O.GraceMs = NextInt("--grace-ms");
     else if (A == "--max-line-bytes")
       O.MaxLineBytes = static_cast<size_t>(NextInt("--max-line-bytes"));
+    else if (A == "--threads") {
+      O.Threads = static_cast<unsigned>(NextInt("--threads"));
+      if (O.Threads < 1)
+        O.Threads = 1;
+      if (!IsolationExplicit)
+        O.Iso = Isolation::Thread;
+    } else if (A == "--isolation") {
+      std::string V = NextValue();
+      if (V == "thread")
+        O.Iso = Isolation::Thread;
+      else if (V == "fork")
+        O.Iso = Isolation::Fork;
+      else
+        usage("bad value for --isolation (want thread|fork)");
+      IsolationExplicit = true;
+    } else if (A == "--queue-capacity")
+      O.QueueCapacity = static_cast<size_t>(NextInt("--queue-capacity"));
     else if (A == "--metrics-json")
       O.MetricsJsonPath = NextValue();
     else if (!A.empty() && A[0] == '-')
@@ -499,6 +776,7 @@ int main(int Argc, char **Argv) {
 
   // A worker's death must never take the server with it.
   signal(SIGPIPE, SIG_IGN);
+  installShutdownHandlers();
 
   std::ifstream FileIn;
   if (!O.JobsPath.empty()) {
@@ -510,9 +788,13 @@ int main(int Argc, char **Argv) {
   }
   std::istream &In = O.JobsPath.empty() ? std::cin : FileIn;
 
+  std::unique_ptr<ThreadServer> TS;
+  if (O.Iso == Isolation::Thread)
+    TS = std::make_unique<ThreadServer>(O);
+
   size_t LineNo = 0;
   std::string Line;
-  while (std::getline(In, Line)) {
+  while (!ShutdownRequested && std::getline(In, Line)) {
     ++LineNo;
     size_t Start = Line.find_first_not_of(" \t");
     if (Start == std::string::npos || Line[Start] == '#')
@@ -535,8 +817,18 @@ int main(int Argc, char **Argv) {
       emitResult(J, "gave-up", 0, Rej);
       continue;
     }
-    runJob(std::move(J), O, LineNo);
+    // inject= jobs always take the fork path: failpoints are armed
+    // process-globally and must not poison pooled neighbours.
+    if (TS && J.Inject.empty())
+      TS->dispatch(std::move(J), O, LineNo);
+    else
+      runJob(std::move(J), O, LineNo);
   }
+  // Graceful drain (normal EOF or SIGTERM/SIGINT): stop accepting, let
+  // in-flight work finish or cancel by its deadline, report the rest
+  // cancelled, flush metrics, exit 0.
+  if (TS)
+    TS->shutdown();
   if (!O.MetricsJsonPath.empty()) {
     std::string Err;
     if (!metrics::writeJsonFile(O.MetricsJsonPath, Err))

@@ -27,22 +27,35 @@
 /// (threaded job count, default 64), SELSPEC_LOAD_FORK_JOBS (fork
 /// baseline job count, default 16 — it pays a full compile per job).
 ///
+/// With --adaptive the fork baseline is replaced by the online
+/// respecialization warm-up curve: every program starts on a cold CHA
+/// incumbent, live arcs drive a Selective respecialization, the
+/// candidate canaries and promotes, and jobs/sec is reported before
+/// (cold) and after (warm) the first promotion next to the static
+/// threaded baseline, plus the promotion swap-pause p99 from the
+/// controllers' own lock-hold measurements.  SELSPEC_LOAD_ADAPTIVE_COLD
+/// / _WARM size the two phases.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include "driver/Adaptive.h"
 #include "driver/Serve.h"
 #include "driver/Snapshot.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include <sys/wait.h>
@@ -101,6 +114,9 @@ struct ModeResult {
   uint64_t Failures = 0;
   double WallMs = 0;
   double JobsPerSec = 0;
+  /// Mean modeled cycles per successful job (0 when not tracked) — the
+  /// paper's own cost metric, which is what specialization improves.
+  double MeanCycles = 0;
   Percentiles Lat;
 };
 
@@ -278,6 +294,160 @@ ModeResult runForkBaseline(const std::vector<ServedProgram> &Programs,
   return M;
 }
 
+//===----------------------------------------------------------------------===//
+// Adaptive mode (--adaptive): the online respecialization warm-up curve.
+//
+// Each program starts cold — a CHA incumbent built with no profile, the
+// state a fresh micad --adaptive server is in.  Serving merges live arcs,
+// a respecialization builds a Selective candidate from them, the
+// candidate canaries and promotes, and throughput is measured before
+// (cold) and after (warm) the first promotion.  Swap-pause p99 comes from
+// the controllers' own promotion-swap lock-hold times.
+//===----------------------------------------------------------------------===//
+
+/// One program served through its own AdaptiveController.
+struct AdaptiveUnit {
+  const BenchProgram *Program;
+  int64_t ServeInput = 1;
+  std::unique_ptr<AdaptiveController> Ctrl;
+};
+
+std::vector<AdaptiveUnit> buildAdaptiveUnits() {
+  std::vector<AdaptiveUnit> Out;
+  for (const BenchProgram &BP : table2Suite()) {
+    std::string Err;
+    // Cold incumbent: CHA needs no profile — exactly what micad
+    // --adaptive serves before any arcs arrive.
+    std::shared_ptr<Workbench> WB = Workbench::fromFiles(BP.Files, Err);
+    if (!WB) {
+      std::cerr << "load_serve: " << BP.Name << ": " << Err << '\n';
+      std::exit(1);
+    }
+    WB->setTier(ExecTier::Bytecode);
+    std::shared_ptr<const CompiledSnapshot> Incumbent =
+        WB->buildSnapshot(Config::CHA, Err, {}, {}, WB);
+    if (!Incumbent) {
+      std::cerr << "load_serve: " << BP.Name << ": " << Err << '\n';
+      std::exit(1);
+    }
+
+    AdaptiveController::SnapshotBuilder Builder =
+        [&BP](const CallGraph &Prof,
+              std::string &ErrorOut) -> std::shared_ptr<const CompiledSnapshot> {
+      std::shared_ptr<Workbench> BWB = Workbench::fromFiles(BP.Files, ErrorOut);
+      if (!BWB)
+        return nullptr;
+      BWB->setTier(ExecTier::Bytecode);
+      BWB->profile().merge(Prof);
+      return BWB->buildSnapshot(Config::Selective, ErrorOut, {}, {}, BWB);
+    };
+
+    AdaptiveController::Options AO;
+    AO.CanaryFraction = 0.5;
+    AO.CanaryJobs = 8;
+    AO.MinIncumbentJobs = 4;
+    // Steady-state sampling: every 4th job pays the arc-collection hook,
+    // the rest run the same atomic-free hot path as static serving.
+    AO.SampleEvery = 4;
+    AdaptiveUnit U;
+    U.Program = &BP;
+    U.ServeInput = serveInputFor(BP);
+    U.Ctrl = std::make_unique<AdaptiveController>(std::move(Incumbent),
+                                                  std::move(Builder), AO);
+    Out.push_back(std::move(U));
+  }
+  return Out;
+}
+
+/// Serves \p Jobs round-robin across the units on \p Threads plain
+/// threads (admit -> run -> report), returning throughput + latency.
+ModeResult serveAdaptivePhase(std::vector<AdaptiveUnit> &Units,
+                              unsigned Threads, uint64_t Jobs) {
+  ModeResult M;
+  std::mutex ResultM;
+  std::vector<uint64_t> Latencies;
+  uint64_t Failures = 0, OkJobs = 0, OkCycles = 0;
+  std::atomic<uint64_t> Next{0};
+
+  uint64_t Start = nowNs();
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&] {
+      for (uint64_t I; (I = Next.fetch_add(1)) < Jobs;) {
+        AdaptiveUnit &U = Units[I % Units.size()];
+        AdaptiveController::Ticket Tk = U.Ctrl->admit();
+        CompiledSnapshot::JobOptions JO;
+        JO.CaptureOutput = false;
+        JO.CollectArcs = Tk.SampleArcs;
+        uint64_t T0 = nowNs();
+        CompiledSnapshot::JobResult JR = Tk.Snap->run(U.ServeInput, JO);
+        uint64_t Lat = nowNs() - T0;
+        U.Ctrl->report(Tk, JR.Ok, JR.Ok ? JR.R.Run.Cycles : 0,
+                       JR.Ok && Tk.SampleArcs ? &JR.Arcs : nullptr);
+        std::lock_guard<std::mutex> Lock(ResultM);
+        Latencies.push_back(Lat);
+        if (JR.Ok) {
+          ++OkJobs;
+          OkCycles += JR.R.Run.Cycles;
+        } else {
+          ++Failures;
+        }
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  M.WallMs = (nowNs() - Start) / 1e6;
+  M.Jobs = Jobs;
+  M.Failures = Failures;
+  M.JobsPerSec = M.WallMs > 0 ? Jobs / (M.WallMs / 1000.0) : 0;
+  M.MeanCycles = OkJobs ? double(OkCycles) / OkJobs : 0;
+  M.Lat = percentiles(std::move(Latencies));
+  return M;
+}
+
+/// Static comparator for the adaptive phases: the same plain-thread
+/// harness over the prebuilt Selective snapshots, no controller and no
+/// arc collection — what the warm steady state is measured against.
+ModeResult serveStaticPhase(const std::vector<ServedProgram> &Programs,
+                            unsigned Threads, uint64_t Jobs) {
+  ModeResult M;
+  std::mutex ResultM;
+  std::vector<uint64_t> Latencies;
+  uint64_t Failures = 0, OkJobs = 0, OkCycles = 0;
+  std::atomic<uint64_t> Next{0};
+
+  uint64_t Start = nowNs();
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&] {
+      for (uint64_t I; (I = Next.fetch_add(1)) < Jobs;) {
+        const ServedProgram &SP = Programs[I % Programs.size()];
+        CompiledSnapshot::JobOptions JO;
+        JO.CaptureOutput = false;
+        uint64_t T0 = nowNs();
+        CompiledSnapshot::JobResult JR = SP.Snapshot->run(SP.ServeInput, JO);
+        uint64_t Lat = nowNs() - T0;
+        std::lock_guard<std::mutex> Lock(ResultM);
+        Latencies.push_back(Lat);
+        if (JR.Ok) {
+          ++OkJobs;
+          OkCycles += JR.R.Run.Cycles;
+        } else {
+          ++Failures;
+        }
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  M.WallMs = (nowNs() - Start) / 1e6;
+  M.Jobs = Jobs;
+  M.Failures = Failures;
+  M.JobsPerSec = M.WallMs > 0 ? Jobs / (M.WallMs / 1000.0) : 0;
+  M.MeanCycles = OkJobs ? double(OkCycles) / OkJobs : 0;
+  M.Lat = percentiles(std::move(Latencies));
+  return M;
+}
+
 void printMode(const char *Name, const ModeResult &M) {
   std::printf("  %-9s %5llu jobs  %9.1f ms  %8.1f jobs/s  "
               "p50 %8.0f us  p95 %8.0f us  p99 %8.0f us  failures %llu\n",
@@ -306,15 +476,19 @@ void modeJson(std::ostream &OS, const char *Name, const ModeResult &M) {
   OS << "    \"" << Name << "\": {\"jobs\": " << M.Jobs
      << ", \"failures\": " << M.Failures << ", \"wall_ms\": " << M.WallMs
      << ", \"jobs_per_sec\": " << M.JobsPerSec
+     << ", \"mean_cycles\": " << M.MeanCycles
      << ", \"p50_us\": " << M.Lat.P50Us << ", \"p95_us\": " << M.Lat.P95Us
      << ", \"p99_us\": " << M.Lat.P99Us << "}";
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool AdaptiveMode = argc > 1 && std::strcmp(argv[1], "--adaptive") == 0;
   printHeader("load_serve — snapshot serving throughput",
-              "snapshot thread-pool serving vs fork-per-job isolation");
+              AdaptiveMode
+                  ? "online adaptive respecialization warm-up vs static serving"
+                  : "snapshot thread-pool serving vs fork-per-job isolation");
 
   unsigned Threads = static_cast<unsigned>(envOr("SELSPEC_LOAD_THREADS", 8));
   uint64_t ThreadJobs = envOr("SELSPEC_LOAD_JOBS", 64);
@@ -329,19 +503,90 @@ int main() {
       runThreaded(Programs, Threads, ThreadJobs, StatsIdentical);
   printMode("threaded", Threaded);
 
-  ModeResult Forked = runForkBaseline(Programs, Threads, ForkJobs);
-  printMode("fork", Forked);
+  // The fork baseline pays a full compile per job; in adaptive mode it is
+  // skipped — the static threaded run is the baseline that matters there.
+  ModeResult Forked;
+  double Speedup = 0;
+  if (!AdaptiveMode) {
+    Forked = runForkBaseline(Programs, Threads, ForkJobs);
+    printMode("fork", Forked);
+    Speedup =
+        Forked.JobsPerSec > 0 ? Threaded.JobsPerSec / Forked.JobsPerSec : 0;
+    std::printf("\n  throughput: threaded/fork = %.2fx   per-job RunStats "
+                "identical: %s\n",
+                Speedup, StatsIdentical ? "yes" : "NO");
+  }
 
-  double Speedup =
-      Forked.JobsPerSec > 0 ? Threaded.JobsPerSec / Forked.JobsPerSec : 0;
-  std::printf("\n  throughput: threaded/fork = %.2fx   per-job RunStats "
-              "identical: %s\n",
-              Speedup, StatsIdentical ? "yes" : "NO");
+  // Adaptive warm-up curve: cold (CHA incumbents, arcs merging) -> first
+  // respecialization + canary -> warm (promoted Selective incumbents).
+  ModeResult Cold, Warm, StaticCmp;
+  double SwapP99Us = 0, WarmupSpeedup = 0, WarmVsStatic = 0;
+  uint64_t AdPromotions = 0, AdRollbacks = 0;
+  bool AllPromoted = true;
+  if (AdaptiveMode) {
+    uint64_t ColdJobs = envOr("SELSPEC_LOAD_ADAPTIVE_COLD", 32);
+    uint64_t WarmJobs = envOr("SELSPEC_LOAD_ADAPTIVE_WARM", ThreadJobs);
+    std::vector<AdaptiveUnit> Units = buildAdaptiveUnits();
+
+    Cold = serveAdaptivePhase(Units, Threads, ColdJobs);
+    printMode("cold", Cold);
+
+    // First respecialization: build each unit's Selective candidate from
+    // the live arcs, then serve enough traffic to complete every canary.
+    for (AdaptiveUnit &U : Units) {
+      std::string Err;
+      if (!U.Ctrl->respecializeNow(Err))
+        std::cerr << "load_serve: " << U.Program->Name
+                  << ": respecialize: " << Err << '\n';
+    }
+    ModeResult Canary = serveAdaptivePhase(
+        Units, Threads, Units.size() * 3 * 8 /* CanaryJobs / fraction */);
+    printMode("canary", Canary);
+
+    std::vector<uint64_t> Swaps;
+    for (AdaptiveUnit &U : Units) {
+      U.Ctrl->waitForDecision(0, 2000);
+      AdPromotions += U.Ctrl->promotions();
+      AdRollbacks += U.Ctrl->rollbacks();
+      if (U.Ctrl->promotions() == 0) {
+        AllPromoted = false;
+        std::cerr << "load_serve: " << U.Program->Name
+                  << ": candidate did not promote\n";
+      }
+      std::vector<uint64_t> S = U.Ctrl->swapLatenciesNs();
+      Swaps.insert(Swaps.end(), S.begin(), S.end());
+    }
+    SwapP99Us = percentiles(std::move(Swaps)).P99Us;
+
+    Warm = serveAdaptivePhase(Units, Threads, WarmJobs);
+    printMode("warm", Warm);
+    StaticCmp = serveStaticPhase(Programs, Threads, WarmJobs);
+    printMode("static", StaticCmp);
+
+    WarmupSpeedup = Cold.JobsPerSec > 0 ? Warm.JobsPerSec / Cold.JobsPerSec : 0;
+    WarmVsStatic =
+        StaticCmp.JobsPerSec > 0 ? Warm.JobsPerSec / StaticCmp.JobsPerSec : 0;
+    double CycleSpeedup =
+        Warm.MeanCycles > 0 ? Cold.MeanCycles / Warm.MeanCycles : 0;
+    std::printf("\n  warm-up: warm/cold = %.2fx jobs/s, %.2fx modeled cycles"
+                "   warm/static = %.2fx   promotions %llu  rollbacks %llu"
+                "  swap-pause p99 %.1f us\n",
+                WarmupSpeedup, CycleSpeedup, WarmVsStatic,
+                static_cast<unsigned long long>(AdPromotions),
+                static_cast<unsigned long long>(AdRollbacks), SwapP99Us);
+
+    publishCounters("adaptive_cold", Cold);
+    publishCounters("adaptive_warm", Warm);
+    metrics::named("load_serve.adaptive_swap_p99_ns")
+        .add(static_cast<uint64_t>(SwapP99Us * 1000.0));
+  }
 
   publishCounters("threaded", Threaded);
-  publishCounters("fork", Forked);
-  metrics::named("load_serve.speedup_milli")
-      .add(static_cast<uint64_t>(Speedup * 1000.0));
+  if (!AdaptiveMode) {
+    publishCounters("fork", Forked);
+    metrics::named("load_serve.speedup_milli")
+        .add(static_cast<uint64_t>(Speedup * 1000.0));
+  }
 
   std::ofstream OS("BENCH_load_serve.json");
   if (!OS) {
@@ -351,10 +596,29 @@ int main() {
        << "\",\n  \"tier\": \"bytecode\",\n  \"threads\": " << Threads
        << ",\n  \"modes\": {\n";
     modeJson(OS, "threaded", Threaded);
-    OS << ",\n";
-    modeJson(OS, "fork", Forked);
-    OS << "\n  },\n  \"speedup_jobs_per_sec\": " << Speedup
-       << ",\n  \"stats_identical\": " << (StatsIdentical ? "true" : "false")
+    if (!AdaptiveMode) {
+      OS << ",\n";
+      modeJson(OS, "fork", Forked);
+    }
+    OS << "\n  },\n";
+    if (AdaptiveMode) {
+      OS << "  \"adaptive\": {\n";
+      modeJson(OS, "cold", Cold);
+      OS << ",\n";
+      modeJson(OS, "warm", Warm);
+      OS << ",\n";
+      modeJson(OS, "static", StaticCmp);
+      OS << ",\n    \"warmup_speedup\": " << WarmupSpeedup
+         << ",\n    \"warmup_cycle_speedup\": "
+         << (Warm.MeanCycles > 0 ? Cold.MeanCycles / Warm.MeanCycles : 0)
+         << ",\n    \"warm_vs_static\": " << WarmVsStatic
+         << ",\n    \"swap_pause_p99_us\": " << SwapP99Us
+         << ",\n    \"promotions\": " << AdPromotions
+         << ",\n    \"rollbacks\": " << AdRollbacks << "\n  },\n";
+    } else {
+      OS << "  \"speedup_jobs_per_sec\": " << Speedup << ",\n";
+    }
+    OS << "  \"stats_identical\": " << (StatsIdentical ? "true" : "false")
        << ",\n  \"counters\": " << metrics::toJsonCompact() << "\n}\n";
   }
 
@@ -363,5 +627,7 @@ int main() {
                  "single-threaded reference\n";
     return 1;
   }
+  if (AdaptiveMode && !AllPromoted)
+    return 1;
   return 0;
 }

@@ -64,6 +64,9 @@ public:
     CostModel Costs;
     bool CaptureOutput = true;
     bool CollectMetricsDelta = true;
+    /// Record the job's call-graph arcs into Completion::Result.Arcs
+    /// (adaptive live profiling; see CompiledSnapshot::JobOptions).
+    bool CollectArcs = false;
   };
 
   struct Completion {

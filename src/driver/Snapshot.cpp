@@ -69,6 +69,9 @@ CompiledSnapshot::run(int64_t Input, const JobOptions &Opts) const {
   RO.Output = Opts.CaptureOutput ? &Output : nullptr;
   RO.Limits = Opts.Limits;
   RO.Cancel = Opts.Cancel;
+  // Live-profiling jobs record arcs into the result's own CallGraph;
+  // unsampled jobs pay nothing (a null Profile is one branch per send).
+  RO.Profile = Opts.CollectArcs ? &J.Arcs : nullptr;
   // The whole point: the interpreter below is a per-thread cache over
   // this snapshot's shared tables, not an owner of fresh ones.
   RO.Tables = Tables.get();

@@ -73,6 +73,13 @@ public:
     bool CaptureOutput = true;
     /// Fill JobResult::MetricsDelta (see below).
     bool CollectMetricsDelta = false;
+    /// Record this job's weighted call-graph arcs into JobResult::Arcs
+    /// (live profiling for adaptive respecialization).  The arcs land in
+    /// a job-private CallGraph on the interpreter's stack — no shared
+    /// state, no atomics — and are merged by the caller afterwards, the
+    /// same publish-after-run scheme the metrics deltas use.  RunStats
+    /// are unaffected.
+    bool CollectArcs = false;
   };
 
   struct JobResult {
@@ -92,6 +99,11 @@ public:
     /// counters (tested), which is what makes per-job observability of a
     /// multi-threaded server exact rather than sampled.
     std::vector<std::pair<std::string, uint64_t>> MetricsDelta;
+    /// This job's weighted arcs (JobOptions::CollectArcs); empty
+    /// otherwise.  Site/method ids are those of the snapshot's Program,
+    /// so arcs from any job against any snapshot of the same sources
+    /// merge into one coherent live profile.
+    CallGraph Arcs;
   };
 
   /// Executes `main(Input)` on a fresh interpreter over this snapshot.

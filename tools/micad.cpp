@@ -68,6 +68,21 @@
 /// worker), report still-queued jobs as "cancelled", flush --metrics-json,
 /// exit 0.
 ///
+/// Adaptive serving: --adaptive (implies thread isolation) puts every
+/// snapshot behind an AdaptiveController (driver/Adaptive.h): jobs are
+/// sampled for live call-graph arcs, a background thread respecializes on
+/// a cadence / SIGHUP / arc-weight threshold, and a rebuilt candidate
+/// canaries a bounded fraction of jobs before an RCU promotion — or rolls
+/// back to the incumbent on any trap/cost regression or injected
+/// `adaptive.*` failpoint.  A job that fails with a deadline trap while a
+/// swap happened mid-run (or while it was canary traffic) is retried once,
+/// synchronously, on the incumbent (micad.adaptive_retries); outcomes then
+/// read "retried(1)" exactly like fork-mode recoveries.  SIGHUP requests
+/// an immediate respecialization of every controller (observed when the
+/// next request line arrives, or by the periodic cadence on a quiet
+/// stream).  micad arms SELSPEC_FAILPOINTS at startup, so soaks can arm
+/// adaptive failpoints process-wide without per-job inject=.
+///
 /// Options:
 ///   --default-deadline-ms N   deadline for jobs that set none   [10000]
 ///   --default-retries N       retry budget default (fork)       [1]
@@ -77,13 +92,21 @@
 ///   --isolation thread|fork   job isolation mechanism           [fork]
 ///   --queue-capacity N        thread-mode submit backpressure   [4*threads]
 ///   --metrics-json FILE       write the server's counter registry on exit
+///   --adaptive                online respecialization (thread isolation)
+///   --canary-fraction F       candidate's canary traffic share  [0.25]
+///   --respecialize-interval MS  periodic respecialization       [1000]
+///   --arc-threshold N         new arc weight triggering a build [0=off]
+///   --arc-sample N            collect arcs from every Nth job   [1]
+///   --profile-db FILE         persist merged live profiles (gen chain)
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/Adaptive.h"
 #include "driver/Pipeline.h"
 #include "driver/Serve.h"
 #include "driver/Snapshot.h"
 #include "interp/RuntimeTrap.h"
+#include "profile/ProfileDb.h"
 #include "support/FailPoint.h"
 #include "support/Metrics.h"
 
@@ -122,13 +145,35 @@ struct ServerOptions {
   Isolation Iso = Isolation::Fork;
   size_t QueueCapacity = 0; // 0 = 4 * Threads
   std::string MetricsJsonPath;
+  bool Adaptive = false;
+  double CanaryFraction = 0.25;
+  int64_t RespecializeIntervalMs = 1000;
+  uint64_t ArcThreshold = 0;
+  uint64_t ArcSample = 1;
+  std::string ProfileDbPath;
 };
 
 /// SIGTERM/SIGINT request a graceful drain.  sig_atomic_t flag only in
 /// the handler; everything else happens on the main thread afterwards.
 volatile sig_atomic_t ShutdownRequested = 0;
+/// SIGHUP asks every adaptive controller for an immediate
+/// respecialization; the flag is consumed by the accept loop.
+volatile sig_atomic_t RespecializeRequested = 0;
 
 void onShutdownSignal(int) { ShutdownRequested = 1; }
+
+void onRespecializeSignal(int) { RespecializeRequested = 1; }
+
+void installRespecializeHandler() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onRespecializeSignal;
+  sigemptyset(&SA.sa_mask);
+  // SA_RESTART: a SIGHUP must nudge the controllers, not tear the
+  // blocking request read (and with it the whole stream) mid-line.
+  SA.sa_flags = SA_RESTART;
+  sigaction(SIGHUP, &SA, nullptr);
+}
 
 void installShutdownHandlers() {
   struct sigaction SA;
@@ -154,6 +199,7 @@ metrics::Counter CtrTrap("micad.trap");
 metrics::Counter CtrGaveUp("micad.gave_up");
 metrics::Counter CtrRejected("micad.rejected");
 metrics::Counter CtrCancelled("micad.cancelled");
+metrics::Counter CtrAdaptiveRetries("micad.adaptive_retries");
 
 struct Job {
   std::string Id;
@@ -175,6 +221,9 @@ struct Job {
                "             [--max-line-bytes N] [--metrics-json FILE]\n"
                "             [--threads N] [--isolation thread|fork]\n"
                "             [--queue-capacity N]\n"
+               "             [--adaptive] [--canary-fraction F]\n"
+               "             [--respecialize-interval MS] [--arc-threshold N]\n"
+               "             [--arc-sample N] [--profile-db FILE]\n"
                "jobs are key=value lines: src= id= config= input= "
                "profile-input=\n"
                "  deadline-ms= retries= inject= max-depth= max-nodes= "
@@ -564,12 +613,16 @@ std::string deltaJson(
 class ThreadServer {
 public:
   explicit ThreadServer(const ServerOptions &O)
-      : Engine(engineOptions(O),
+      : Opts(O),
+        Engine(engineOptions(O),
                [this](ServeEngine::Completion &&Cmp) { emit(std::move(Cmp)); }) {}
 
   /// Compiles (or reuses) the job's snapshot and enqueues it.  Builds run
   /// on the accept thread: they are cached, and serializing them keeps
-  /// the pool for measured runs only.
+  /// the pool for measured runs only.  Adaptive mode routes through the
+  /// job's controller instead: the controller decides which snapshot
+  /// (incumbent or canarying candidate) serves this job and whether its
+  /// arcs feed the live profile.
   void dispatch(Job J, const ServerOptions &O, size_t LineNo) {
     if (J.Id.empty())
       J.Id = "line-" + std::to_string(LineNo);
@@ -577,9 +630,16 @@ public:
       J.DeadlineMs = O.DefaultDeadlineMs;
     CtrJobs.add();
 
+    PendingJob PJ;
     std::string Err;
-    std::shared_ptr<const CompiledSnapshot> Snap = snapshotFor(J, Err);
-    if (!Snap) {
+    if (O.Adaptive) {
+      PJ.Ctrl = controllerFor(J, Err);
+      if (PJ.Ctrl)
+        PJ.T = PJ.Ctrl->admit();
+    } else {
+      PJ.T.Snap = snapshotFor(J, Err);
+    }
+    if (!PJ.T.Snap) {
       std::cerr << "micad: job '" << J.Id << "': " << Err << '\n';
       CtrGaveUp.add();
       AttemptResult R;
@@ -591,26 +651,38 @@ public:
 
     ServeEngine::Job SJ;
     SJ.Id = std::to_string(NextTicket);
-    SJ.Snapshot = std::move(Snap);
+    SJ.Snapshot = PJ.T.Snap;
     SJ.Input = J.Input;
     SJ.DeadlineMs = J.DeadlineMs;
     SJ.Limits = J.Limits;
     SJ.CollectMetricsDelta = true;
+    SJ.CollectArcs = PJ.T.SampleArcs;
+    PJ.J = std::move(J);
     {
       std::lock_guard<std::mutex> Lock(PendingM);
-      Pending.emplace(NextTicket, std::move(J));
+      Pending.emplace(NextTicket, std::move(PJ));
     }
     ++NextTicket;
     Engine.submit(std::move(SJ));
   }
 
+  /// SIGHUP: ask every controller to respecialize now.
+  void requestRespecializeAll() {
+    std::lock_guard<std::mutex> Lock(ControllersM);
+    for (auto &[Key, C] : Controllers)
+      C->requestRespecialize();
+  }
+
   /// Graceful drain: stop admission, cooperatively cancel in-flight jobs
   /// when a shutdown signal asked for it, report still-queued jobs as
-  /// cancelled, join the pool.
+  /// cancelled, join the pool, stop the respecializers.
   void shutdown() {
     if (ShutdownRequested)
       Engine.cancelInFlight();
     Engine.shutdown(/*CancelQueued=*/ShutdownRequested != 0);
+    std::lock_guard<std::mutex> Lock(ControllersM);
+    for (auto &[Key, C] : Controllers)
+      C->stop();
   }
 
 private:
@@ -620,6 +692,66 @@ private:
     EO.QueueCapacity =
         O.QueueCapacity ? O.QueueCapacity : static_cast<size_t>(O.Threads) * 4;
     return EO;
+  }
+
+  /// One controller per (src, config): finds or creates it, building the
+  /// initial incumbent from the persisted profile generation when
+  /// --profile-db has one (empty profile otherwise — Selective degrades
+  /// to CHA until live arcs accumulate).  Null + message when the
+  /// incumbent cannot be built at all.
+  AdaptiveController *controllerFor(const Job &J, std::string &Err) {
+    std::string Key = SnapshotCache::makeKey({J.Src}, J.Configuration,
+                                             defaultTier(), "adaptive");
+    std::lock_guard<std::mutex> Lock(ControllersM);
+    auto It = Controllers.find(Key);
+    if (It != Controllers.end())
+      return It->second.get();
+
+    const std::string Src = J.Src;
+    const Config Cfg = J.Configuration;
+    const ResourceLimits Lim = J.Limits;
+    AdaptiveController::SnapshotBuilder Build =
+        [Src, Cfg,
+         Lim](const CallGraph &Prof,
+              std::string &E) -> std::shared_ptr<const CompiledSnapshot> {
+      std::shared_ptr<Workbench> WB = Workbench::fromFiles({Src}, E);
+      if (!WB)
+        return nullptr;
+      WB->setLimits(Lim);
+      WB->profile().merge(Prof);
+      std::shared_ptr<const CompiledSnapshot> S =
+          WB->buildSnapshot(Cfg, E, {}, {}, WB);
+      std::string D = WB->diagnostics().toString();
+      if (!D.empty())
+        std::cerr << D;
+      return S;
+    };
+
+    CallGraph Seed;
+    if (!Opts.ProfileDbPath.empty()) {
+      ProfileDb Db;
+      Diagnostics Diags;
+      if (Db.loadFromFile(Opts.ProfileDbPath, Diags) && Db.hasProgram(Src))
+        Seed.merge(Db.forProgram(Src));
+    }
+    std::shared_ptr<const CompiledSnapshot> Incumbent = Build(Seed, Err);
+    if (!Incumbent)
+      return nullptr;
+
+    AdaptiveController::Options AO;
+    AO.CanaryFraction = Opts.CanaryFraction;
+    AO.RespecializeIntervalMs = Opts.RespecializeIntervalMs;
+    AO.ArcWeightThreshold = Opts.ArcThreshold;
+    AO.SampleEvery = Opts.ArcSample;
+    AO.ProfileDbPath = Opts.ProfileDbPath;
+    AO.ProgramKey = Src;
+    auto C = std::make_unique<AdaptiveController>(std::move(Incumbent),
+                                                  std::move(Build), AO);
+    if (!Seed.empty())
+      C->seedProfile(Seed);
+    AdaptiveController *Ptr = C.get();
+    Controllers.emplace(std::move(Key), std::move(C));
+    return Ptr;
   }
 
   std::shared_ptr<const CompiledSnapshot> snapshotFor(const Job &J,
@@ -648,17 +780,25 @@ private:
         Err);
   }
 
+  /// Renders one completion as its JSON result line.  Adaptive jobs first
+  /// report their outcome to the controller (feeding the canary verdict
+  /// and the live profile), and a job that timed out while a
+  /// promotion/rollback swapped snapshots under it — or that was canary
+  /// traffic on a candidate — is retried once, synchronously, on the
+  /// incumbent: those failures are transient routing artifacts, not
+  /// verdicts about the job.
   void emit(ServeEngine::Completion &&Cmp) {
-    Job J;
+    PendingJob PJ;
     {
       std::lock_guard<std::mutex> Lock(PendingM);
       uint64_t Ticket = std::strtoull(Cmp.TheJob.Id.c_str(), nullptr, 10);
       auto It = Pending.find(Ticket);
       if (It == Pending.end())
         return; // can't happen: every submit registered a ticket
-      J = std::move(It->second);
+      PJ = std::move(It->second);
       Pending.erase(It);
     }
+    Job &J = PJ.J;
     if (Cmp.Cancelled) {
       CtrCancelled.add();
       AttemptResult R;
@@ -666,39 +806,82 @@ private:
       emitResult(J, "cancelled", 0, R);
       return;
     }
-    const CompiledSnapshot::JobResult &JR = Cmp.Result;
+    const CompiledSnapshot::JobResult *JR = &Cmp.Result;
+    int Attempts = 1;
+    CompiledSnapshot::JobResult Retry;
+    if (PJ.Ctrl) {
+      PJ.Ctrl->report(PJ.T, JR->Ok, JR->Ok ? JR->R.Run.Cycles : 0,
+                      PJ.T.SampleArcs ? &JR->Arcs : nullptr);
+      bool Transient =
+          !JR->Ok && JR->Trap.Kind == TrapKind::DeadlineExceeded &&
+          (PJ.T.Canary || PJ.Ctrl->epoch() != PJ.T.Epoch) &&
+          !ShutdownRequested;
+      if (Transient) {
+        CtrAdaptiveRetries.add();
+        std::shared_ptr<const CompiledSnapshot> Inc = PJ.Ctrl->incumbent();
+        CancelToken Tok;
+        if (J.DeadlineMs > 0)
+          Tok.setDeadline(Deadline::afterMillis(J.DeadlineMs));
+        CompiledSnapshot::JobOptions JO;
+        JO.Limits = J.Limits;
+        JO.Cancel = &Tok;
+        Retry = Inc->run(J.Input, JO);
+        // The retry is plain incumbent traffic as far as health goes.
+        AdaptiveController::Ticket T2;
+        T2.Snap = Inc;
+        T2.Epoch = PJ.Ctrl->epoch();
+        PJ.Ctrl->report(T2, Retry.Ok, Retry.Ok ? Retry.R.Run.Cycles : 0,
+                        nullptr);
+        JR = &Retry;
+        Attempts = 2;
+      }
+    }
     AttemptResult R;
     R.WallMs = static_cast<int64_t>(Cmp.RunNanos / 1000000);
-    R.MetricsJson = deltaJson(JR.MetricsDelta);
-    if (JR.Ok) {
+    R.MetricsJson = deltaJson(JR->MetricsDelta);
+    if (JR->Ok) {
       CtrOk.add();
-      emitResult(J, "ok", 1, R);
+      if (Attempts > 1)
+        CtrRetried.add();
+      emitResult(J, Attempts == 1 ? "ok" : "retried(1)", Attempts, R);
       return;
     }
-    std::cerr << "micad: job '" << J.Id << "': " << JR.Error << '\n';
-    if (JR.Trap.Kind == TrapKind::DeadlineExceeded) {
+    std::cerr << "micad: job '" << J.Id << "': " << JR->Error << '\n';
+    if (JR->Trap.Kind == TrapKind::DeadlineExceeded) {
       CtrTimeout.add();
       R.K = AttemptResult::SoftTimeout;
       R.TheTrap = TrapKind::DeadlineExceeded;
       R.ExitCode = trapExitCode(TrapKind::DeadlineExceeded);
-      emitResult(J, "timeout", 1, R);
-    } else if (JR.Trap.isTrap()) {
+      emitResult(J, "timeout", Attempts, R);
+    } else if (JR->Trap.isTrap()) {
       CtrTrap.add();
       R.K = AttemptResult::Trap;
-      R.TheTrap = JR.Trap.Kind;
-      R.ExitCode = trapExitCode(JR.Trap.Kind);
-      emitResult(J, std::string("trap:") + trapKindName(JR.Trap.Kind), 1, R);
+      R.TheTrap = JR->Trap.Kind;
+      R.ExitCode = trapExitCode(JR->Trap.Kind);
+      emitResult(J, std::string("trap:") + trapKindName(JR->Trap.Kind),
+                 Attempts, R);
     } else {
       CtrGaveUp.add();
       R.K = AttemptResult::Rejected;
       R.ExitCode = 1;
-      emitResult(J, "gave-up", 1, R);
+      emitResult(J, "gave-up", Attempts, R);
     }
   }
 
+  /// What dispatch() knew about a submitted job, rejoined at completion.
+  struct PendingJob {
+    Job J;
+    AdaptiveController *Ctrl = nullptr; ///< null in non-adaptive mode
+    AdaptiveController::Ticket T;
+  };
+
+  const ServerOptions Opts;
   SnapshotCache Cache;
+  std::mutex ControllersM;
+  std::unordered_map<std::string, std::unique_ptr<AdaptiveController>>
+      Controllers;
   std::mutex PendingM;
-  std::unordered_map<uint64_t, Job> Pending;
+  std::unordered_map<uint64_t, PendingJob> Pending;
   uint64_t NextTicket = 1;
   ServeEngine Engine; // last: its threads may call emit() immediately
 };
@@ -759,12 +942,36 @@ ServerOptions parseArgs(int Argc, char **Argv) {
       O.QueueCapacity = static_cast<size_t>(NextInt("--queue-capacity"));
     else if (A == "--metrics-json")
       O.MetricsJsonPath = NextValue();
+    else if (A == "--adaptive")
+      O.Adaptive = true;
+    else if (A == "--canary-fraction") {
+      std::string V = NextValue();
+      char *End = nullptr;
+      double F = std::strtod(V.c_str(), &End);
+      if (!End || *End != '\0' || !(F > 0.0) || F > 1.0)
+        usage("bad value for --canary-fraction (want 0 < F <= 1)");
+      O.CanaryFraction = F;
+    } else if (A == "--respecialize-interval")
+      O.RespecializeIntervalMs = NextInt("--respecialize-interval");
+    else if (A == "--arc-threshold")
+      O.ArcThreshold = static_cast<uint64_t>(NextInt("--arc-threshold"));
+    else if (A == "--arc-sample")
+      O.ArcSample = static_cast<uint64_t>(NextInt("--arc-sample"));
+    else if (A == "--profile-db")
+      O.ProfileDbPath = NextValue();
     else if (!A.empty() && A[0] == '-')
       usage(("unknown option " + A).c_str());
     else if (O.JobsPath.empty())
       O.JobsPath = A;
     else
       usage("more than one jobs file");
+  }
+  if (O.Adaptive) {
+    // Adaptive respecialization lives in the in-process serving path:
+    // controllers, live arcs and the RCU swap all need shared snapshots.
+    if (IsolationExplicit && O.Iso == Isolation::Fork)
+      usage("--adaptive requires thread isolation");
+    O.Iso = Isolation::Thread;
   }
   return O;
 }
@@ -777,6 +984,18 @@ int main(int Argc, char **Argv) {
   // A worker's death must never take the server with it.
   signal(SIGPIPE, SIG_IGN);
   installShutdownHandlers();
+  if (O.Adaptive)
+    installRespecializeHandler();
+
+  // Arm process-wide failpoints from the environment (soaks arm the
+  // adaptive.* points this way; per-job inject= still forks).
+  {
+    std::string FpErr;
+    if (!failpoint::armFromEnv(FpErr)) {
+      std::cerr << "micad: SELSPEC_FAILPOINTS: " << FpErr << '\n';
+      return 2;
+    }
+  }
 
   std::ifstream FileIn;
   if (!O.JobsPath.empty()) {
@@ -796,6 +1015,11 @@ int main(int Argc, char **Argv) {
   std::string Line;
   while (!ShutdownRequested && std::getline(In, Line)) {
     ++LineNo;
+    if (RespecializeRequested) {
+      RespecializeRequested = 0;
+      if (TS)
+        TS->requestRespecializeAll();
+    }
     size_t Start = Line.find_first_not_of(" \t");
     if (Start == std::string::npos || Line[Start] == '#')
       continue;

@@ -68,6 +68,7 @@ metrics::Counter CtrAllocations("interp.allocations");
 metrics::Counter CtrMethodInvocations("interp.method_invocations");
 metrics::Counter CtrNodesEvaluated("interp.nodes_evaluated");
 metrics::Counter CtrCycles("interp.cycles");
+metrics::Counter CtrBytesAllocated("interp.bytes_allocated");
 metrics::Counter CtrDeadlineExpired("deadline.expired");
 
 metrics::Counter CtrIcHits("bytecode.ic_hits");
@@ -102,6 +103,7 @@ BytecodeInterpreter::~BytecodeInterpreter() {
   CtrMethodInvocations.add(Stats.MethodInvocations);
   CtrNodesEvaluated.add(Stats.NodesEvaluated);
   CtrCycles.add(Stats.Cycles);
+  CtrBytesAllocated.add(TheHeap.bytesAllocated());
   CtrIcHits.add(IcHits);
   CtrIcMisses.add(IcMisses);
   CtrIcMisdispatch.add(IcMisdispatches);
@@ -229,6 +231,16 @@ Value BytecodeInterpreter::failHeapLimit(Control &C, SourceLoc Loc) {
   return fail(C, TrapKind::HeapLimitExceeded, Loc,
               "allocation exceeded the heap limit of " +
                   std::to_string(Opts.Limits.MaxObjects) + " objects");
+}
+
+Value BytecodeInterpreter::failMemoryBudget(Control &C, SourceLoc Loc,
+                                            uint64_t Requested) {
+  return fail(C, TrapKind::MemoryBudgetExceeded, Loc,
+              "allocation of " + std::to_string(Requested) +
+                  " modeled bytes exceeded the memory budget of " +
+                  std::to_string(Opts.Limits.MaxBytes) + " bytes (" +
+                  std::to_string(TheHeap.bytesAllocated()) +
+                  " already allocated)");
 }
 
 Value BytecodeInterpreter::failDeadline(Control &C, SourceLoc Loc) {
@@ -732,6 +744,11 @@ L_LoadStr: {
     failHeapLimit(C, Locs[Ip - Code]);
     return Value::nil();
   }
+  if (uint64_t N = membudget::stringBytes(Fn.StrPool[I.D]->size());
+      !heapBytesOk(N)) {
+    failMemoryBudget(C, Locs[Ip - Code], N);
+    return Value::nil();
+  }
   R[I.A] = Value::ofObj(TheHeap.newString(*Fn.StrPool[I.D]));
   ++Ip;
   BC_DISPATCH();
@@ -951,9 +968,14 @@ L_MakeClosure: {
     failHeapLimit(C, Locs[Ip - Code]);
     return Value::nil();
   }
+  const BcClosureRef &Ref = Fn.Closures[I.D];
+  if (uint64_t N = membudget::closureBytes(Ref.Lit->Captures.size());
+      !heapBytesOk(N)) {
+    failMemoryBudget(C, Locs[Ip - Code], N);
+    return Value::nil();
+  }
   ++Stats.ClosuresCreated;
   Stats.Cycles += Costs.ClosureCreateCost;
-  const BcClosureRef &Ref = Fn.Closures[I.D];
   std::vector<CellPtr> Captured;
   Captured.reserve(Ref.Lit->Captures.size());
   for (const CaptureSpec &CS : Ref.Lit->Captures)
@@ -975,6 +997,11 @@ L_NewObj: {
     return Value::nil();
   }
   const BcNewSite &NS = Fn.NewSites[I.D];
+  if (uint64_t N = membudget::instanceBytes(NS.LayoutSize);
+      !heapBytesOk(N)) {
+    failMemoryBudget(C, Locs[Ip - Code], N);
+    return Value::nil();
+  }
   ++Stats.Allocations;
   Stats.Cycles += Costs.AllocCost + NS.LayoutSize;
   R[I.A] = Value::ofObj(TheHeap.newInstance(NS.N->Class, NS.LayoutSize));
@@ -1184,6 +1211,9 @@ Value BytecodeInterpreter::invokePrim(PrimOp Op, const Value *Args,
       return Value::nil();
     if (!heapHasRoom())
       return failHeapLimit(C, Loc);
+    if (uint64_t N = membudget::stringBytes(SA->size() + SB->size());
+        !heapBytesOk(N))
+      return failMemoryBudget(C, Loc, N);
     return Value::ofObj(TheHeap.newString(*SA + *SB));
   case PrimOp::StrEq:
     if (!WantStr(Args[0], SA) || !WantStr(Args[1], SB))
@@ -1206,6 +1236,9 @@ Value BytecodeInterpreter::invokePrim(PrimOp Op, const Value *Args,
                   "array size must be non-negative");
     if (!heapHasRoom())
       return failHeapLimit(C, Loc);
+    if (uint64_t N = membudget::arrayBytes(static_cast<uint64_t>(A));
+        !heapBytesOk(N))
+      return failMemoryBudget(C, Loc, N);
     ++Stats.Allocations;
     Stats.Cycles += Costs.AllocCost + static_cast<uint64_t>(A);
     return Value::ofObj(TheHeap.newArray(static_cast<size_t>(A)));
@@ -1233,11 +1266,15 @@ Value BytecodeInterpreter::invokePrim(PrimOp Op, const Value *Args,
     if (Opts.Output)
       *Opts.Output << valueToString(Args[0]) << '\n';
     return Value::nil();
-  case PrimOp::ClassName:
+  case PrimOp::ClassName: {
     if (!heapHasRoom())
       return failHeapLimit(C, Loc);
-    return Value::ofObj(TheHeap.newString(
-        P.Syms.name(P.Classes.info(Args[0].classOf()).Name)));
+    const std::string &Name =
+        P.Syms.name(P.Classes.info(Args[0].classOf()).Name);
+    if (uint64_t N = membudget::stringBytes(Name.size()); !heapBytesOk(N))
+      return failMemoryBudget(C, Loc, N);
+    return Value::ofObj(TheHeap.newString(Name));
+  }
   case PrimOp::Abort:
     return fail(C, TrapKind::UserAbort, Loc,
                 "abort: " + valueToString(Args[0]));

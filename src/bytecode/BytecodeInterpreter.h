@@ -110,6 +110,11 @@ private:
   bool heapHasRoom() const {
     return TheHeap.numAllocated() < Opts.Limits.MaxObjects;
   }
+  /// Same pre-allocation byte-budget check as the AST tier: identical
+  /// modeled sizes at identical points, so the trap is tier-invariant.
+  bool heapBytesOk(uint64_t Incoming) const {
+    return TheHeap.bytesAllocated() + Incoming <= Opts.Limits.MaxBytes;
+  }
 
   [[gnu::cold]] [[gnu::noinline]] Value failPrimType(Control &C, PrimOp Op,
                                                      SourceLoc Loc,
@@ -128,6 +133,9 @@ private:
                                                         SourceLoc Loc);
   [[gnu::cold]] [[gnu::noinline]] Value failHeapLimit(Control &C,
                                                       SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failMemoryBudget(Control &C,
+                                                         SourceLoc Loc,
+                                                         uint64_t Requested);
   [[gnu::cold]] [[gnu::noinline]] Value failDeadline(Control &C,
                                                      SourceLoc Loc);
   [[gnu::cold]] [[gnu::noinline]] Value failInjected(Control &C, SourceLoc Loc,

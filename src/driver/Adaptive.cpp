@@ -6,6 +6,7 @@
 
 #include "driver/Adaptive.h"
 
+#include "driver/Overload.h"
 #include "profile/ProfileDb.h"
 #include "support/Diagnostics.h"
 #include "support/FailPoint.h"
@@ -29,6 +30,7 @@ metrics::Counter CtrProfileSaves("adaptive.profile_saves");
 metrics::Counter CtrProfileSaveFailures("adaptive.profile_save_failures");
 metrics::Counter CtrSkippedBad("adaptive.skipped_bad_profile");
 metrics::Counter CtrSkippedUnchanged("adaptive.skipped_unchanged");
+metrics::Counter CtrSkippedOverload("adaptive.skipped_overload");
 metrics::Counter CtrSwapLatency("adaptive.swap_latency_ns");
 
 /// Canonical hash of a profile generation: fnv1a-64 over arcs() in its
@@ -96,7 +98,10 @@ AdaptiveController::Ticket AdaptiveController::admit() {
   std::lock_guard<std::mutex> Lock(StateM);
   Ticket T;
   ++Seq;
-  T.SampleArcs = Opts.SampleEvery != 0 && (Seq % Opts.SampleEvery) == 0;
+  // Brown-out rung 1 (driver/Overload.h): under pressure, live-arc
+  // profiling is pure overhead — stop sampling until the ladder recovers.
+  T.SampleArcs = Opts.SampleEvery != 0 && (Seq % Opts.SampleEvery) == 0 &&
+                 overload::allowArcCollection();
   if (Candidate && CanaryIssued < Opts.CanaryJobs &&
       (Seq % CanaryStride) == 0) {
     ++CanaryIssued;
@@ -253,6 +258,19 @@ void AdaptiveController::rollbackLocked(uint64_t ProfileHash,
 }
 
 bool AdaptiveController::respecializeNow(std::string &ErrorOut, bool Force) {
+  // Brown-out rung 2: a background build burns a core and doubles
+  // resident compiled state — exactly what an overloaded server cannot
+  // afford.  Pressure wins even over a forced (SIGHUP) request; the
+  // request is counted as a decision so waiters don't wedge.
+  if (!overload::allowRespecialization()) {
+    CtrSkippedOverload.add();
+    std::lock_guard<std::mutex> Lock(StateM);
+    ++NumDecisions;
+    DecisionCV.notify_all();
+    ErrorOut = "respecialization skipped: overload brown-out (level " +
+               std::string(overload::levelName(overload::level())) + ")";
+    return false;
+  }
   {
     std::lock_guard<std::mutex> Lock(StateM);
     if (Candidate) {

@@ -1,0 +1,100 @@
+//===- driver/Overload.h - Brown-out degradation ladder --------*- C++ -*-===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's brown-out governor: a process-wide state machine
+/// that watches sustained queue and memory pressure and sheds *optional*
+/// work before the server has to shed jobs.  The ladder degrades the
+/// cheapest-to-lose feature first and recovers in reverse order when
+/// pressure clears (DESIGN.md section 13):
+///
+///   Normal   -> everything enabled
+///   NoArcs   -> adaptive live-arc collection off (profiling is pure
+///               overhead under load; serving is unaffected)
+///   NoRespec -> background respecialization/canary builds off (a build
+///               burns a core and doubles resident compiled state)
+///   ChaOnly  -> new snapshot builds degrade Selective -> CHA (cheapest
+///               compile that still serves; mirrors the offline
+///               missing-profile degradation from PR 3)
+///
+/// Pressure is observed by the ServeEngine on every queue transition:
+/// queue depth as a fraction of capacity, plus the process-wide modeled
+/// live bytes from support/MemoryBudget.  Transitions need EngageTicks
+/// consecutive pressured observations to escalate one level and
+/// RecoverTicks consecutive clear observations to step back down, so a
+/// single burst can't flap the ladder.  Every transition bumps
+/// `serve.brownout_escalations` / `serve.brownout_recoveries` and the
+/// `serve.brownout_level` gauge; consumers (AdaptiveController, micad's
+/// snapshot builders) read the cheap level accessors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELSPEC_DRIVER_OVERLOAD_H
+#define SELSPEC_DRIVER_OVERLOAD_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace selspec {
+namespace overload {
+
+/// Ladder rungs, in escalation order.  Each rung implies the ones below
+/// it (ChaOnly also disables respecialization and arc collection).
+enum class Level : uint8_t { Normal = 0, NoArcs = 1, NoRespec = 2, ChaOnly = 3 };
+
+/// Stable lower-case name of \p L ("normal", "no-arcs", ...).
+const char *levelName(Level L);
+
+struct Policy {
+  /// Modeled live bytes (membudget::liveBytes()) at or above which the
+  /// memory signal reports pressure.  0 disables the memory signal.
+  uint64_t MemHighBytes = 0;
+  /// Queue depth / capacity at or above which the queue signal reports
+  /// pressure.
+  double QueueHighFraction = 0.75;
+  /// Queue fraction at or below which an observation counts as clear
+  /// (between the two fractions neither counter advances — a hysteresis
+  /// band, not a boolean).
+  double QueueLowFraction = 0.25;
+  /// Consecutive pressured observations to escalate one level.
+  unsigned EngageTicks = 4;
+  /// Consecutive clear observations to recover one level.
+  unsigned RecoverTicks = 16;
+  /// Log every transition to stderr (servers; off for tests/benches that
+  /// own stdout/stderr).
+  bool LogTransitions = false;
+};
+
+/// Installs \p P (servers call this once at startup; tests per-case).
+/// Until the first call the governor is inert — the initial policy's
+/// queue thresholds are unreachable, so embedding the library (or
+/// running unrelated ServeEngine tests in one process) never triggers
+/// brown-outs by accident.
+void setPolicy(const Policy &P);
+Policy policy();
+
+/// One pressure observation (ServeEngine calls this on every enqueue,
+/// dequeue, and shed).  Cheap: one mutex a few times per job, never on
+/// the interpreter hot path.
+void observe(size_t QueueDepth, size_t QueueCapacity);
+
+Level level();
+
+/// Level < NoArcs: adaptive controllers may sample live arcs.
+bool allowArcCollection();
+/// Level < NoRespec: background respecialization/canary builds may run.
+bool allowRespecialization();
+/// Level >= ChaOnly: new snapshot builds should degrade Selective -> CHA.
+bool degradeToCha();
+
+/// Back to Normal with cleared tick state (test isolation; does not
+/// touch the transition counters).
+void reset();
+
+} // namespace overload
+} // namespace selspec
+
+#endif // SELSPEC_DRIVER_OVERLOAD_H

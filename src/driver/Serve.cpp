@@ -6,6 +6,7 @@
 
 #include "driver/Serve.h"
 
+#include "driver/Overload.h"
 #include "support/Metrics.h"
 
 using namespace selspec;
@@ -16,6 +17,9 @@ metrics::Counter CtrSubmitted("serve.jobs_submitted");
 metrics::Counter CtrCompleted("serve.jobs_completed");
 metrics::Counter CtrCancelledQueued("serve.jobs_cancelled_queued");
 metrics::Counter CtrCancelSignals("serve.cancel_signals");
+metrics::Counter CtrShed("serve.shed");
+metrics::Counter GaugeQueueDepth("serve.queue_depth");
+metrics::Counter GaugeQueuePeak("serve.queue_peak");
 
 uint64_t nanosSince(std::chrono::steady_clock::time_point Start) {
   return static_cast<uint64_t>(
@@ -27,7 +31,7 @@ uint64_t nanosSince(std::chrono::steady_clock::time_point Start) {
 } // namespace
 
 ServeEngine::ServeEngine(const Options &O, CompletionFn OnDoneFn)
-    : OnDone(std::move(OnDoneFn)),
+    : OnDone(std::move(OnDoneFn)), Opt(O),
       NumThreads(O.Threads < 1 ? 1u : O.Threads),
       Capacity(O.QueueCapacity < 1 ? 1u : O.QueueCapacity),
       Active(NumThreads, nullptr) {
@@ -38,17 +42,54 @@ ServeEngine::ServeEngine(const Options &O, CompletionFn OnDoneFn)
 
 ServeEngine::~ServeEngine() { shutdown(false); }
 
-bool ServeEngine::submit(Job J) {
+void ServeEngine::noteQueueDepthLocked() {
+  GaugeQueueDepth.set(Queue.size());
+  if (Queue.size() > QueuePeak) {
+    QueuePeak = Queue.size();
+    GaugeQueuePeak.set(QueuePeak);
+  }
+}
+
+ServeEngine::Admit ServeEngine::submit(Job J) {
   {
     std::unique_lock<std::mutex> Lock(M);
-    NotFull.wait(Lock, [&] { return Queue.size() < Capacity || Closed; });
+    auto HasRoom = [&] { return Queue.size() < Capacity || Closed; };
+    if (Opt.MaxSubmitWaitMs >= 0) {
+      // Bounded-wait admission: never block a producer past the bound.
+      if (!NotFull.wait_for(Lock,
+                            std::chrono::milliseconds(Opt.MaxSubmitWaitMs),
+                            HasRoom)) {
+        CtrShed.add();
+        overload::observe(Queue.size(), Capacity);
+        return Admit::Shed;
+      }
+    } else {
+      NotFull.wait(Lock, HasRoom);
+    }
     if (Closed)
-      return false;
+      return Admit::Closed;
+    if (Opt.DeadlineAwareAdmission && J.DeadlineMs > 0) {
+      // Deadline-aware admission: with the current backlog, the job's
+      // estimated wait before it could even start is depth/threads
+      // service periods.  If that alone exceeds the job's whole latency
+      // budget, shedding now is strictly better than queueing it.
+      uint64_t Ewma = EwmaRunNanos.load(std::memory_order_relaxed);
+      if (Ewma) {
+        uint64_t EstStartNanos = Ewma * (Queue.size() / NumThreads + 1);
+        if (EstStartNanos > static_cast<uint64_t>(J.DeadlineMs) * 1'000'000) {
+          CtrShed.add();
+          overload::observe(Queue.size(), Capacity);
+          return Admit::Shed;
+        }
+      }
+    }
     Queue.push_back(QueuedJob{std::move(J), std::chrono::steady_clock::now()});
+    noteQueueDepthLocked();
+    overload::observe(Queue.size(), Capacity);
   }
   CtrSubmitted.add();
   NotEmpty.notify_one();
-  return true;
+  return Admit::Accepted;
 }
 
 void ServeEngine::close() {
@@ -78,6 +119,7 @@ void ServeEngine::shutdown(bool CancelQueued) {
   if (CancelQueued) {
     std::lock_guard<std::mutex> Lock(M);
     Dropped.swap(Queue);
+    noteQueueDepthLocked();
   }
   for (QueuedJob &QJ : Dropped) {
     Completion Cmp;
@@ -121,6 +163,8 @@ void ServeEngine::workerLoop(unsigned Slot) {
         return; // Closed and drained.
       QJ = std::move(Queue.front());
       Queue.pop_front();
+      noteQueueDepthLocked();
+      overload::observe(Queue.size(), Capacity);
       ++Running;
     }
     NotFull.notify_one();
@@ -152,6 +196,13 @@ void ServeEngine::workerLoop(unsigned Slot) {
     Cmp.RunNanos = nanosSince(Start);
     Cmp.TheJob = std::move(QJ.J);
     CtrCompleted.add();
+
+    // Service-time EWMA (alpha = 1/8) behind deadline-aware admission.
+    // Plain load/store: concurrent updates can drop a sample, which is
+    // fine for an estimate.
+    uint64_t Prev = EwmaRunNanos.load(std::memory_order_relaxed);
+    EwmaRunNanos.store(Prev ? (7 * Prev + Cmp.RunNanos) / 8 : Cmp.RunNanos,
+                       std::memory_order_relaxed);
 
     {
       std::lock_guard<std::mutex> DoneLock(DoneM);

@@ -12,8 +12,21 @@
 /// CancelToken (deadline + cooperative cancel, polled by the interpreter's
 /// chargeNode cadence) and its own metrics delta.
 ///
-/// Backpressure is by blocking: submit() waits while the queue is at
-/// capacity, so a replay loop can never race ahead of the pool unbounded.
+/// Backpressure is by blocking by default: submit() waits while the queue
+/// is at capacity, so a replay loop can never race ahead of the pool
+/// unbounded.  Two overload-resilience admission modes relax that
+/// (DESIGN.md section 13): a bounded submit wait (Options::MaxSubmitWaitMs)
+/// sheds the job instead of blocking past the bound, and deadline-aware
+/// admission (Options::DeadlineAwareAdmission) sheds a job at submit time
+/// when the estimated queue wait at the current depth already exceeds the
+/// job's own latency budget — a definite `Admit::Shed` verdict the caller
+/// reports, instead of a queue the job was never going to survive.  Every
+/// admission outcome is visible in the metrics registry: the
+/// `serve.queue_depth` / `serve.queue_peak` gauges and the `serve.shed`
+/// counter, alongside the `serve.mem_*` gauges maintained by
+/// support/MemoryBudget.  Queue observations also tick the process-wide
+/// overload governor (driver/Overload.h), which drives brown-out.
+///
 /// Completions are serialized — the completion callback is invoked by
 /// worker threads one at a time, so callers may write to a shared sink
 /// (stdout, a results vector) without their own locking.
@@ -31,6 +44,7 @@
 
 #include "driver/Snapshot.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -51,6 +65,27 @@ public:
     unsigned Threads = 4;
     /// Bounded queue depth; submit() blocks when full (backpressure).
     size_t QueueCapacity = 64;
+    /// Shed a deadline-bearing job at submit when the estimated queue
+    /// wait (EWMA of recent run times x queue depth / threads) already
+    /// exceeds the job's DeadlineMs.  Jobs without a deadline are never
+    /// shed by this check.
+    bool DeadlineAwareAdmission = false;
+    /// >= 0: bounded-wait submit — wait at most this long for queue
+    /// space, then return Admit::Shed.  < 0: block indefinitely (the
+    /// legacy backpressure contract).
+    int64_t MaxSubmitWaitMs = -1;
+  };
+
+  /// submit() verdict.  Scoped (not bool) on purpose: every call site
+  /// must decide what a shed means for its accounting.
+  enum class Admit : uint8_t {
+    /// Enqueued; exactly one completion will fire for the job.
+    Accepted,
+    /// Load-shed (queue-wait bound or deadline-aware admission); the job
+    /// was NOT enqueued and no completion fires for it.
+    Shed,
+    /// The engine is closed; not enqueued, no completion.
+    Closed,
   };
 
   struct Job {
@@ -90,10 +125,10 @@ public:
   ServeEngine(const ServeEngine &) = delete;
   ServeEngine &operator=(const ServeEngine &) = delete;
 
-  /// Enqueues \p J, blocking while the queue is at capacity.  False once
-  /// the engine is closed (the job is not enqueued and no completion
-  /// fires for it).
-  bool submit(Job J);
+  /// Enqueues \p J, blocking while the queue is at capacity (subject to
+  /// Options::MaxSubmitWaitMs and Options::DeadlineAwareAdmission — see
+  /// Admit).  Only Admit::Accepted jobs ever produce a completion.
+  Admit submit(Job J);
 
   /// Stops admission; queued and in-flight jobs still run to completion.
   void close();
@@ -120,10 +155,19 @@ private:
   };
 
   void workerLoop(unsigned Slot);
+  /// M held.  Publishes the queue-depth gauges after a push/pop.
+  void noteQueueDepthLocked();
 
   CompletionFn OnDone;
+  const Options Opt;
   unsigned NumThreads;
   size_t Capacity;
+  /// EWMA of completed jobs' RunNanos (alpha = 1/8); the service-time
+  /// estimate behind deadline-aware admission.  0 until the first
+  /// completion (admission checks are skipped until then).
+  std::atomic<uint64_t> EwmaRunNanos{0};
+  /// Highest queue depth seen (gauge `serve.queue_peak`), guarded by M.
+  size_t QueuePeak = 0;
 
   mutable std::mutex M;
   std::condition_variable NotFull;

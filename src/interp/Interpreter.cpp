@@ -51,6 +51,7 @@ metrics::Counter CtrAllocations("interp.allocations");
 metrics::Counter CtrMethodInvocations("interp.method_invocations");
 metrics::Counter CtrNodesEvaluated("interp.nodes_evaluated");
 metrics::Counter CtrCycles("interp.cycles");
+metrics::Counter CtrBytesAllocated("interp.bytes_allocated");
 metrics::Counter CtrDeadlineExpired("deadline.expired");
 } // namespace
 
@@ -77,6 +78,7 @@ Interpreter::~Interpreter() {
   CtrMethodInvocations.add(Stats.MethodInvocations);
   CtrNodesEvaluated.add(Stats.NodesEvaluated);
   CtrCycles.add(Stats.Cycles);
+  CtrBytesAllocated.add(TheHeap.bytesAllocated());
 }
 
 std::string Interpreter::valueToString(const Value &V) const {
@@ -204,6 +206,16 @@ Value Interpreter::failHeapLimit(Control &C, SourceLoc Loc) {
                   std::to_string(Opts.Limits.MaxObjects) + " objects");
 }
 
+Value Interpreter::failMemoryBudget(Control &C, SourceLoc Loc,
+                                    uint64_t Requested) {
+  return fail(C, TrapKind::MemoryBudgetExceeded, Loc,
+              "allocation of " + std::to_string(Requested) +
+                  " modeled bytes exceeded the memory budget of " +
+                  std::to_string(Opts.Limits.MaxBytes) + " bytes (" +
+                  std::to_string(TheHeap.bytesAllocated()) +
+                  " already allocated)");
+}
+
 Value Interpreter::failDeadline(Control &C, SourceLoc Loc) {
   CtrDeadlineExpired.add();
   return fail(C, TrapKind::DeadlineExceeded, Loc,
@@ -269,10 +281,14 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
     return Value::ofInt(cast<IntLitExpr>(E)->Value);
   case Expr::Kind::BoolLit:
     return Value::ofBool(cast<BoolLitExpr>(E)->Value);
-  case Expr::Kind::StrLit:
+  case Expr::Kind::StrLit: {
     if (!heapHasRoom())
       return failHeapLimit(C, E->getLoc());
-    return Value::ofObj(TheHeap.newString(cast<StrLitExpr>(E)->Value));
+    const std::string &S = cast<StrLitExpr>(E)->Value;
+    if (uint64_t N = membudget::stringBytes(S.size()); !heapBytesOk(N))
+      return failMemoryBudget(C, E->getLoc(), N);
+    return Value::ofObj(TheHeap.newString(S));
+  }
   case Expr::Kind::NilLit:
     return Value::nil();
 
@@ -429,6 +445,9 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
     const auto *Lit = cast<ClosureLitExpr>(E);
     if (!heapHasRoom())
       return failHeapLimit(C, E->getLoc());
+    if (uint64_t N = membudget::closureBytes(Lit->Captures.size());
+        !heapBytesOk(N))
+      return failMemoryBudget(C, E->getLoc(), N);
     ++Stats.ClosuresCreated;
     Stats.Cycles += Costs.ClosureCreateCost;
     std::vector<CellPtr> Captured;
@@ -446,6 +465,9 @@ Value Interpreter::eval(const Expr *E, Frame &F, Control &C) {
     if (!heapHasRoom())
       return failHeapLimit(C, E->getLoc());
     const ClassInfo &Info = P.Classes.info(N->Class);
+    if (uint64_t B = membudget::instanceBytes(Info.Layout.size());
+        !heapBytesOk(B))
+      return failMemoryBudget(C, E->getLoc(), B);
     ++Stats.Allocations;
     Stats.Cycles += Costs.AllocCost + Info.Layout.size();
     Obj *O = TheHeap.newInstance(
@@ -853,6 +875,9 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, SourceLoc Loc,
       return Value::nil();
     if (!heapHasRoom())
       return failHeapLimit(C, Loc);
+    if (uint64_t N = membudget::stringBytes(SA->size() + SB->size());
+        !heapBytesOk(N))
+      return failMemoryBudget(C, Loc, N);
     return Value::ofObj(TheHeap.newString(*SA + *SB));
   case PrimOp::StrEq:
     if (!WantStr(Args[0], SA) || !WantStr(Args[1], SB))
@@ -875,6 +900,9 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, SourceLoc Loc,
                   "array size must be non-negative");
     if (!heapHasRoom())
       return failHeapLimit(C, Loc);
+    if (uint64_t N = membudget::arrayBytes(static_cast<uint64_t>(A));
+        !heapBytesOk(N))
+      return failMemoryBudget(C, Loc, N);
     ++Stats.Allocations;
     Stats.Cycles += Costs.AllocCost + static_cast<uint64_t>(A);
     return Value::ofObj(TheHeap.newArray(static_cast<size_t>(A)));
@@ -902,11 +930,15 @@ Value Interpreter::invokePrim(PrimOp Op, const Value *Args, SourceLoc Loc,
     if (Opts.Output)
       *Opts.Output << valueToString(Args[0]) << '\n';
     return Value::nil();
-  case PrimOp::ClassName:
+  case PrimOp::ClassName: {
     if (!heapHasRoom())
       return failHeapLimit(C, Loc);
-    return Value::ofObj(TheHeap.newString(
-        P.Syms.name(P.Classes.info(Args[0].classOf()).Name)));
+    const std::string &Name =
+        P.Syms.name(P.Classes.info(Args[0].classOf()).Name);
+    if (uint64_t N = membudget::stringBytes(Name.size()); !heapBytesOk(N))
+      return failMemoryBudget(C, Loc, N);
+    return Value::ofObj(TheHeap.newString(Name));
+  }
   case PrimOp::Abort:
     return fail(C, TrapKind::UserAbort, Loc,
                 "abort: " + valueToString(Args[0]));

@@ -161,6 +161,13 @@ private:
   bool heapHasRoom() const {
     return TheHeap.numAllocated() < Opts.Limits.MaxObjects;
   }
+  /// True when allocating \p Incoming more modeled bytes stays within the
+  /// per-job byte budget.  Checked before each allocation with the
+  /// incoming object's exact modeled size, so the trap fires at the same
+  /// byte in every build mode and on both tiers.
+  bool heapBytesOk(uint64_t Incoming) const {
+    return TheHeap.bytesAllocated() + Incoming <= Opts.Limits.MaxBytes;
+  }
 
   // Out-of-line failure constructors: the hot paths branch to these and
   // the message strings are only built once a failure is certain.
@@ -183,6 +190,9 @@ private:
                                                         SourceLoc Loc);
   [[gnu::cold]] [[gnu::noinline]] Value failHeapLimit(Control &C,
                                                       SourceLoc Loc);
+  [[gnu::cold]] [[gnu::noinline]] Value failMemoryBudget(Control &C,
+                                                         SourceLoc Loc,
+                                                         uint64_t Requested);
   [[gnu::cold]] [[gnu::noinline]] Value failDeadline(Control &C,
                                                      SourceLoc Loc);
   /// An armed failpoint fired at \p Name (an injected internal fault).

@@ -38,6 +38,8 @@ const char *selspec::trapKindName(TrapKind K) {
     return "heap-limit-exceeded";
   case TrapKind::DeadlineExceeded:
     return "deadline-exceeded";
+  case TrapKind::MemoryBudgetExceeded:
+    return "memory-budget-exceeded";
   case TrapKind::BindingViolation:
     return "binding-violation";
   case TrapKind::InternalError:
@@ -74,6 +76,8 @@ int selspec::trapExitCode(TrapKind K) {
     return 22;
   case TrapKind::DeadlineExceeded:
     return 23;
+  case TrapKind::MemoryBudgetExceeded:
+    return 24;
   case TrapKind::BindingViolation:
   case TrapKind::InternalError:
     return 70;
@@ -95,6 +99,7 @@ TrapKind selspec::trapKindForExitCode(int ExitCode) {
   case 21: return TrapKind::RecursionLimitExceeded;
   case 22: return TrapKind::HeapLimitExceeded;
   case 23: return TrapKind::DeadlineExceeded;
+  case 24: return TrapKind::MemoryBudgetExceeded;
   case 70: return TrapKind::InternalError;
   default: return TrapKind::None;
   }

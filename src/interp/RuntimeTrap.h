@@ -66,6 +66,9 @@ enum class TrapKind : uint8_t {
   /// The run's CancelToken deadline expired or a cancel was requested
   /// (RunOptions::Cancel; the long-running-service guard).
   DeadlineExceeded,
+  /// ResourceLimits::MaxBytes modeled heap bytes exceeded (the byte-level
+  /// OOM guard; object counts alone miss a few huge arrays/strings).
+  MemoryBudgetExceeded,
   /// A statically-bound site disagreed with real dispatch (only under
   /// RunOptions::ValidateBindings; always a compiler bug).
   BindingViolation,
@@ -100,6 +103,11 @@ struct ResourceLimits {
   uint32_t MaxDepth = 800;
   /// Maximum live heap objects (strings, arrays, instances, closures).
   uint64_t MaxObjects = UINT64_C(16'000'000);
+  /// Maximum modeled heap bytes (support/MemoryBudget.h cost function;
+  /// fixed constants, so the budget is identical across build modes and
+  /// execution tiers).  Checked before each allocation against the bytes
+  /// already charged plus the incoming object's modeled size.
+  uint64_t MaxBytes = UINT64_C(8'000'000'000);
 };
 
 /// One structured runtime failure.

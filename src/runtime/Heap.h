@@ -9,12 +9,21 @@
 /// bounded allocation, so no collector is needed; everything is released
 /// when the Heap is destroyed.
 ///
+/// Every allocation is also charged in *modeled bytes* (the fixed,
+/// platform-independent cost function in support/MemoryBudget.h): the
+/// per-heap tally backs the per-job byte budget (ResourceLimits::MaxBytes,
+/// checked by the interpreters before each allocation), and batched
+/// flushes feed the process-wide live-byte watermark that drives overload
+/// brown-out.  Both execution tiers allocate through these same methods,
+/// so byte charging is identical across tiers by construction.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SELSPEC_RUNTIME_HEAP_H
 #define SELSPEC_RUNTIME_HEAP_H
 
 #include "runtime/Value.h"
+#include "support/MemoryBudget.h"
 
 #include <memory>
 #include <vector>
@@ -23,15 +32,32 @@ namespace selspec {
 
 class Heap {
 public:
+  Heap() = default;
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  ~Heap() {
+    // Everything dies with the heap: retract the flushed share of the
+    // tally from the process-wide live count.
+    if (Flushed)
+      membudget::addLive(-static_cast<int64_t>(Flushed));
+  }
+
   Obj *newInstance(ClassId Class, unsigned NumSlots) {
+    charge(membudget::instanceBytes(NumSlots));
     return track(std::make_unique<Obj>(Class, NumSlots));
   }
   Obj *newString(std::string S) {
+    charge(membudget::stringBytes(S.size()));
     return track(std::make_unique<Obj>(std::move(S)));
   }
-  Obj *newArray(size_t N) { return track(std::make_unique<Obj>(N)); }
+  Obj *newArray(size_t N) {
+    charge(membudget::arrayBytes(N));
+    return track(std::make_unique<Obj>(N));
+  }
   Obj *newClosure(const ClosureLitExpr *Lit, std::vector<CellPtr> Captured,
                   uint64_t HomeActivation) {
+    charge(membudget::closureBytes(Captured.size()));
     return track(
         std::make_unique<Obj>(Lit, std::move(Captured), HomeActivation));
   }
@@ -39,13 +65,29 @@ public:
   /// Total objects ever allocated (a run statistic).
   uint64_t numAllocated() const { return Objects.size(); }
 
+  /// Total modeled bytes ever allocated (nothing is freed before the heap
+  /// dies, so this is also the live total).  What ResourceLimits::MaxBytes
+  /// bounds.
+  uint64_t bytesAllocated() const { return Bytes; }
+
 private:
+  void charge(uint64_t N) {
+    Bytes += N;
+    if (Bytes - Flushed >= membudget::FlushChunk) {
+      membudget::addLive(static_cast<int64_t>(Bytes - Flushed));
+      Flushed = Bytes;
+    }
+  }
+
   Obj *track(std::unique_ptr<Obj> O) {
     Objects.push_back(std::move(O));
     return Objects.back().get();
   }
 
   std::vector<std::unique_ptr<Obj>> Objects;
+  uint64_t Bytes = 0;
+  /// Share of Bytes already pushed to the process-wide tally.
+  uint64_t Flushed = 0;
 };
 
 } // namespace selspec

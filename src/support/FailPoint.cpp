@@ -100,7 +100,11 @@ bool selspec::failpoint::configure(const std::string &Spec,
     std::string ActionName = Pair.substr(Eq + 1);
     int Idx = indexOf(Name);
     if (Idx < 0) {
-      ErrorOut = "unknown failpoint '" + Name + "'";
+      // List every valid site so a chaos config's typo is immediately
+      // actionable instead of a guessing game.
+      ErrorOut = "unknown failpoint '" + Name + "'; valid sites:";
+      for (size_t I = 0; I != NumNames; ++I)
+        ErrorOut += std::string(I ? ", " : " ") + Names[I];
       return false;
     }
     Action A;

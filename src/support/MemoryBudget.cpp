@@ -1,0 +1,70 @@
+//===- support/MemoryBudget.cpp - Modeled-byte memory accounting -----------===//
+//
+// Part of the selspec project (PLDI'95 selective specialization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemoryBudget.h"
+
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+
+using namespace selspec;
+
+namespace {
+
+std::atomic<uint64_t> Live{0};
+std::atomic<uint64_t> Watermark{0};
+
+metrics::Counter GaugeLive("serve.mem_live_bytes");
+metrics::Counter GaugeWatermark("serve.mem_watermark");
+
+} // namespace
+
+void selspec::membudget::addLive(int64_t Delta) {
+  uint64_t Now;
+  if (Delta >= 0)
+    Now = Live.fetch_add(static_cast<uint64_t>(Delta),
+                         std::memory_order_relaxed) +
+          static_cast<uint64_t>(Delta);
+  else
+    Now = Live.fetch_sub(static_cast<uint64_t>(-Delta),
+                         std::memory_order_relaxed) -
+          static_cast<uint64_t>(-Delta);
+  GaugeLive.set(Now);
+  // CAS-max watermark.
+  uint64_t Seen = Watermark.load(std::memory_order_relaxed);
+  while (Now > Seen &&
+         !Watermark.compare_exchange_weak(Seen, Now,
+                                          std::memory_order_relaxed))
+    ;
+  if (Now > Seen)
+    GaugeWatermark.set(Now);
+}
+
+uint64_t selspec::membudget::liveBytes() {
+  return Live.load(std::memory_order_relaxed);
+}
+
+uint64_t selspec::membudget::highWatermark() {
+  return Watermark.load(std::memory_order_relaxed);
+}
+
+void selspec::membudget::resetWatermark() {
+  uint64_t Now = Live.load(std::memory_order_relaxed);
+  Watermark.store(Now, std::memory_order_relaxed);
+  GaugeWatermark.set(Now);
+}
+
+uint64_t selspec::membudget::maxBytesFromEnv(uint64_t Fallback) {
+  const char *Env = std::getenv("SELSPEC_MAX_BYTES");
+  if (!Env || !*Env)
+    return Fallback;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Env, &End, 10);
+  if (End == Env || (End && *End))
+    return Fallback;
+  return static_cast<uint64_t>(V);
+}

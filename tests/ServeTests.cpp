@@ -151,7 +151,7 @@ void runConcurrencyStress(ExecTier T) {
       J.Snapshot = Units[I % Units.size()].Snap;
       J.Input = Units[I % Units.size()].Input;
       J.CollectMetricsDelta = false;
-      ASSERT_TRUE(Engine.submit(std::move(J)));
+      ASSERT_EQ(Engine.submit(std::move(J)), ServeEngine::Admit::Accepted);
     }
     Engine.shutdown(false);
   }
@@ -205,7 +205,7 @@ TEST(Serve, MetricsDeltasSumToRegistryTotals) {
       J.Snapshot = Snap;
       J.Input = 10;
       J.CollectMetricsDelta = true;
-      ASSERT_TRUE(Engine.submit(std::move(J)));
+      ASSERT_EQ(Engine.submit(std::move(J)), ServeEngine::Admit::Accepted);
     }
     Engine.shutdown(false);
   }
@@ -247,7 +247,7 @@ TEST(Serve, DeadlineCancelsJobCooperatively) {
     J.Snapshot = Snap;
     J.Input = 1000000; // minutes of work, uncancelled
     J.DeadlineMs = 20;
-    ASSERT_TRUE(Engine.submit(std::move(J)));
+    ASSERT_EQ(Engine.submit(std::move(J)), ServeEngine::Admit::Accepted);
     Engine.shutdown(false);
   }
   EXPECT_TRUE(SawDeadlineTrap);
@@ -288,7 +288,7 @@ TEST(Serve, ShutdownCancelsInFlightAndDropsQueued) {
       J.Snapshot = Snap;
       J.Input = 1000000;
       J.DeadlineMs = 2000; // backstop so a racing dequeue stays bounded
-      ASSERT_TRUE(Engine.submit(std::move(J)));
+      ASSERT_EQ(Engine.submit(std::move(J)), ServeEngine::Admit::Accepted);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     Engine.cancelInFlight();
@@ -297,6 +297,186 @@ TEST(Serve, ShutdownCancelsInFlightAndDropsQueued) {
   EXPECT_EQ(Completions, 4u) << "every submitted job must complete";
   EXPECT_GE(Started, 1u);
   EXPECT_GE(Dropped, 2u) << "most of the queue must drain as Cancelled";
+}
+
+// Bounded-wait submit (Options::MaxSubmitWaitMs): with the single worker
+// wedged on a slow job and the queue full, a further submit must come
+// back Admit::Shed after the bound instead of blocking — and a shed job
+// must never produce a completion.
+TEST(Serve, BoundedWaitSubmitShedsWhenQueueStaysFull) {
+  std::string Err;
+  std::shared_ptr<Workbench> WB = Workbench::fromFiles({"richards.mica"}, Err);
+  ASSERT_TRUE(WB) << Err;
+  WB->setTier(ExecTier::Bytecode);
+  std::shared_ptr<const CompiledSnapshot> Snap =
+      WB->buildSnapshot(Config::Base, Err, {}, {}, WB);
+  ASSERT_TRUE(Snap) << Err;
+
+  size_t Completions = 0;
+  std::vector<std::string> CompletedIds;
+  {
+    ServeEngine::Options EO;
+    EO.Threads = 1;
+    EO.QueueCapacity = 1;
+    EO.MaxSubmitWaitMs = 20;
+    ServeEngine Engine(EO, [&](ServeEngine::Completion &&Cmp) {
+      ++Completions;
+      CompletedIds.push_back(Cmp.TheJob.Id);
+    });
+    auto SlowJob = [&](const char *Id) {
+      ServeEngine::Job J;
+      J.Id = Id;
+      J.Snapshot = Snap;
+      J.Input = 1000000;
+      J.DeadlineMs = 2000; // backstop so the test stays bounded
+      return J;
+    };
+    // Occupies the worker...
+    ASSERT_EQ(Engine.submit(SlowJob("running")),
+              ServeEngine::Admit::Accepted);
+    // ...fills the 1-slot queue...
+    ASSERT_EQ(Engine.submit(SlowJob("queued")), ServeEngine::Admit::Accepted);
+    // ...so this one must shed at the wait bound, not block.
+    EXPECT_EQ(Engine.submit(SlowJob("shed")), ServeEngine::Admit::Shed);
+    Engine.cancelInFlight();
+    Engine.shutdown(/*CancelQueued=*/true);
+  }
+  EXPECT_EQ(Completions, 2u) << "accepted jobs complete; shed jobs do not";
+  for (const std::string &Id : CompletedIds)
+    EXPECT_NE(Id, "shed");
+}
+
+// Deadline-aware admission (Options::DeadlineAwareAdmission): once the
+// EWMA service-time estimate exists, a job whose deadline cannot survive
+// the current queue is shed at submit.  Jobs without a deadline are never
+// shed by this check, however deep the queue.
+TEST(Serve, DeadlineAwareAdmissionShedsDoomedJobs) {
+  std::string Err;
+  std::shared_ptr<Workbench> WB = Workbench::fromFiles({"richards.mica"}, Err);
+  ASSERT_TRUE(WB) << Err;
+  WB->setTier(ExecTier::Bytecode);
+  std::shared_ptr<const CompiledSnapshot> Snap =
+      WB->buildSnapshot(Config::Base, Err, {}, {}, WB);
+  ASSERT_TRUE(Snap) << Err;
+
+  std::atomic<size_t> Completions{0};
+  {
+    ServeEngine::Options EO;
+    EO.Threads = 1;
+    EO.QueueCapacity = 8;
+    EO.DeadlineAwareAdmission = true;
+    ServeEngine Engine(EO,
+                       [&](ServeEngine::Completion &&) { ++Completions; });
+    // Seed the EWMA: one real completion (richards at input 30 runs for
+    // well over a millisecond).
+    ServeEngine::Job Seed;
+    Seed.Id = "seed";
+    Seed.Snapshot = Snap;
+    Seed.Input = 30;
+    ASSERT_EQ(Engine.submit(std::move(Seed)), ServeEngine::Admit::Accepted);
+    while (Completions.load() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Give the worker time to publish the EWMA after the completion.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    // Wedge the worker and stack the queue with slow work.  The deadline
+    // is a wedge backstop only (cancelInFlight ends the test); it must be
+    // generous enough that the sanitizer-inflated EWMA estimate can never
+    // shed these setup jobs themselves.
+    for (int I = 0; I != 3; ++I) {
+      ServeEngine::Job J;
+      J.Id = "slow-" + std::to_string(I);
+      J.Snapshot = Snap;
+      J.Input = 1000000;
+      J.DeadlineMs = 60000;
+      ASSERT_EQ(Engine.submit(std::move(J)), ServeEngine::Admit::Accepted);
+    }
+    // A 1 ms deadline cannot survive a queue of multi-ms jobs: shed.
+    ServeEngine::Job Doomed;
+    Doomed.Id = "doomed";
+    Doomed.Snapshot = Snap;
+    Doomed.Input = 30;
+    Doomed.DeadlineMs = 1;
+    EXPECT_EQ(Engine.submit(std::move(Doomed)), ServeEngine::Admit::Shed);
+    // No deadline means no deadline-aware shed, ever.
+    ServeEngine::Job NoDeadline;
+    NoDeadline.Id = "no-deadline";
+    NoDeadline.Snapshot = Snap;
+    NoDeadline.Input = 30;
+    EXPECT_EQ(Engine.submit(std::move(NoDeadline)),
+              ServeEngine::Admit::Accepted);
+    Engine.cancelInFlight();
+    Engine.shutdown(/*CancelQueued=*/true);
+  }
+}
+
+// Graceful drain under backpressure: producers blocked in submit() on a
+// full queue must be released by shutdown — each blocked submit returns
+// Closed (not a hang, not a lost job), every accepted job completes, and
+// a post-shutdown submit is refused with Closed.  This is micad's
+// SIGTERM-while-producers-are-backpressured path at the engine level.
+TEST(Serve, ShutdownReleasesBackpressuredProducers) {
+  std::string Err;
+  std::shared_ptr<Workbench> WB = Workbench::fromFiles({"richards.mica"}, Err);
+  ASSERT_TRUE(WB) << Err;
+  WB->setTier(ExecTier::Bytecode);
+  std::shared_ptr<const CompiledSnapshot> Snap =
+      WB->buildSnapshot(Config::Base, Err, {}, {}, WB);
+  ASSERT_TRUE(Snap) << Err;
+
+  std::atomic<size_t> Completions{0};
+  std::atomic<size_t> Accepted{0}, RefusedClosed{0}, Other{0};
+  {
+    ServeEngine::Options EO;
+    EO.Threads = 1;
+    EO.QueueCapacity = 2;
+    ServeEngine Engine(EO,
+                       [&](ServeEngine::Completion &&) { ++Completions; });
+
+    std::vector<std::thread> Producers;
+    for (int P = 0; P != 2; ++P)
+      Producers.emplace_back([&, P] {
+        for (int I = 0; I != 4; ++I) {
+          ServeEngine::Job J;
+          J.Id = std::to_string(P) + "-" + std::to_string(I);
+          J.Snapshot = Snap;
+          J.Input = 1000000;
+          J.DeadlineMs = 2000;
+          switch (Engine.submit(std::move(J))) {
+          case ServeEngine::Admit::Accepted:
+            ++Accepted;
+            break;
+          case ServeEngine::Admit::Closed:
+            ++RefusedClosed;
+            break;
+          default:
+            ++Other;
+            break;
+          }
+        }
+      });
+
+    // Let the producers fill the queue and block, then drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Engine.cancelInFlight();
+    Engine.shutdown(/*CancelQueued=*/true);
+    for (std::thread &T : Producers)
+      T.join();
+
+    ServeEngine::Job Late;
+    Late.Id = "late";
+    Late.Snapshot = Snap;
+    Late.Input = 10;
+    EXPECT_EQ(Engine.submit(std::move(Late)), ServeEngine::Admit::Closed);
+  }
+  EXPECT_EQ(Other.load(), 0u);
+  EXPECT_EQ(Accepted.load() + RefusedClosed.load(), 8u)
+      << "every producer submit got a definite verdict";
+  EXPECT_GE(RefusedClosed.load(), 1u)
+      << "at least one blocked producer was released by the drain";
+  EXPECT_EQ(Completions.load(), Accepted.load())
+      << "every accepted job completed (ran, trapped, or was dropped "
+         "Cancelled) — none lost, none duplicated";
 }
 
 TEST(SnapshotCacheTest, BuildsOnceAcrossThreads) {

@@ -136,6 +136,24 @@ TEST(Trap, HeapLimitExceeded) {
              TrapKind::HeapLimitExceeded, "heap", 0, L);
 }
 
+TEST(Trap, MemoryBudgetExceeded) {
+  ResourceLimits L;
+  L.MaxBytes = 4096;
+  expectTrap("method main(n@Int) { while (true) { array(4); } }",
+             TrapKind::MemoryBudgetExceeded, "memory budget", 0, L);
+}
+
+// The byte budget is checked with the incoming allocation's exact size,
+// so one huge array traps immediately — an object-count limit would let
+// it through (it is a single object).
+TEST(Trap, MemoryBudgetCatchesSingleHugeAllocation) {
+  ResourceLimits L;
+  L.MaxBytes = 65536;
+  L.MaxObjects = 100; // would permit it: it is one object
+  expectTrap("method main(n@Int) { array(1000000); }",
+             TrapKind::MemoryBudgetExceeded, "memory budget", 0, L);
+}
+
 //===----------------------------------------------------------------------===//
 // The recursion guard: the headline robustness property.  A ten-million
 // deep recursion must trap at the configured depth, in every build mode
@@ -246,6 +264,7 @@ TEST(Trap, ExitCodesAreStable) {
   EXPECT_EQ(trapExitCode(TrapKind::RecursionLimitExceeded), 21);
   EXPECT_EQ(trapExitCode(TrapKind::HeapLimitExceeded), 22);
   EXPECT_EQ(trapExitCode(TrapKind::DeadlineExceeded), 23);
+  EXPECT_EQ(trapExitCode(TrapKind::MemoryBudgetExceeded), 24);
   EXPECT_EQ(trapExitCode(TrapKind::BindingViolation), 70);
   EXPECT_EQ(trapExitCode(TrapKind::InternalError), 70);
 }
@@ -256,23 +275,45 @@ TEST(Trap, KindNamesAreStable) {
                "recursion-limit-exceeded");
   EXPECT_STREQ(trapKindName(TrapKind::DeadlineExceeded),
                "deadline-exceeded");
+  EXPECT_STREQ(trapKindName(TrapKind::MemoryBudgetExceeded),
+               "memory-budget-exceeded");
 }
 
 TEST(Trap, ExitCodesRoundTripThroughKind) {
-  // Supervisors (micad) classify workers by exit code; every trap kind
-  // must survive the round trip, and non-trap codes map to None.
-  for (TrapKind K :
-       {TrapKind::TypeError, TrapKind::NoApplicableMethod,
-        TrapKind::AmbiguousDispatch, TrapKind::IndexOutOfBounds,
-        TrapKind::DivisionByZero, TrapKind::UndefinedSlot,
-        TrapKind::ArityMismatch, TrapKind::UserAbort,
-        TrapKind::NodeBudgetExceeded, TrapKind::RecursionLimitExceeded,
-        TrapKind::HeapLimitExceeded, TrapKind::DeadlineExceeded})
-    EXPECT_EQ(trapKindForExitCode(trapExitCode(K)), K);
-  EXPECT_EQ(trapKindForExitCode(0), TrapKind::None);
-  EXPECT_EQ(trapKindForExitCode(1), TrapKind::None);
-  EXPECT_EQ(trapKindForExitCode(2), TrapKind::None);
-  EXPECT_EQ(trapKindForExitCode(70), TrapKind::InternalError);
+  // Supervisors (micad) classify workers by exit code; EVERY trap kind
+  // must survive the round trip.  BindingViolation shares 70 with
+  // InternalError on purpose (both are "the implementation is wrong")
+  // and collapses to InternalError on the way back.
+  const TrapKind AllKinds[] = {
+      TrapKind::TypeError,        TrapKind::NoApplicableMethod,
+      TrapKind::AmbiguousDispatch, TrapKind::IndexOutOfBounds,
+      TrapKind::DivisionByZero,   TrapKind::UndefinedSlot,
+      TrapKind::ArityMismatch,    TrapKind::UserAbort,
+      TrapKind::NodeBudgetExceeded, TrapKind::RecursionLimitExceeded,
+      TrapKind::HeapLimitExceeded, TrapKind::DeadlineExceeded,
+      TrapKind::MemoryBudgetExceeded, TrapKind::BindingViolation,
+      TrapKind::InternalError,
+  };
+  for (TrapKind K : AllKinds) {
+    TrapKind Back = trapKindForExitCode(trapExitCode(K));
+    if (K == TrapKind::BindingViolation)
+      EXPECT_EQ(Back, TrapKind::InternalError);
+    else
+      EXPECT_EQ(Back, K) << "kind " << trapKindName(K);
+  }
+  // The whole 8-bit exit-code space: every code that classifies as a trap
+  // maps back to the same code, and the trap codes are exactly the
+  // documented set — program errors 10-17, resource guards 20-24,
+  // internal 70.  Everything else (success, diagnostics, usage, signals)
+  // is None.
+  for (int Code = 0; Code != 256; ++Code) {
+    TrapKind K = trapKindForExitCode(Code);
+    bool IsTrapCode =
+        (Code >= 10 && Code <= 17) || (Code >= 20 && Code <= 24) || Code == 70;
+    EXPECT_EQ(K != TrapKind::None, IsTrapCode) << "exit code " << Code;
+    if (K != TrapKind::None)
+      EXPECT_EQ(trapExitCode(K), Code) << "exit code " << Code;
+  }
 }
 
 //===----------------------------------------------------------------------===//

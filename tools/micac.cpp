@@ -70,6 +70,7 @@
 #include "profile/ProfileDb.h"
 #include "specialize/Directives.h"
 #include "support/FailPoint.h"
+#include "support/MemoryBudget.h"
 #include "support/Metrics.h"
 #include "support/PhaseTimer.h"
 #include "support/TraceEmitter.h"
@@ -121,7 +122,8 @@ const CancelToken *ActiveCancel = nullptr;
       "  --tier NAME  --dump-bytecode\n"
       "  --no-cascade  --no-stdlib  --feedback  --return-classes\n"
       "  --stats  --time-report  --db FILE  --profile-db FILE\n"
-      "  --max-depth N  --max-nodes N  --max-objects N  --deadline-ms N\n"
+      "  --max-depth N  --max-nodes N  --max-objects N  --max-bytes N\n"
+      "  --deadline-ms N\n"
       "  --metrics-json FILE  --trace-out FILE\n";
   std::exit(2);
 }
@@ -151,6 +153,9 @@ CliOptions parseArgs(int Argc, char **Argv) {
     usage();
   CliOptions O;
   O.Command = Argv[1];
+  // Environment default for the byte budget; an explicit --max-bytes
+  // below overrides it.
+  O.Limits.MaxBytes = membudget::maxBytesFromEnv(O.Limits.MaxBytes);
   for (int I = 2; I < Argc; ++I) {
     std::string A = Argv[I];
     auto NextValue = [&]() -> std::string {
@@ -180,6 +185,10 @@ CliOptions parseArgs(int Argc, char **Argv) {
       O.Limits.MaxObjects = parseIntArg<uint64_t>(NextValue(), "--max-objects");
       if (O.Limits.MaxObjects == 0)
         usage("--max-objects must be at least 1");
+    } else if (A == "--max-bytes") {
+      O.Limits.MaxBytes = parseIntArg<uint64_t>(NextValue(), "--max-bytes");
+      if (O.Limits.MaxBytes == 0)
+        usage("--max-bytes must be at least 1");
     } else if (A == "--deadline-ms") {
       O.DeadlineMs = parseIntArg<int64_t>(NextValue(), "--deadline-ms");
       if (O.DeadlineMs <= 0)

@@ -24,7 +24,9 @@
 /// Keys: src (required), id, config (base|cust|cust-mm|cha|selective),
 /// input, profile-input, deadline-ms, retries, inject (SELSPEC_FAILPOINTS
 /// syntax, armed in the worker on the FIRST attempt only — injected faults
-/// model transient failures), max-depth, max-nodes, max-objects.
+/// model transient failures), max-depth, max-nodes, max-objects,
+/// max-bytes (per-job modeled-byte budget; the server default comes from
+/// --max-bytes or the SELSPEC_MAX_BYTES environment variable).
 ///
 /// Supervision: the worker runs the whole pipeline in-process with the
 /// job's resource guards and a cooperative deadline token; the parent
@@ -41,7 +43,8 @@
 ///
 /// outcome is one of: "ok", "retried(n)" (ok after n retries),
 /// "trap:<kind>", "timeout", "cancelled" (shutdown drained the job before
-/// it ran), "gave-up".  Signalled workers also report "signal":N.
+/// it ran), "shed" (admission control refused the job under overload; see
+/// --shed below), "gave-up".  Signalled workers also report "signal":N.
 /// Workers that exited (rather than being killed) also report
 /// "metrics":{...} — in fork isolation the worker's own counter registry
 /// (dispatcher.*, interp.*, ...) shipped back over a pipe; in thread
@@ -83,14 +86,35 @@
 /// stream).  micad arms SELSPEC_FAILPOINTS at startup, so soaks can arm
 /// adaptive failpoints process-wide without per-job inject=.
 ///
+/// Overload resilience (thread isolation; DESIGN.md section 13): --shed
+/// turns on deadline-aware admission — a job whose estimated queue wait
+/// already exceeds its deadline is refused up front with outcome "shed"
+/// instead of timing out after burning a pool slot — and
+/// --max-submit-wait-ms bounds how long a full queue backpressures the
+/// accept loop before shedding.  Sustained queue/memory pressure also
+/// drives a brown-out ladder (driver/Overload.h) that progressively turns
+/// off arc collection, then respecialization, then degrades new Selective
+/// snapshot builds to CHA, recovering in reverse as pressure clears.  A
+/// source whose jobs repeatedly trap on resource guards or injected
+/// faults is quarantined (driver/Quarantine.h): its later jobs reroute to
+/// the crash-proof fork path (counted by serve.quarantined) so one poison
+/// input cannot destabilize the shared pool.
+///
 /// Options:
 ///   --default-deadline-ms N   deadline for jobs that set none   [10000]
 ///   --default-retries N       retry budget default (fork)       [1]
 ///   --grace-ms N              SIGKILL lag past the deadline     [500]
 ///   --max-line-bytes N        reject longer request lines       [65536]
+///   --max-bytes N             modeled-byte budget default for jobs that
+///                             set no max-bytes= (SELSPEC_MAX_BYTES)
 ///   --threads N               in-process pool width             [1]
 ///   --isolation thread|fork   job isolation mechanism           [fork]
 ///   --queue-capacity N        thread-mode submit backpressure   [4*threads]
+///   --shed                    deadline-aware admission control  [off]
+///   --max-submit-wait-ms N    shed after waiting this long on a full
+///                             queue (-1 = block indefinitely)   [-1]
+///   --brownout-mem-bytes N    modeled live bytes driving the brown-out
+///                             ladder's memory signal            [0=off]
 ///   --metrics-json FILE       write the server's counter registry on exit
 ///   --adaptive                online respecialization (thread isolation)
 ///   --canary-fraction F       candidate's canary traffic share  [0.25]
@@ -102,12 +126,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Adaptive.h"
+#include "driver/Overload.h"
 #include "driver/Pipeline.h"
+#include "driver/Quarantine.h"
 #include "driver/Serve.h"
 #include "driver/Snapshot.h"
 #include "interp/RuntimeTrap.h"
 #include "profile/ProfileDb.h"
 #include "support/FailPoint.h"
+#include "support/MemoryBudget.h"
 #include "support/Metrics.h"
 
 #include <cerrno>
@@ -141,9 +168,13 @@ struct ServerOptions {
   int DefaultRetries = 1;
   int64_t GraceMs = 500;
   size_t MaxLineBytes = 65536;
+  uint64_t DefaultMaxBytes = ResourceLimits().MaxBytes;
   unsigned Threads = 1;
   Isolation Iso = Isolation::Fork;
   size_t QueueCapacity = 0; // 0 = 4 * Threads
+  bool Shed = false;
+  int64_t MaxSubmitWaitMs = -1;
+  uint64_t BrownoutMemBytes = 0;
   std::string MetricsJsonPath;
   bool Adaptive = false;
   double CanaryFraction = 0.25;
@@ -200,6 +231,9 @@ metrics::Counter CtrGaveUp("micad.gave_up");
 metrics::Counter CtrRejected("micad.rejected");
 metrics::Counter CtrCancelled("micad.cancelled");
 metrics::Counter CtrAdaptiveRetries("micad.adaptive_retries");
+metrics::Counter CtrShed("micad.shed");
+metrics::Counter CtrQuarantined("serve.quarantined");
+metrics::Counter CtrDegradedBuilds("serve.degraded_builds");
 
 struct Job {
   std::string Id;
@@ -209,6 +243,7 @@ struct Job {
   int64_t ProfileInput = -1;
   int64_t DeadlineMs = -1; // -1 = server default
   int Retries = -1;        // -1 = server default
+  int64_t MaxBytes = -1;   // -1 = server default (--max-bytes / env)
   std::string Inject;
   ResourceLimits Limits;
 };
@@ -218,16 +253,18 @@ struct Job {
     std::cerr << "micad: " << Message << "\n\n";
   std::cerr << "usage: micad [jobs-file] [--default-deadline-ms N]\n"
                "             [--default-retries N] [--grace-ms N]\n"
-               "             [--max-line-bytes N] [--metrics-json FILE]\n"
+               "             [--max-line-bytes N] [--max-bytes N]\n"
+               "             [--metrics-json FILE]\n"
                "             [--threads N] [--isolation thread|fork]\n"
-               "             [--queue-capacity N]\n"
+               "             [--queue-capacity N] [--shed]\n"
+               "             [--max-submit-wait-ms N] [--brownout-mem-bytes N]\n"
                "             [--adaptive] [--canary-fraction F]\n"
                "             [--respecialize-interval MS] [--arc-threshold N]\n"
                "             [--arc-sample N] [--profile-db FILE]\n"
                "jobs are key=value lines: src= id= config= input= "
                "profile-input=\n"
                "  deadline-ms= retries= inject= max-depth= max-nodes= "
-               "max-objects=\n";
+               "max-objects= max-bytes=\n";
   std::exit(2);
 }
 
@@ -272,6 +309,7 @@ bool parseJob(const std::string &Line, Job &J, std::string &ErrorOut) {
     else if (Key == "max-depth") Ok = parseInt(Val, J.Limits.MaxDepth);
     else if (Key == "max-nodes") Ok = parseInt(Val, J.Limits.MaxNodes);
     else if (Key == "max-objects") Ok = parseInt(Val, J.Limits.MaxObjects);
+    else if (Key == "max-bytes") Ok = parseInt(Val, J.MaxBytes) && J.MaxBytes >= 0;
     else {
       ErrorOut = "unknown key '" + Key + "'";
       return false;
@@ -536,6 +574,8 @@ void runJob(Job J, const ServerOptions &O, size_t LineNo) {
     J.DeadlineMs = O.DefaultDeadlineMs;
   if (J.Retries < 0)
     J.Retries = O.DefaultRetries;
+  J.Limits.MaxBytes =
+      J.MaxBytes >= 0 ? static_cast<uint64_t>(J.MaxBytes) : O.DefaultMaxBytes;
 
   CtrJobs.add();
   AttemptResult Last;
@@ -624,10 +664,21 @@ public:
   /// (incumbent or canarying candidate) serves this job and whether its
   /// arcs feed the live profile.
   void dispatch(Job J, const ServerOptions &O, size_t LineNo) {
+    // Crash quarantine: a source whose jobs repeatedly trapped on guards
+    // or injected faults reroutes to fork isolation, exactly like inject=
+    // jobs — its failure mode is proven, so it pays for its own isolation
+    // instead of sharing the pool.  runJob re-applies the defaults.
+    if (Quar.isQuarantined(J.Src)) {
+      CtrQuarantined.add();
+      runJob(std::move(J), O, LineNo);
+      return;
+    }
     if (J.Id.empty())
       J.Id = "line-" + std::to_string(LineNo);
     if (J.DeadlineMs < 0)
       J.DeadlineMs = O.DefaultDeadlineMs;
+    J.Limits.MaxBytes =
+        J.MaxBytes >= 0 ? static_cast<uint64_t>(J.MaxBytes) : O.DefaultMaxBytes;
     CtrJobs.add();
 
     PendingJob PJ;
@@ -658,12 +709,41 @@ public:
     SJ.CollectMetricsDelta = true;
     SJ.CollectArcs = PJ.T.SampleArcs;
     PJ.J = std::move(J);
+    uint64_t Ticket = NextTicket++;
     {
       std::lock_guard<std::mutex> Lock(PendingM);
-      Pending.emplace(NextTicket, std::move(PJ));
+      Pending.emplace(Ticket, std::move(PJ));
     }
-    ++NextTicket;
-    Engine.submit(std::move(SJ));
+    ServeEngine::Admit A = Engine.submit(std::move(SJ));
+    if (A == ServeEngine::Admit::Accepted)
+      return;
+    // Refused at admission: reclaim the pending entry and give the job a
+    // definite outcome anyway.
+    PendingJob Dropped;
+    {
+      std::lock_guard<std::mutex> Lock(PendingM);
+      auto It = Pending.find(Ticket);
+      if (It == Pending.end())
+        return;
+      Dropped = std::move(It->second);
+      Pending.erase(It);
+    }
+    // A shed canary ticket still owes the controller a canary completion
+    // (issuance is bounded by CanaryJobs, so a dropped report would
+    // starve the verdict forever); charge it as a routing failure,
+    // exactly like the adaptive.canary failpoint.
+    if (Dropped.Ctrl && Dropped.T.Canary)
+      Dropped.Ctrl->report(Dropped.T, /*Ok=*/false, /*Cycles=*/0, nullptr);
+    AttemptResult R;
+    if (A == ServeEngine::Admit::Shed) {
+      CtrShed.add();
+      R.K = AttemptResult::Rejected;
+      emitResult(Dropped.J, "shed", 0, R);
+    } else {
+      CtrCancelled.add();
+      R.K = AttemptResult::Cancelled;
+      emitResult(Dropped.J, "cancelled", 0, R);
+    }
   }
 
   /// SIGHUP: ask every controller to respecialize now.
@@ -691,6 +771,8 @@ private:
     EO.Threads = O.Threads;
     EO.QueueCapacity =
         O.QueueCapacity ? O.QueueCapacity : static_cast<size_t>(O.Threads) * 4;
+    EO.DeadlineAwareAdmission = O.Shed;
+    EO.MaxSubmitWaitMs = O.MaxSubmitWaitMs;
     return EO;
   }
 
@@ -719,8 +801,16 @@ private:
         return nullptr;
       WB->setLimits(Lim);
       WB->profile().merge(Prof);
+      // Brown-out rung 3: under sustained pressure a rebuild settles for
+      // the cheapest compile that still serves; the next build after the
+      // ladder recovers is Selective again.
+      Config UseCfg = Cfg;
+      if (UseCfg == Config::Selective && overload::degradeToCha()) {
+        UseCfg = Config::CHA;
+        CtrDegradedBuilds.add();
+      }
       std::shared_ptr<const CompiledSnapshot> S =
-          WB->buildSnapshot(Cfg, E, {}, {}, WB);
+          WB->buildSnapshot(UseCfg, E, {}, {}, WB);
       std::string D = WB->diagnostics().toString();
       if (!D.empty())
         std::cerr << D;
@@ -756,22 +846,31 @@ private:
 
   std::shared_ptr<const CompiledSnapshot> snapshotFor(const Job &J,
                                                       std::string &Err) {
+    // Brown-out rung 3: a Selective job arriving while the ladder sits at
+    // cha-only gets the CHA snapshot instead — keyed as CHA, so it shares
+    // the artifact with genuine CHA jobs and a later Selective request
+    // after recovery builds the real thing fresh.
+    Config EffCfg = J.Configuration;
+    if (EffCfg == Config::Selective && overload::degradeToCha())
+      EffCfg = Config::CHA;
     std::string Key = SnapshotCache::makeKey(
-        {J.Src}, J.Configuration, defaultTier(), std::to_string(J.ProfileInput));
+        {J.Src}, EffCfg, defaultTier(), std::to_string(J.ProfileInput));
     return Cache.getOrBuild(
         Key,
         [&](std::string &E) -> std::shared_ptr<const CompiledSnapshot> {
+          if (EffCfg != J.Configuration)
+            CtrDegradedBuilds.add();
           std::shared_ptr<Workbench> WB = Workbench::fromFiles({J.Src}, E);
           if (!WB)
             return nullptr;
           WB->setLimits(J.Limits);
-          if (J.Configuration == Config::Selective &&
+          if (EffCfg == Config::Selective &&
               !WB->collectProfile(J.ProfileInput, E))
             return nullptr;
           // The snapshot keeps its workbench alive (profile, AST) for as
           // long as any thread still runs jobs against it.
           std::shared_ptr<const CompiledSnapshot> S =
-              WB->buildSnapshot(J.Configuration, E, {}, {}, WB);
+              WB->buildSnapshot(EffCfg, E, {}, {}, WB);
           std::string D = WB->diagnostics().toString();
           if (!D.empty())
             std::cerr << D;
@@ -855,6 +954,10 @@ private:
       emitResult(J, "timeout", Attempts, R);
     } else if (JR->Trap.isTrap()) {
       CtrTrap.add();
+      if (Quar.recordTrap(J.Src, JR->Trap.Kind))
+        std::cerr << "micad: quarantining '" << J.Src << "' after repeated "
+                  << trapKindName(JR->Trap.Kind)
+                  << " traps; its jobs now take the fork path\n";
       R.K = AttemptResult::Trap;
       R.TheTrap = JR->Trap.Kind;
       R.ExitCode = trapExitCode(JR->Trap.Kind);
@@ -883,11 +986,15 @@ private:
   std::mutex PendingM;
   std::unordered_map<uint64_t, PendingJob> Pending;
   uint64_t NextTicket = 1;
+  CrashQuarantine Quar;
   ServeEngine Engine; // last: its threads may call emit() immediately
 };
 
 ServerOptions parseArgs(int Argc, char **Argv) {
   ServerOptions O;
+  // Environment default for the per-job byte budget; --max-bytes and the
+  // per-job max-bytes= key override it in that order.
+  O.DefaultMaxBytes = membudget::maxBytesFromEnv(O.DefaultMaxBytes);
   bool IsolationExplicit = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -923,6 +1030,14 @@ ServerOptions parseArgs(int Argc, char **Argv) {
       O.GraceMs = NextInt("--grace-ms");
     else if (A == "--max-line-bytes")
       O.MaxLineBytes = static_cast<size_t>(NextInt("--max-line-bytes"));
+    else if (A == "--max-bytes")
+      O.DefaultMaxBytes = static_cast<uint64_t>(NextInt("--max-bytes"));
+    else if (A == "--shed")
+      O.Shed = true;
+    else if (A == "--max-submit-wait-ms")
+      O.MaxSubmitWaitMs = NextInt("--max-submit-wait-ms");
+    else if (A == "--brownout-mem-bytes")
+      O.BrownoutMemBytes = static_cast<uint64_t>(NextInt("--brownout-mem-bytes"));
     else if (A == "--threads") {
       O.Threads = static_cast<unsigned>(NextInt("--threads"));
       if (O.Threads < 1)
@@ -980,6 +1095,15 @@ ServerOptions parseArgs(int Argc, char **Argv) {
 
 int main(int Argc, char **Argv) {
   ServerOptions O = parseArgs(Argc, Argv);
+
+  // Install the brown-out policy before any serving machinery observes
+  // pressure; servers log transitions (one line each, rare by design).
+  {
+    overload::Policy OP;
+    OP.MemHighBytes = O.BrownoutMemBytes;
+    OP.LogTransitions = true;
+    overload::setPolicy(OP);
+  }
 
   // A worker's death must never take the server with it.
   signal(SIGPIPE, SIG_IGN);

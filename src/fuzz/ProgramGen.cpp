@@ -256,3 +256,106 @@ std::string selspec::fuzz::generateProgram(uint64_t Seed) {
   OS << "  0;\n}\n";
   return OS.str();
 }
+
+std::string selspec::fuzz::generateHierarchyProgram(const HierarchySpec &Spec) {
+  Rng R(Spec.Seed);
+  unsigned NumClasses = Spec.Classes < 2 ? 2 : Spec.Classes;
+  unsigned Depth = Spec.Depth < 2 ? 2 : Spec.Depth;
+  unsigned Fanout = Spec.Fanout < 1 ? 1 : Spec.Fanout;
+
+  // Tree shape, built in DFS preorder: Path holds the ancestors of the
+  // next class, so attaching to Path.back() keeps emission order equal
+  // to a DFS preorder of the finished tree (and therefore ClassIds equal
+  // to the hierarchy's preorder numbers — builtins are leaves declared
+  // first, synthesized classes follow in preorder).
+  std::vector<unsigned> Parent(NumClasses, 0);
+  std::vector<unsigned> SecondParent(NumClasses, UINT32_MAX);
+  std::vector<unsigned> NumChildren(NumClasses, 0);
+  std::vector<unsigned> Path{0};
+  for (unsigned I = 1; I != NumClasses; ++I) {
+    while (Path.size() > 1 &&
+           (Path.size() >= Depth || NumChildren[Path.back()] >= Fanout ||
+            R.chance(100 / Depth)))
+      Path.pop_back();
+    unsigned P = Path.back();
+    Parent[I] = P;
+    ++NumChildren[P];
+    if (Spec.MultiParentPercent != 0 && I > 1 &&
+        R.chance(Spec.MultiParentPercent)) {
+      unsigned S = R.below(I);
+      if (S != P) {
+        SecondParent[I] = S;
+        // Diamond edges count as children too: method leaves must have
+        // no descendants at all, or two method classes could become
+        // ancestor-related and a megamorphic dispatch ambiguous.
+        ++NumChildren[S];
+      }
+    }
+    Path.push_back(I);
+  }
+
+  // Method-bearing leaves: evenly spaced over the leaf list so the k-way
+  // fanout spans the whole tree instead of clustering in one subtree.
+  std::vector<unsigned> Leaves;
+  for (unsigned I = 1; I != NumClasses; ++I)
+    if (NumChildren[I] == 0)
+      Leaves.push_back(I);
+  unsigned K = Spec.MethodLeaves < 1 ? 1 : Spec.MethodLeaves;
+  if (K > Leaves.size())
+    K = static_cast<unsigned>(Leaves.size());
+  std::vector<unsigned> MethodClasses;
+  for (unsigned J = 0; J != K; ++J)
+    MethodClasses.push_back(
+        Leaves[static_cast<size_t>(J) * Leaves.size() / K]);
+
+  unsigned NumGenerics = Spec.Generics < 1 ? 1 : Spec.Generics;
+
+  std::ostringstream OS;
+  for (unsigned I = 0; I != NumClasses; ++I) {
+    OS << "class H" << I;
+    if (I != 0) {
+      OS << " isa H" << Parent[I];
+      if (SecondParent[I] != UINT32_MAX)
+        OS << ", H" << SecondParent[I];
+    }
+    if (R.chance(25))
+      OS << " { slot f" << R.below(3) << "; }";
+    OS << ";\n";
+  }
+  OS << '\n';
+
+  // One method per (generic, method leaf); bodies return distinct
+  // constants so the printed checksum separates misdispatches.
+  for (unsigned G = 0; G != NumGenerics; ++G) {
+    for (unsigned J = 0; J != K; ++J)
+      OS << "method g" << G << "(x@H" << MethodClasses[J] << ") { "
+         << (G * K + J + 1) << "; }\n";
+    OS << '\n';
+  }
+
+  OS << "method fill(objs@Array) {\n";
+  for (unsigned J = 0; J != K; ++J)
+    OS << "  atPut(objs, " << J << ", new H" << MethodClasses[J] << ");\n";
+  OS << "  objs;\n}\n\n";
+
+  // The megamorphic driver: every iteration dispatches each generic on a
+  // rotating Array element, so the receiver is statically unknown and
+  // dynamically cycles through all K method classes.
+  OS << "method spin(objs@Array, n@Int) {\n"
+     << "  let acc := 0;\n"
+     << "  let i := 0;\n"
+     << "  while (i < n) {\n";
+  for (unsigned G = 0; G != NumGenerics; ++G)
+    OS << "    acc := acc + g" << G << "(at(objs, (i + " << G << ") % " << K
+       << "));\n";
+  OS << "    i := i + 1;\n"
+     << "  }\n"
+     << "  acc;\n}\n\n";
+
+  OS << "method main(n@Int) {\n"
+     << "  let objs := array(" << K << ");\n"
+     << "  fill(objs);\n"
+     << "  print(spin(objs, n));\n"
+     << "  0;\n}\n";
+  return OS.str();
+}

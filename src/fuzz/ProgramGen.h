@@ -39,8 +39,20 @@ public:
     return Z ^ (Z >> 31);
   }
 
-  /// Uniform in [0, N); N must be nonzero.
-  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+  /// Uniform in [0, N); N must be nonzero.  Rejection sampling: a raw
+  /// draw landing in the top partial bucket [2^64 - 2^64 % N, 2^64) would
+  /// over-weight the low residues, so it is redrawn.  The first accepted
+  /// draw returns exactly the old `next() % N`, so every logged seed
+  /// replays its historical sequence (a redraw needs a draw within
+  /// N/2^64 of the top — never observed for N below 2^32).
+  uint32_t below(uint32_t N) {
+    uint64_t Rem = (0 - uint64_t(N)) % N;
+    uint64_t V = next();
+    if (Rem != 0)
+      while (V > UINT64_MAX - Rem)
+        V = next();
+    return static_cast<uint32_t>(V % N);
+  }
 
   /// True with probability Percent/100.
   bool chance(uint32_t Percent) { return below(100) < Percent; }
@@ -53,6 +65,40 @@ private:
 /// \p Seed.  Output parses cleanly for most seeds; resolution or runtime
 /// failures are expected and in-scope for the harness.
 std::string generateProgram(uint64_t Seed);
+
+/// Knobs for the structured hierarchy synthesizer.  Unlike
+/// generateProgram's grab-bag modules, the output here always resolves
+/// and runs cleanly: a single-rooted class tree of roughly \p Classes
+/// classes shaped by depth/fanout draws, \p MethodLeaves leaf classes
+/// carrying one method per generic, and megamorphic driver loops that
+/// cycle all \p MethodLeaves receivers through every generic's call
+/// site (a k-way fanout no static analysis can devirtualize).  Classes
+/// are emitted in DFS preorder, so ClassIds coincide with the
+/// hierarchy's preorder numbering and cones stay single intervals.
+struct HierarchySpec {
+  /// Total synthesized classes (the builtins come on top).
+  unsigned Classes = 100;
+  /// Maximum inheritance depth of the synthesized tree.
+  unsigned Depth = 8;
+  /// Maximum children per synthesized class.
+  unsigned Fanout = 8;
+  /// Percent of classes that also inherit a second, earlier class
+  /// (inheritance diamonds; breaks the preorder == id fast path on
+  /// purpose when nonzero).
+  unsigned MultiParentPercent = 0;
+  /// Leaf classes that carry methods and flow through the megamorphic
+  /// call sites (the k-way fanout; clamped to the available leaves).
+  unsigned MethodLeaves = 16;
+  /// Generic functions dispatched at the megamorphic sites.
+  unsigned Generics = 4;
+  uint64_t Seed = 1;
+};
+
+/// Generates the Mica module described by \p Spec.  Deterministic in
+/// Spec (including Seed); `main(n)` executes ~n megamorphic dispatches
+/// per generic and prints a checksum that is identical across configs
+/// and tiers.
+std::string generateHierarchyProgram(const HierarchySpec &Spec);
 
 } // namespace fuzz
 } // namespace selspec

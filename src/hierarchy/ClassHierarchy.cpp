@@ -6,7 +6,11 @@
 
 #include "hierarchy/ClassHierarchy.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 using namespace selspec;
@@ -44,16 +48,81 @@ ClassId ClassHierarchy::lookup(Symbol Name) const {
 
 void ClassHierarchy::finalize() {
   unsigned N = size();
-  Cones.assign(N, ClassSet(N));
-  // Process classes in reverse id order: parents always have smaller ids
-  // than children (addClass requires parents to exist), so children's
-  // cones are complete when a parent is reached.
-  for (unsigned I = N; I-- > 0;) {
-    ClassSet &Cone = Cones[I];
-    Cone.insert(ClassId(I));
-    for (ClassId Child : Classes[I].Children)
-      Cone |= Cones[Child.value()];
+
+  // DFS preorder numbering over the spanning tree of first visits
+  // (iterative: a 10k-class chain must not overflow the native stack).
+  // Every class is reachable from the root because addClass gives each
+  // non-root class at least one parent.
+  PreOf.assign(N, UINT32_MAX);
+  ClassAtPre.assign(N, UINT32_MAX);
+  if (N != 0) {
+    uint32_t NextPre = 0;
+    std::vector<uint32_t> Stack;
+    Stack.push_back(0);
+    while (!Stack.empty()) {
+      uint32_t C = Stack.back();
+      Stack.pop_back();
+      if (PreOf[C] != UINT32_MAX)
+        continue;
+      PreOf[C] = NextPre;
+      ClassAtPre[NextPre] = C;
+      ++NextPre;
+      const std::vector<ClassId> &Kids = Classes[C].Children;
+      for (size_t I = Kids.size(); I-- > 0;)
+        Stack.push_back(Kids[I].value());
+    }
+    assert(NextPre == N && "unreachable class in hierarchy");
   }
+
+  IdOrderIsPreorder = true;
+  for (unsigned I = 0; I != N; ++I)
+    if (PreOf[I] != I) {
+      IdOrderIsPreorder = false;
+      break;
+    }
+
+  // Cone intervals, bottom-up: cone(C) = {PreOf[C]} ∪ ⋃ cone(children).
+  // Children always have larger ids than parents (addClass requires
+  // parents to exist), so reverse id order sees complete child cones.
+  // In a tree every cone coalesces to the single interval
+  // [PreOf[C], PreOf[C] + |subtree|); only inheritance diamonds add
+  // extra intervals (a multi-parent class's subtree is numbered under
+  // its first-visit parent and appears as a separate interval in the
+  // others' cones).
+  std::vector<std::vector<ClassSet::Range>> ConeRanges(N);
+  for (unsigned I = N; I-- > 0;) {
+    std::vector<ClassSet::Range> Gather;
+    Gather.push_back({PreOf[I], PreOf[I] + 1});
+    for (ClassId Child : Classes[I].Children) {
+      const auto &CR = ConeRanges[Child.value()];
+      Gather.insert(Gather.end(), CR.begin(), CR.end());
+    }
+    std::sort(Gather.begin(), Gather.end(),
+              [](const ClassSet::Range &A, const ClassSet::Range &B) {
+                return A.Lo < B.Lo || (A.Lo == B.Lo && A.Hi < B.Hi);
+              });
+    std::vector<ClassSet::Range> &Out = ConeRanges[I];
+    for (const ClassSet::Range &Rg : Gather) {
+      if (!Out.empty() && Out.back().Hi >= Rg.Lo) {
+        if (Rg.Hi > Out.back().Hi)
+          Out.back().Hi = Rg.Hi;
+      } else {
+        Out.push_back(Rg);
+      }
+    }
+  }
+
+  ConeBegin.assign(N + 1, 0);
+  for (unsigned I = 0; I != N; ++I)
+    ConeBegin[I + 1] =
+        ConeBegin[I] + static_cast<uint32_t>(ConeRanges[I].size());
+  ConePool.clear();
+  ConePool.reserve(ConeBegin[N]);
+  for (unsigned I = 0; I != N; ++I)
+    ConePool.insert(ConePool.end(), ConeRanges[I].begin(),
+                    ConeRanges[I].end());
+
+  UniverseSet = ClassSet::all(N);
 
   // Object layouts: inherited slots in parent order, then own slots, with
   // duplicates (diamond inheritance) appearing once.
@@ -74,11 +143,78 @@ void ClassHierarchy::finalize() {
     for (size_t SI = 0; SI != Info.Layout.size(); ++SI)
       SlotIndex[I].emplace(Info.Layout[SI], static_cast<int>(SI));
   }
+
   Finalized = true;
+  ++FinalizeGen;
+
+  static metrics::Counter &Finalizes = metrics::named("hierarchy.finalizes");
+  static metrics::Counter &NumClasses = metrics::named("hierarchy.classes");
+  static metrics::Counter &ConeIntervals =
+      metrics::named("hierarchy.cone_intervals");
+  static metrics::Counter &IndexBytes =
+      metrics::named("hierarchy.cone_index_bytes");
+  Finalizes.add();
+  NumClasses.set(N);
+  ConeIntervals.set(ConePool.size());
+  IndexBytes.set(coneIndexBytes());
+}
+
+void ClassHierarchy::finalizeViolation(const char *Query) const {
+  std::fprintf(stderr,
+               "fatal: ClassHierarchy::%s queried %s (finalize generation "
+               "%llu); call finalize() first\n",
+               Query,
+               FinalizeGen == 0 ? "before finalize()"
+                                : "after addClass invalidated finalize()",
+               static_cast<unsigned long long>(FinalizeGen));
+  std::fflush(stderr);
+  std::abort();
+}
+
+ClassSet ClassHierarchy::cone(ClassId C) const {
+  requireFinalized("cone");
+  assert(C.isValid() && C.value() < size() && "class out of range");
+  uint32_t Begin = ConeBegin[C.value()], End = ConeBegin[C.value() + 1];
+  std::vector<ClassSet::Range> Rs(ConePool.begin() + Begin,
+                                  ConePool.begin() + End);
+  if (IdOrderIsPreorder)
+    return ClassSet::fromRuns(size(), std::move(Rs));
+  // Preorder intervals name preorder positions; translate to ClassId
+  // space before building the set.
+  std::vector<uint32_t> Ids;
+  Ids.reserve(coneSize(C));
+  for (const ClassSet::Range &Rg : Rs)
+    for (uint32_t P = Rg.Lo; P != Rg.Hi; ++P)
+      Ids.push_back(ClassAtPre[P]);
+  std::sort(Ids.begin(), Ids.end());
+  std::vector<ClassSet::Range> Runs;
+  for (uint32_t V : Ids) {
+    if (!Runs.empty() && Runs.back().Hi == V)
+      Runs.back().Hi = V + 1;
+    else
+      Runs.push_back({V, V + 1});
+  }
+  return ClassSet::fromRuns(size(), std::move(Runs));
+}
+
+unsigned ClassHierarchy::coneSize(ClassId C) const {
+  requireFinalized("coneSize");
+  unsigned N = 0;
+  for (uint32_t I = ConeBegin[C.value()], E = ConeBegin[C.value() + 1];
+       I != E; ++I)
+    N += ConePool[I].Hi - ConePool[I].Lo;
+  return N;
+}
+
+size_t ClassHierarchy::coneIndexBytes() const {
+  return PreOf.size() * sizeof(uint32_t) +
+         ClassAtPre.size() * sizeof(uint32_t) +
+         ConeBegin.size() * sizeof(uint32_t) +
+         ConePool.size() * sizeof(ClassSet::Range);
 }
 
 int ClassHierarchy::slotIndex(ClassId C, Symbol SlotName) const {
-  assert(Finalized && "hierarchy not finalized");
+  requireFinalized("slotIndex");
   const auto &Map = SlotIndex[C.value()];
   auto It = Map.find(SlotName);
   return It == Map.end() ? -1 : It->second;

@@ -10,6 +10,18 @@
 /// queries are available; both the specialization algorithm and class
 /// hierarchy analysis are built on cones ("C and all its descendants").
 ///
+/// finalize() assigns every class a DFS preorder number over the
+/// inheritance DAG (first-visit order on a spanning tree rooted at Any)
+/// and represents each cone as a short list of half-open preorder
+/// intervals: a tree-shaped subhierarchy is exactly one interval, and a
+/// multiply-inherited class contributes the union of its preorder
+/// subtree intervals to each ancestor.  isSubclassOf is then two integer
+/// comparisons in the single-interval common case, and total cone storage
+/// is O(classes + diamond edges) instead of the O(classes²/8) bytes the
+/// previous materialized bit-vector cones cost.  cone() builds a (cheap,
+/// hybrid-representation) ClassSet view on demand, so all set-algebra
+/// clients keep working unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SELSPEC_HIERARCHY_CLASSHIERARCHY_H
@@ -63,28 +75,58 @@ public:
   const ClassInfo &info(ClassId C) const { return Classes[C.value()]; }
   ClassId root() const { return ClassId(0); }
 
-  /// Precomputes cones and layouts.  Must be called after the last
-  /// addClass and before any query below; adding classes afterwards
-  /// requires calling finalize() again.
+  /// Precomputes preorder numbering, cone intervals, and layouts.  Must be
+  /// called after the last addClass and before any query below; adding
+  /// classes afterwards requires calling finalize() again.
   void finalize();
 
   bool isFinalized() const { return Finalized; }
 
+  /// Monotonic count of completed finalize() calls.  A client that caches
+  /// cone-derived state can stamp it with this and detect staleness after
+  /// a later addClass+finalize; queries between addClass and the next
+  /// finalize trap deterministically in every build mode.
+  uint64_t finalizeGeneration() const { return FinalizeGen; }
+
   /// Reflexive subclass test: A == B or A inherits (transitively) from B.
+  /// Two integer comparisons when B's cone is a single preorder interval
+  /// (always true for tree-shaped subhierarchies).
   bool isSubclassOf(ClassId A, ClassId B) const {
-    return cone(B).contains(A);
+    requireFinalized("isSubclassOf");
+    uint32_t P = PreOf[A.value()];
+    uint32_t Begin = ConeBegin[B.value()];
+    uint32_t End = ConeBegin[B.value() + 1];
+    if (End - Begin == 1)
+      return P >= ConePool[Begin].Lo && P < ConePool[Begin].Hi;
+    for (uint32_t I = Begin; I != End; ++I)
+      if (P >= ConePool[I].Lo && P < ConePool[I].Hi)
+        return true;
+    return false;
   }
 
-  /// The cone of \p C: the set {C} ∪ descendants(C).
-  const ClassSet &cone(ClassId C) const {
-    assert(Finalized && "hierarchy not finalized");
-    return Cones[C.value()];
+  /// The cone of \p C: the set {C} ∪ descendants(C), materialized on
+  /// demand as a hybrid ClassSet (interval-backed, so a tree cone costs
+  /// O(1) bytes regardless of its member count).
+  ClassSet cone(ClassId C) const;
+
+  /// Members of cone(C) without building a set.
+  unsigned coneSize(ClassId C) const;
+
+  /// Preorder intervals backing cone(C) (introspection for tests and the
+  /// scaling benchmark; 1 for every tree-shaped cone).
+  unsigned coneIntervalCount(ClassId C) const {
+    requireFinalized("coneIntervalCount");
+    return ConeBegin[C.value() + 1] - ConeBegin[C.value()];
   }
+
+  /// Total bytes of the preorder/cone-interval index (the hierarchy-scale
+  /// benchmark's cone-memory metric).
+  size_t coneIndexBytes() const;
 
   /// The set of every class (the universe).
   const ClassSet &allClasses() const {
-    assert(Finalized && "hierarchy not finalized");
-    return Cones[0];
+    requireFinalized("allClasses");
+    return UniverseSet;
   }
 
   /// Index of slot \p SlotName in the layout of \p C, or -1.
@@ -102,14 +144,34 @@ public:
   std::string setToString(const ClassSet &S, const SymbolTable &Syms) const;
 
 private:
+  /// Checked in every build mode: querying a non-finalized hierarchy was
+  /// an out-of-bounds read in Release before; now it is a deterministic
+  /// diagnostic + trap ("diagnostic, trap, or result — never a crash").
+  void requireFinalized(const char *Query) const {
+    if (!Finalized)
+      finalizeViolation(Query);
+  }
+  [[noreturn]] void finalizeViolation(const char *Query) const;
+
   std::vector<ClassInfo> Classes;
   std::unordered_map<Symbol, ClassId> ByName;
-  /// Cones[i] = cone of class i; computed by finalize().
-  std::vector<ClassSet> Cones;
+  /// PreOf[classId] = DFS preorder number; ClassAtPre is its inverse.
+  std::vector<uint32_t> PreOf;
+  std::vector<uint32_t> ClassAtPre;
+  /// Pooled per-class cone intervals in preorder space: class C owns
+  /// ConePool[ConeBegin[C] .. ConeBegin[C+1]).
+  std::vector<uint32_t> ConeBegin;
+  std::vector<ClassSet::Range> ConePool;
+  /// True when addClass order happened to equal preorder, letting cone()
+  /// reuse the preorder intervals as ClassId intervals directly.
+  bool IdOrderIsPreorder = false;
+  /// Cached universe set (one interval).
+  ClassSet UniverseSet;
   /// Per-class slot index maps; computed by finalize().
   std::vector<std::unordered_map<Symbol, int>> SlotIndex;
   std::unordered_set<uint32_t> Sealed;
   bool Finalized = false;
+  uint64_t FinalizeGen = 0;
 };
 
 } // namespace selspec

@@ -7,12 +7,19 @@
 #include "runtime/DispatchTable.h"
 
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
 
 #include <map>
 
 using namespace selspec;
 
-DispatchTable::DispatchTable(const Program &P, GenericId G) : P(P), G(G) {
+static metrics::Counter &tableFallbacks() {
+  static metrics::Counter &C = metrics::named("dispatch.table_fallbacks");
+  return C;
+}
+
+DispatchTable::DispatchTable(const Program &P, GenericId G, size_t CellCap)
+    : P(P), G(G) {
   const GenericInfo &Info = P.generic(G);
 
   // An injected build failure takes the same degradation path as an
@@ -20,6 +27,7 @@ DispatchTable::DispatchTable(const Program &P, GenericId G) : P(P), G(G) {
   // Program::dispatch.
   if (failpoint::anyArmed() && failpoint::triggered("dispatch.table-build")) {
     Oversized = true;
+    tableFallbacks().add();
     return;
   }
 
@@ -61,17 +69,21 @@ DispatchTable::DispatchTable(const Program &P, GenericId G) : P(P), G(G) {
   // Fill the table by dispatching one representative tuple per cell.
   // Overflow-safe product: a hostile hierarchy can push the cell count
   // past any bound, in which case the table is skipped and lookups fall
-  // back to search-based dispatch.
+  // back to search-based dispatch.  The cap is inclusive (exactly CellCap
+  // cells materializes): Cells > CellCap / GC ⟺ Cells * GC > CellCap for
+  // positive integers, so the pre-check is exact, not approximate.
   size_t Cells = 1;
   for (uint32_t GC : GroupCount) {
-    if (GC != 0 && Cells > MaxCells / GC) {
+    if (GC != 0 && Cells > CellCap / GC) {
       Oversized = true;
+      tableFallbacks().add();
       return;
     }
     Cells *= GC;
   }
-  if (Cells >= MaxCells) {
+  if (Cells > CellCap) {
     Oversized = true;
+    tableFallbacks().add();
     return;
   }
   Table.assign(Cells, MethodId());
@@ -112,6 +124,8 @@ DispatchTableSet::DispatchTableSet(const Program &P) {
   Tables.reserve(P.numGenerics());
   for (unsigned GI = 0; GI != P.numGenerics(); ++GI)
     Tables.emplace_back(P, GenericId(GI));
+  static metrics::Counter &TableCells = metrics::named("dispatch.table_cells");
+  TableCells.set(totalCells());
 }
 
 size_t DispatchTableSet::totalCells() const {

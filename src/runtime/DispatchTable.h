@@ -31,19 +31,23 @@ namespace selspec {
 class DispatchTable {
 public:
   /// Builds the table for \p G by enumerating dispatch behaviors.
-  DispatchTable(const Program &P, GenericId G);
+  /// \p CellCap overrides the materialization cap (tests exercise the
+  /// overflow fallback with a small cap instead of filling 16M cells).
+  DispatchTable(const Program &P, GenericId G, size_t CellCap = MaxCells);
 
   /// The method invoked for the given argument classes, or invalid for
   /// "message not understood"/ambiguous.  Equivalent to P.dispatch().
   MethodId lookup(const std::vector<ClassId> &ArgClasses) const;
 
-  /// False when the compressed table would have exceeded MaxCells and the
-  /// table was not materialized; lookup() then answers through
+  /// False when the compressed table would have exceeded the cell cap and
+  /// the table was not materialized; lookup() then answers through
   /// Program::dispatch instead of failing.
   bool materialized() const { return !Oversized; }
 
-  /// Cap on materialized cells (64M entries ≈ 256 MiB); pathological
-  /// hierarchies fall back to search-based dispatch instead of aborting.
+  /// Cap on materialized cells, inclusive: exactly MaxCells cells still
+  /// materializes, one more falls back.  16M cells ≈ 64 MiB of MethodIds;
+  /// pathological hierarchies fall back to search-based dispatch instead
+  /// of aborting.
   static constexpr size_t MaxCells = size_t(1) << 24;
 
   /// Compression statistics.
@@ -68,7 +72,7 @@ private:
   std::vector<uint32_t> GroupCount;
   /// Row-major over group indexes.
   std::vector<MethodId> Table;
-  /// Cell count exceeded MaxCells; Table is empty, lookups re-dispatch.
+  /// Cell count exceeded the cap; Table is empty, lookups re-dispatch.
   bool Oversized = false;
 };
 

@@ -1,4 +1,4 @@
-//===- support/ClassSet.cpp - Dense bit-set over class ids ---------------===//
+//===- support/ClassSet.cpp - Hybrid set over class ids -------------------===//
 //
 // Part of the selspec project (PLDI'95 selective specialization repro).
 //
@@ -6,20 +6,86 @@
 
 #include "support/ClassSet.h"
 
+#include <algorithm>
 #include <bit>
 #include <sstream>
 
 using namespace selspec;
 
+namespace {
+
+using Range = ClassSet::Range;
+
+/// Merge two canonical run lists into their union (canonical).
+std::vector<Range> runUnion(const std::vector<Range> &A,
+                            const std::vector<Range> &B) {
+  std::vector<Range> Out;
+  Out.reserve(A.size() + B.size());
+  size_t I = 0, J = 0;
+  auto Push = [&Out](Range R) {
+    if (!Out.empty() && Out.back().Hi >= R.Lo) {
+      if (R.Hi > Out.back().Hi)
+        Out.back().Hi = R.Hi;
+    } else {
+      Out.push_back(R);
+    }
+  };
+  while (I != A.size() || J != B.size()) {
+    if (J == B.size() || (I != A.size() && A[I].Lo <= B[J].Lo))
+      Push(A[I++]);
+    else
+      Push(B[J++]);
+  }
+  return Out;
+}
+
+std::vector<Range> runIntersect(const std::vector<Range> &A,
+                                const std::vector<Range> &B) {
+  std::vector<Range> Out;
+  size_t I = 0, J = 0;
+  while (I != A.size() && J != B.size()) {
+    uint32_t Lo = std::max(A[I].Lo, B[J].Lo);
+    uint32_t Hi = std::min(A[I].Hi, B[J].Hi);
+    if (Lo < Hi)
+      Out.push_back({Lo, Hi});
+    if (A[I].Hi < B[J].Hi)
+      ++I;
+    else
+      ++J;
+  }
+  return Out;
+}
+
+std::vector<Range> runSubtract(const std::vector<Range> &A,
+                               const std::vector<Range> &B) {
+  std::vector<Range> Out;
+  size_t J = 0;
+  for (const Range &RA : A) {
+    uint32_t Lo = RA.Lo;
+    while (J != B.size() && B[J].Hi <= Lo)
+      ++J;
+    size_t K = J;
+    while (Lo < RA.Hi && K != B.size() && B[K].Lo < RA.Hi) {
+      if (B[K].Lo > Lo)
+        Out.push_back({Lo, B[K].Lo});
+      if (B[K].Hi > Lo)
+        Lo = B[K].Hi;
+      ++K;
+    }
+    if (Lo < RA.Hi)
+      Out.push_back({Lo, RA.Hi});
+  }
+  return Out;
+}
+
+} // namespace
+
 ClassSet ClassSet::all(unsigned UniverseSize) {
   ClassSet S(UniverseSize);
-  for (auto &W : S.Words)
-    W = ~uint64_t(0);
-  // Clear the bits above the universe in the last word so that equality and
-  // isAll comparisons stay canonical.
-  unsigned Tail = UniverseSize % 64;
-  if (Tail != 0 && !S.Words.empty())
-    S.Words.back() &= (uint64_t(1) << Tail) - 1;
+  if (UniverseSize != 0) {
+    S.R = Rep::Interval;
+    S.Ranges.push_back({0, UniverseSize});
+  }
   return S;
 }
 
@@ -29,66 +95,288 @@ ClassSet ClassSet::single(unsigned UniverseSize, ClassId C) {
   return S;
 }
 
+ClassSet ClassSet::fromRuns(unsigned UniverseSize, std::vector<Range> Runs) {
+  ClassSet S(UniverseSize);
+  S.adoptRuns(std::move(Runs));
+  return S;
+}
+
+bool ClassSet::contains(ClassId C) const {
+  assert(C.isValid() && C.value() < Universe && "class out of universe");
+  uint32_t V = C.value();
+  switch (R) {
+  case Rep::Dense:
+    return (Words[V / 64] >> (V % 64)) & 1;
+  case Rep::Sparse:
+    return std::binary_search(Elems.begin(), Elems.end(), V);
+  case Rep::Interval: {
+    auto It = std::upper_bound(
+        Ranges.begin(), Ranges.end(), V,
+        [](uint32_t Val, const Range &Rg) { return Val < Rg.Lo; });
+    return It != Ranges.begin() && V < (It - 1)->Hi;
+  }
+  }
+  return false;
+}
+
+void ClassSet::insert(ClassId C) {
+  assert(C.isValid() && C.value() < Universe && "class out of universe");
+  uint32_t V = C.value();
+  switch (R) {
+  case Rep::Dense:
+    Words[V / 64] |= uint64_t(1) << (V % 64);
+    return;
+  case Rep::Sparse: {
+    auto It = std::lower_bound(Elems.begin(), Elems.end(), V);
+    if (It != Elems.end() && *It == V)
+      return;
+    Elems.insert(It, V);
+    if (Elems.size() > sparseLimit(Universe))
+      becomeDense();
+    return;
+  }
+  case Rep::Interval: {
+    // First range whose Hi >= V: the only candidate that can contain V or
+    // be left-adjacent (every earlier range ends strictly before V).
+    auto It = std::lower_bound(
+        Ranges.begin(), Ranges.end(), V,
+        [](const Range &Rg, uint32_t Val) { return Rg.Hi < Val; });
+    if (It != Ranges.end() && It->Lo <= V && V < It->Hi)
+      return;
+    if (It != Ranges.end() && It->Hi == V) {
+      It->Hi = V + 1;
+      auto Next = It + 1;
+      if (Next != Ranges.end() && Next->Lo == It->Hi) {
+        It->Hi = Next->Hi;
+        Ranges.erase(Next);
+      }
+      return;
+    }
+    if (It != Ranges.end() && It->Lo == V + 1) {
+      It->Lo = V;
+      return;
+    }
+    Ranges.insert(It, {V, V + 1});
+    if (Ranges.size() > IntervalMaxRanges)
+      adoptRuns(std::move(Ranges));
+    return;
+  }
+  }
+}
+
+void ClassSet::remove(ClassId C) {
+  assert(C.isValid() && C.value() < Universe && "class out of universe");
+  uint32_t V = C.value();
+  switch (R) {
+  case Rep::Dense:
+    Words[V / 64] &= ~(uint64_t(1) << (V % 64));
+    return;
+  case Rep::Sparse: {
+    auto It = std::lower_bound(Elems.begin(), Elems.end(), V);
+    if (It != Elems.end() && *It == V)
+      Elems.erase(It);
+    return;
+  }
+  case Rep::Interval: {
+    auto It = std::lower_bound(
+        Ranges.begin(), Ranges.end(), V,
+        [](const Range &Rg, uint32_t Val) { return Rg.Hi <= Val; });
+    if (It == Ranges.end() || V < It->Lo)
+      return;
+    if (It->Lo == V) {
+      if (++It->Lo == It->Hi)
+        Ranges.erase(It);
+      return;
+    }
+    if (It->Hi == V + 1) {
+      --It->Hi;
+      return;
+    }
+    Range Right{V + 1, It->Hi};
+    It->Hi = V;
+    Ranges.insert(It + 1, Right);
+    if (Ranges.size() > IntervalMaxRanges)
+      adoptRuns(std::move(Ranges));
+    return;
+  }
+  }
+}
+
 bool ClassSet::isEmpty() const {
-  for (uint64_t W : Words)
-    if (W != 0)
-      return false;
+  switch (R) {
+  case Rep::Dense:
+    for (uint64_t W : Words)
+      if (W != 0)
+        return false;
+    return true;
+  case Rep::Sparse:
+    return Elems.empty();
+  case Rep::Interval:
+    return Ranges.empty();
+  }
   return true;
 }
 
 unsigned ClassSet::count() const {
-  unsigned N = 0;
-  for (uint64_t W : Words)
-    N += std::popcount(W);
-  return N;
+  switch (R) {
+  case Rep::Dense: {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += std::popcount(W);
+    return N;
+  }
+  case Rep::Sparse:
+    return static_cast<unsigned>(Elems.size());
+  case Rep::Interval: {
+    unsigned N = 0;
+    for (const Range &Rg : Ranges)
+      N += Rg.Hi - Rg.Lo;
+    return N;
+  }
+  }
+  return 0;
 }
 
 bool ClassSet::isAll() const { return count() == Universe; }
 
 ClassSet &ClassSet::operator&=(const ClassSet &RHS) {
   assert(Universe == RHS.Universe && "universe mismatch");
-  for (size_t I = 0, E = Words.size(); I != E; ++I)
-    Words[I] &= RHS.Words[I];
+  if (R == Rep::Dense && RHS.R == Rep::Dense) {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= RHS.Words[I];
+    return *this;
+  }
+  adoptRuns(runIntersect(runs(), RHS.runs()));
   return *this;
 }
 
 ClassSet &ClassSet::operator|=(const ClassSet &RHS) {
   assert(Universe == RHS.Universe && "universe mismatch");
-  for (size_t I = 0, E = Words.size(); I != E; ++I)
-    Words[I] |= RHS.Words[I];
+  if (R == Rep::Dense && RHS.R == Rep::Dense) {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= RHS.Words[I];
+    return *this;
+  }
+  if (R == Rep::Dense && RHS.R == Rep::Sparse) {
+    for (uint32_t V : RHS.Elems)
+      Words[V / 64] |= uint64_t(1) << (V % 64);
+    return *this;
+  }
+  adoptRuns(runUnion(runs(), RHS.runs()));
   return *this;
 }
 
 ClassSet &ClassSet::subtract(const ClassSet &RHS) {
   assert(Universe == RHS.Universe && "universe mismatch");
-  for (size_t I = 0, E = Words.size(); I != E; ++I)
-    Words[I] &= ~RHS.Words[I];
+  if (R == Rep::Dense && RHS.R == Rep::Dense) {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~RHS.Words[I];
+    return *this;
+  }
+  if (R == Rep::Dense && RHS.R == Rep::Sparse) {
+    for (uint32_t V : RHS.Elems)
+      Words[V / 64] &= ~(uint64_t(1) << (V % 64));
+    return *this;
+  }
+  adoptRuns(runSubtract(runs(), RHS.runs()));
   return *this;
+}
+
+bool ClassSet::operator==(const ClassSet &RHS) const {
+  if (Universe != RHS.Universe)
+    return false;
+  if (R == RHS.R) {
+    switch (R) {
+    case Rep::Dense:
+      return Words == RHS.Words;
+    case Rep::Sparse:
+      return Elems == RHS.Elems;
+    case Rep::Interval:
+      return Ranges == RHS.Ranges;
+    }
+  }
+  return runs() == RHS.runs();
 }
 
 bool ClassSet::isSubsetOf(const ClassSet &RHS) const {
   assert(Universe == RHS.Universe && "universe mismatch");
-  for (size_t I = 0, E = Words.size(); I != E; ++I)
-    if ((Words[I] & ~RHS.Words[I]) != 0)
+  if (R == Rep::Dense && RHS.R == Rep::Dense) {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if ((Words[I] & ~RHS.Words[I]) != 0)
+        return false;
+    return true;
+  }
+  if (R == Rep::Sparse) {
+    for (uint32_t V : Elems)
+      if (!RHS.contains(ClassId(V)))
+        return false;
+    return true;
+  }
+  // Each of our runs must fit inside a single run of RHS (RHS runs are
+  // maximal, so a covered run cannot straddle two of them).
+  std::vector<Range> AR = runs(), BR = RHS.runs();
+  size_t J = 0;
+  for (const Range &RA : AR) {
+    while (J != BR.size() && BR[J].Hi <= RA.Lo)
+      ++J;
+    if (J == BR.size() || BR[J].Lo > RA.Lo || BR[J].Hi < RA.Hi)
       return false;
+  }
   return true;
 }
 
 bool ClassSet::intersects(const ClassSet &RHS) const {
   assert(Universe == RHS.Universe && "universe mismatch");
-  for (size_t I = 0, E = Words.size(); I != E; ++I)
-    if ((Words[I] & RHS.Words[I]) != 0)
+  if (R == Rep::Dense && RHS.R == Rep::Dense) {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if ((Words[I] & RHS.Words[I]) != 0)
+        return true;
+    return false;
+  }
+  if (R == Rep::Sparse) {
+    for (uint32_t V : Elems)
+      if (RHS.contains(ClassId(V)))
+        return true;
+    return false;
+  }
+  if (RHS.R == Rep::Sparse)
+    return RHS.intersects(*this);
+  std::vector<Range> AR = runs(), BR = RHS.runs();
+  size_t I = 0, J = 0;
+  while (I != AR.size() && J != BR.size()) {
+    if (AR[I].Hi <= BR[J].Lo)
+      ++I;
+    else if (BR[J].Hi <= AR[I].Lo)
+      ++J;
+    else
       return true;
+  }
   return false;
 }
 
 std::vector<ClassId> ClassSet::members() const {
   std::vector<ClassId> Out;
   Out.reserve(count());
-  for (unsigned I = 0; I != Universe; ++I) {
-    ClassId C(I);
-    if (contains(C))
-      Out.push_back(C);
+  switch (R) {
+  case Rep::Dense:
+    for (size_t WI = 0, E = Words.size(); WI != E; ++WI) {
+      uint64_t W = Words[WI];
+      while (W != 0) {
+        Out.push_back(ClassId(static_cast<uint32_t>(WI * 64) +
+                              static_cast<uint32_t>(std::countr_zero(W))));
+        W &= W - 1;
+      }
+    }
+    break;
+  case Rep::Sparse:
+    for (uint32_t V : Elems)
+      Out.push_back(ClassId(V));
+    break;
+  case Rep::Interval:
+    for (const Range &Rg : Ranges)
+      for (uint32_t V = Rg.Lo; V != Rg.Hi; ++V)
+        Out.push_back(ClassId(V));
+    break;
   }
   return Out;
 }
@@ -96,17 +384,142 @@ std::vector<ClassId> ClassSet::members() const {
 ClassId ClassSet::getSingleElement() const {
   if (count() != 1)
     return ClassId();
-  for (unsigned I = 0; I != Universe; ++I)
-    if (contains(ClassId(I)))
-      return ClassId(I);
+  switch (R) {
+  case Rep::Dense:
+    for (size_t WI = 0, E = Words.size(); WI != E; ++WI)
+      if (Words[WI] != 0)
+        return ClassId(static_cast<uint32_t>(WI * 64) +
+                       static_cast<uint32_t>(std::countr_zero(Words[WI])));
+    break;
+  case Rep::Sparse:
+    return ClassId(Elems.front());
+  case Rep::Interval:
+    return ClassId(Ranges.front().Lo);
+  }
   return ClassId();
 }
 
 size_t ClassSet::hashValue() const {
   size_t H = Universe;
-  for (uint64_t W : Words)
-    H = H * 1000003u + std::hash<uint64_t>()(W);
+  for (const Range &Rg : runs()) {
+    H = H * 1000003u + Rg.Lo;
+    H = H * 1000003u + Rg.Hi;
+  }
   return H;
+}
+
+std::vector<ClassSet::Range> ClassSet::runs() const {
+  std::vector<Range> Out;
+  switch (R) {
+  case Rep::Dense:
+    for (size_t WI = 0, E = Words.size(); WI != E; ++WI) {
+      uint64_t W = Words[WI];
+      while (W != 0) {
+        uint32_t B = static_cast<uint32_t>(WI * 64) +
+                     static_cast<uint32_t>(std::countr_zero(W));
+        W &= W - 1;
+        if (!Out.empty() && Out.back().Hi == B)
+          Out.back().Hi = B + 1;
+        else
+          Out.push_back({B, B + 1});
+      }
+    }
+    break;
+  case Rep::Sparse:
+    for (uint32_t V : Elems) {
+      if (!Out.empty() && Out.back().Hi == V)
+        Out.back().Hi = V + 1;
+      else
+        Out.push_back({V, V + 1});
+    }
+    break;
+  case Rep::Interval:
+    Out = Ranges;
+    break;
+  }
+  return Out;
+}
+
+size_t ClassSet::memoryBytes() const {
+  switch (R) {
+  case Rep::Dense:
+    return Words.size() * sizeof(uint64_t);
+  case Rep::Sparse:
+    return Elems.size() * sizeof(uint32_t);
+  case Rep::Interval:
+    return Ranges.size() * sizeof(Range);
+  }
+  return 0;
+}
+
+void ClassSet::becomeDense() {
+  std::vector<Range> Runs = runs();
+  Words.assign((Universe + 63) / 64, 0);
+  for (const Range &Rg : Runs)
+    for (uint32_t V = Rg.Lo; V != Rg.Hi; ++V)
+      Words[V / 64] |= uint64_t(1) << (V % 64);
+  Elems.clear();
+  Elems.shrink_to_fit();
+  Ranges.clear();
+  Ranges.shrink_to_fit();
+  R = Rep::Dense;
+}
+
+void ClassSet::adoptRuns(std::vector<Range> Runs) {
+  size_t NumMembers = 0;
+  for (const Range &Rg : Runs)
+    NumMembers += Rg.Hi - Rg.Lo;
+  Words.clear();
+  Elems.clear();
+  Ranges.clear();
+  if (Runs.empty()) {
+    R = Rep::Sparse;
+    return;
+  }
+  if (Runs.size() <= IntervalMaxRanges) {
+    R = Rep::Interval;
+    Ranges = std::move(Runs);
+    return;
+  }
+  if (NumMembers <= sparseLimit(Universe)) {
+    R = Rep::Sparse;
+    Elems.reserve(NumMembers);
+    for (const Range &Rg : Runs)
+      for (uint32_t V = Rg.Lo; V != Rg.Hi; ++V)
+        Elems.push_back(V);
+    return;
+  }
+  R = Rep::Dense;
+  Words.assign((Universe + 63) / 64, 0);
+  for (const Range &Rg : Runs)
+    for (uint32_t V = Rg.Lo; V != Rg.Hi; ++V)
+      Words[V / 64] |= uint64_t(1) << (V % 64);
+}
+
+void ClassSet::convertToRepForTesting(Rep Target) {
+  if (Target == R)
+    return;
+  std::vector<Range> Runs = runs();
+  Words.clear();
+  Elems.clear();
+  Ranges.clear();
+  R = Target;
+  switch (Target) {
+  case Rep::Dense:
+    Words.assign((Universe + 63) / 64, 0);
+    for (const Range &Rg : Runs)
+      for (uint32_t V = Rg.Lo; V != Rg.Hi; ++V)
+        Words[V / 64] |= uint64_t(1) << (V % 64);
+    break;
+  case Rep::Sparse:
+    for (const Range &Rg : Runs)
+      for (uint32_t V = Rg.Lo; V != Rg.Hi; ++V)
+        Elems.push_back(V);
+    break;
+  case Rep::Interval:
+    Ranges = std::move(Runs);
+    break;
+  }
 }
 
 std::string ClassSet::toString() const {

@@ -1,4 +1,4 @@
-//===- support/ClassSet.h - Dense bit-set over class ids -------*- C++ -*-===//
+//===- support/ClassSet.h - Hybrid set over class ids ----------*- C++ -*-===//
 //
 // Part of the selspec project (PLDI'95 selective specialization repro).
 //
@@ -7,8 +7,24 @@
 /// \file
 /// ClassSet is the central value domain of the specialization framework: the
 /// paper describes every specialization as "a tuple of class sets, one class
-/// set per formal argument".  We represent a class set as a dense bit vector
-/// indexed by ClassId, sized to the hierarchy's class count.
+/// set per formal argument".
+///
+/// The representation is hybrid, chosen automatically by density so that a
+/// 10k-class universe does not cost O(universe/8) bytes per set:
+///
+///   - Sparse:   a sorted vector of member ids.  The default for small sets
+///     (an empty set allocates nothing); escalates to Dense past
+///     max(4, universe/32) members.
+///   - Interval: a sorted vector of disjoint, non-adjacent half-open
+///     [Lo, Hi) ranges.  Cones under DFS preorder numbering and the full
+///     universe are one or a few ranges regardless of class count.
+///   - Dense:    the classic bit vector over ClassIds, used once a set is
+///     genuinely dense; word-parallel fast paths kick in when both operands
+///     are Dense.
+///
+/// All observable behavior — members(), operator==, hashValue(), every set
+/// operation — is representation-independent; the representation is a pure
+/// storage decision (exposed only through the *ForTesting hooks).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,17 +40,27 @@
 
 namespace selspec {
 
-/// A set of classes, represented as a bit vector over dense ClassIds.
+/// A set of classes over a fixed universe of dense ClassIds.
 ///
 /// All binary operations require both operands to have the same universe
 /// size (they come from the same ClassHierarchy).
 class ClassSet {
 public:
+  enum class Rep : uint8_t { Dense, Sparse, Interval };
+
+  /// Half-open id range [Lo, Hi); the unit of the Interval representation
+  /// and of the canonical "run list" every representation can produce.
+  struct Range {
+    uint32_t Lo;
+    uint32_t Hi;
+    bool operator==(const Range &O) const { return Lo == O.Lo && Hi == O.Hi; }
+  };
+
   ClassSet() = default;
 
   /// Creates an empty set over a universe of \p UniverseSize classes.
-  explicit ClassSet(unsigned UniverseSize)
-      : Words((UniverseSize + 63) / 64, 0), Universe(UniverseSize) {}
+  /// Starts Sparse, so it allocates nothing until elements arrive.
+  explicit ClassSet(unsigned UniverseSize) : Universe(UniverseSize) {}
 
   /// Returns the empty set over \p UniverseSize classes.
   static ClassSet empty(unsigned UniverseSize) {
@@ -42,27 +68,21 @@ public:
   }
 
   /// Returns the full set (all classes) over \p UniverseSize classes.
+  /// One interval, independent of the universe size.
   static ClassSet all(unsigned UniverseSize);
 
   /// Returns the singleton set {C}.
   static ClassSet single(unsigned UniverseSize, ClassId C);
 
+  /// Builds a set from a canonical run list (sorted, disjoint, non-adjacent,
+  /// non-empty ranges), picking the densest-appropriate representation.
+  static ClassSet fromRuns(unsigned UniverseSize, std::vector<Range> Runs);
+
   unsigned universeSize() const { return Universe; }
 
-  bool contains(ClassId C) const {
-    assert(C.isValid() && C.value() < Universe && "class out of universe");
-    return (Words[C.value() / 64] >> (C.value() % 64)) & 1;
-  }
-
-  void insert(ClassId C) {
-    assert(C.isValid() && C.value() < Universe && "class out of universe");
-    Words[C.value() / 64] |= uint64_t(1) << (C.value() % 64);
-  }
-
-  void remove(ClassId C) {
-    assert(C.isValid() && C.value() < Universe && "class out of universe");
-    Words[C.value() / 64] &= ~(uint64_t(1) << (C.value() % 64));
-  }
+  bool contains(ClassId C) const;
+  void insert(ClassId C);
+  void remove(ClassId C);
 
   bool isEmpty() const;
 
@@ -81,9 +101,9 @@ public:
   friend ClassSet operator&(ClassSet A, const ClassSet &B) { return A &= B; }
   friend ClassSet operator|(ClassSet A, const ClassSet &B) { return A |= B; }
 
-  bool operator==(const ClassSet &RHS) const {
-    return Universe == RHS.Universe && Words == RHS.Words;
-  }
+  /// Representation-independent equality: {0,1,2} compares equal whether it
+  /// is stored as words, members, or the range [0,3).
+  bool operator==(const ClassSet &RHS) const;
   bool operator!=(const ClassSet &RHS) const { return !(*this == RHS); }
 
   /// True when this set is a subset of \p RHS.
@@ -99,15 +119,49 @@ public:
   /// invalid ClassId.
   ClassId getSingleElement() const;
 
-  /// Stable hash usable for unordered containers of SpecTuples.
+  /// Stable, representation-independent hash usable for unordered
+  /// containers of SpecTuples.
   size_t hashValue() const;
+
+  /// The canonical run list: maximal [Lo, Hi) ranges in increasing order.
+  /// Every representation produces the identical list for equal sets.
+  std::vector<Range> runs() const;
+
+  /// Heap bytes of the active storage (the scaling benchmarks' cone-memory
+  /// metric; excludes the fixed object header).
+  size_t memoryBytes() const;
+
+  /// Current storage representation (test/benchmark introspection).
+  Rep representation() const { return R; }
+
+  /// Forces a specific representation without changing the value.  Test
+  /// hook for the differential property tests; any set is expressible in
+  /// any representation (Interval may need many ranges).
+  void convertToRepForTesting(Rep Target);
 
   /// Renders as "{0,3,7}" using raw ids (names require a hierarchy; see
   /// ClassHierarchy::setToString).
   std::string toString() const;
 
 private:
+  /// Members-per-set bound below which Sparse is preferred over Dense.
+  static unsigned sparseLimit(unsigned Universe) {
+    return Universe / 32 < 4 ? 4 : Universe / 32;
+  }
+  /// Run-count bound below which Interval is preferred.
+  static constexpr size_t IntervalMaxRanges = 8;
+
+  void becomeDense();
+  void adoptRuns(std::vector<Range> Runs);
+
+  /// Active representation; exactly one of the vectors below is in use.
+  Rep R = Rep::Sparse;
+  /// Dense: bit vector, (Universe+63)/64 words, tail bits always clear.
   std::vector<uint64_t> Words;
+  /// Sparse: sorted unique member ids.
+  std::vector<uint32_t> Elems;
+  /// Interval: canonical run list (sorted, disjoint, non-adjacent).
+  std::vector<Range> Ranges;
   unsigned Universe = 0;
 };
 

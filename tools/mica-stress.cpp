@@ -112,6 +112,10 @@ struct StressOptions {
   bool HaveIterSeed = false;
   uint64_t IterSeed = 0;
   bool Differential = false;
+  /// Nonzero forces the structured hierarchy synthesizer with this many
+  /// classes on every iteration (10k-class soak runs); zero keeps the
+  /// default mix (one iteration in ten draws a random-knob hierarchy).
+  unsigned HierarchyClasses = 0;
 };
 
 [[noreturn]] void usage(const char *Message) {
@@ -119,7 +123,7 @@ struct StressOptions {
             << "usage: mica-stress [--seed S] [--iterations N] [--jobs N]\n"
                "                   [--failpoints] [--max-seconds N]\n"
                "                   [--iter-seed S] [--verbose]\n"
-               "                   [--differential]\n";
+               "                   [--differential] [--hierarchy-classes N]\n";
   std::exit(2);
 }
 
@@ -227,6 +231,22 @@ void runDifferentialIteration(uint64_t IterSeed, const StressOptions &SO,
   statusWrite(Trace + '\n');
 
   std::string Src = fuzz::generateProgram(R.next());
+  // Differential runs also soak the hierarchy axis: one iteration in ten
+  // (or all, under --hierarchy-classes) compares the two tiers on a
+  // structured megamorphic program instead of the grab-bag module.
+  if (SO.HierarchyClasses != 0 || R.below(10) == 4) {
+    fuzz::HierarchySpec HS;
+    HS.Classes =
+        SO.HierarchyClasses != 0 ? SO.HierarchyClasses : 20 + R.below(180);
+    HS.Depth = 3 + R.below(12);
+    HS.Fanout = 2 + R.below(8);
+    HS.MultiParentPercent = R.below(3) == 0 ? 10 : 0;
+    HS.MethodLeaves = 2 + R.below(15);
+    HS.Generics = 1 + R.below(4);
+    HS.Seed = R.next();
+    Src = fuzz::generateHierarchyProgram(HS);
+    Mark("hierarchy=" + std::to_string(HS.Classes));
+  }
   std::string Err;
   Mark("load");
   std::unique_ptr<Workbench> W = Workbench::fromSources({Src}, Err, false);
@@ -341,8 +361,23 @@ void runIteration(uint64_t IterSeed, const StressOptions &SO, Outcomes &O) {
 
   // Three in ten iterations smash the source bytes first: the front end
   // must survive arbitrary junk, not just generator-shaped programs.
+  // One in ten swaps in a structured hierarchy (deep/wide class trees,
+  // megamorphic k-way sites, occasional diamonds) instead of the
+  // grab-bag module; --hierarchy-classes forces that on every iteration.
   unsigned Mode = R.below(10);
-  if (Mode < 3) {
+  if (SO.HierarchyClasses != 0 || Mode == 4) {
+    fuzz::HierarchySpec HS;
+    HS.Classes =
+        SO.HierarchyClasses != 0 ? SO.HierarchyClasses : 20 + R.below(180);
+    HS.Depth = 3 + R.below(12);
+    HS.Fanout = 2 + R.below(8);
+    HS.MultiParentPercent = R.below(3) == 0 ? 10 : 0;
+    HS.MethodLeaves = 2 + R.below(15);
+    HS.Generics = 1 + R.below(4);
+    HS.Seed = R.next();
+    Src = fuzz::generateHierarchyProgram(HS);
+    Mark("hierarchy=" + std::to_string(HS.Classes));
+  } else if (Mode < 3) {
     Src = fuzz::mutateBytes(Src, R, 1 + R.below(8));
     Mark("mutate-bytes");
   }
@@ -527,7 +562,12 @@ int main(int Argc, char **Argv) {
       SO.Verbose = true;
     else if (A == "--differential")
       SO.Differential = true;
-    else
+    else if (A == "--hierarchy-classes") {
+      SO.HierarchyClasses = static_cast<unsigned>(
+          parseU64(NextValue(), "--hierarchy-classes"));
+      if (SO.HierarchyClasses < 2 || SO.HierarchyClasses > 100000)
+        usage("--hierarchy-classes must be between 2 and 100000");
+    } else
       usage(("unknown option " + A).c_str());
   }
 
